@@ -1,0 +1,30 @@
+# Convenience targets for the SCHEMATIC reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-full experiments experiments-quick export examples clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL_BENCH=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.run_all
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments.run_all --quick
+
+export:
+	$(PYTHON) -m repro.experiments.export artifacts/
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis artifacts

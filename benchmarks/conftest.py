@@ -1,0 +1,31 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+By default each bench target runs on a fast benchmark subset so
+``pytest benchmarks/ --benchmark-only`` completes in minutes. Set
+``REPRO_FULL_BENCH=1`` to sweep all eight MiBench2 kernels (the full
+regeneration used for EXPERIMENTS.md, several minutes more).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+import pytest
+
+from repro.experiments.common import EvaluationContext
+
+FULL = os.environ.get("REPRO_FULL_BENCH", "") == "1"
+SUBSET = ["basicmath", "crc", "randmath"]
+
+
+@pytest.fixture(scope="session")
+def ctx() -> EvaluationContext:
+    benchmarks = None if FULL else SUBSET
+    return EvaluationContext(benchmarks=benchmarks, profile_runs=2)
+
+
+def once(benchmark, fn):
+    """Run an expensive whole-experiment target exactly once under
+    pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,16 @@
+"""Bench target for the SCHEMATIC design-choice ablations (DESIGN.md)."""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, ctx):
+    result = once(benchmark, lambda: ablations.run(ctx))
+    print()
+    print(result.render())
+    # Each design choice must carry measurable weight.
+    assert result.overhead_vs_full("no-amortization") > 1.05
+    assert result.overhead_vs_full("no-liveness-trim") >= 1.0
+    assert result.overhead_vs_full("numit-1") > 2.0
+    assert result.overhead_vs_full("allnvm") > 1.1

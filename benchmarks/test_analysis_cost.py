@@ -1,0 +1,20 @@
+"""Bench target for §III-C: analysis wall time and complexity scaling."""
+
+from conftest import once
+
+from repro.experiments import analysis_cost
+
+
+def test_analysis_cost(benchmark, ctx):
+    result = once(
+        benchmark,
+        lambda: analysis_cost.run(
+            ctx,
+            benchmarks=ctx.benchmark_names[:2],
+            chain_sizes=(4, 8, 16, 32),
+        ),
+    )
+    print()
+    print(result.render())
+    exponent = result.growth_exponent()
+    assert exponent is not None and exponent < 3.5

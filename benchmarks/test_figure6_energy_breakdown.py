@@ -1,0 +1,22 @@
+"""Bench target regenerating Figure 6 (energy breakdown + headline)."""
+
+from conftest import once
+
+from repro.experiments import figure6_energy_breakdown
+
+
+def test_figure6_energy_breakdown(benchmark, ctx):
+    result = once(benchmark, lambda: figure6_energy_breakdown.run(ctx))
+    print()
+    print(result.render())
+    # SCHEMATIC reduces energy vs every baseline (paper: 51% on average).
+    for baseline in ("ratchet", "mementos", "rockclimb", "alfred"):
+        reduction = result.reduction_vs(baseline)
+        assert reduction is not None and reduction > 0, baseline
+    assert result.average_reduction() > 0.2
+    # Wait-mode techniques never re-execute.
+    for technique in ("rockclimb", "schematic"):
+        for name in result.benchmarks:
+            cell = result.cells[technique][name]
+            if cell.completed:
+                assert cell.energy.reexecution == 0.0

@@ -1,0 +1,14 @@
+"""Bench target regenerating Figure 7 (SCHEMATIC vs All-NVM)."""
+
+from conftest import once
+
+from repro.experiments import figure7_allocation_quality
+
+
+def test_figure7_allocation_quality(benchmark, ctx):
+    result = once(benchmark, lambda: figure7_allocation_quality.run(ctx))
+    print()
+    print(result.render())
+    # Paper: ~25% computation-energy reduction, most accesses hit VM.
+    assert 0.05 < result.computation_reduction() < 0.6
+    assert result.vm_access_share() > 0.5

@@ -1,0 +1,21 @@
+"""Bench target regenerating Figure 8 (capacitor-size impact on crc)."""
+
+from conftest import once
+
+from repro.experiments import figure8_capacitor_size
+
+
+def test_figure8_capacitor_size(benchmark, ctx):
+    result = once(benchmark, lambda: figure8_capacitor_size.run(ctx))
+    print()
+    print(result.render())
+    # SCHEMATIC's intermittency-management energy shrinks as EB grows.
+    mgmt = [
+        result.management_energy("schematic", t)
+        for t in (1_000, 10_000, 100_000)
+    ]
+    assert all(m is not None for m in mgmt)
+    assert mgmt[0] > mgmt[2]
+    # RATCHET's placement ignores the platform: its management cost stays
+    # high even on the largest capacitor.
+    assert result.management_energy("ratchet", 100_000) > mgmt[2]

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the substrate: interpreter throughput, SCHEMATIC
+compile time, and the emulation of one full technique run."""
+
+from conftest import once
+
+from repro.baselines import compile_schematic
+from repro.emulator import PowerManager, run_continuous, run_intermittent
+from repro.energy import msp430fr5969_model
+from repro.programs import get_benchmark
+
+MODEL = msp430fr5969_model()
+
+
+def test_interpreter_throughput_crc(benchmark, ctx):
+    bench = get_benchmark("crc")
+    module = bench.module
+    inputs = bench.default_inputs()
+
+    def run():
+        return run_continuous(module, MODEL, inputs=inputs)
+
+    report = benchmark(run)
+    assert report.completed
+
+
+def test_schematic_compile_crc(benchmark, ctx):
+    bench = get_benchmark("crc")
+    module = bench.module
+    platform = ctx.platform_proto.with_eb(5000.0)
+    profile = ctx.profile("crc")
+
+    def compile_once():
+        return compile_schematic(module, platform, profile=profile)
+
+    compiled = benchmark(compile_once)
+    assert compiled.feasible
+
+
+def test_intermittent_run_crc(benchmark, ctx):
+    eb = ctx.eb_for_tbpf("crc", 10_000)
+    compiled = ctx.compile("schematic", "crc", eb)
+    bench = get_benchmark("crc")
+    inputs = bench.default_inputs()
+    platform = ctx.platform_proto.with_eb(eb)
+
+    def run():
+        return run_intermittent(
+            compiled.module,
+            platform.model,
+            compiled.policy,
+            PowerManager.energy_budget(eb),
+            vm_size=platform.vm_size,
+            inputs=inputs,
+        )
+
+    report = benchmark(run)
+    assert report.completed

@@ -1,0 +1,18 @@
+"""Bench target regenerating Table I (VM feasibility matrix)."""
+
+from conftest import once
+
+from repro.experiments import table1_vm_feasibility
+
+
+def test_table1_vm_feasibility(benchmark, ctx):
+    result = once(benchmark, lambda: table1_vm_feasibility.run(ctx))
+    print()
+    print(result.render())
+    # Paper shape: all-NVM techniques and SCHEMATIC always feasible.
+    for technique in ("ratchet", "rockclimb", "schematic"):
+        assert all(result.cells[technique].values())
+    # All-VM techniques fail exactly the over-2KB benchmarks.
+    for technique in ("mementos", "alfred"):
+        for name, ok in result.cells[technique].items():
+            assert ok == (result.footprints[name] <= 2048)

@@ -1,0 +1,15 @@
+"""Bench target regenerating Table II (execution time, minimal failures)."""
+
+from conftest import once
+
+from repro.experiments import table2_exec_time
+
+
+def test_table2_exec_time(benchmark, ctx):
+    result = once(benchmark, lambda: table2_exec_time.run(ctx))
+    print()
+    print(result.render())
+    for row in result.rows:
+        # Within 2x of the paper's measured cycle counts.
+        assert 0.5 <= row.cycles / row.paper_cycles <= 2.0, row.benchmark
+        assert row.failures[1_000] >= row.failures[100_000]

@@ -1,0 +1,17 @@
+"""Bench target regenerating Table III (forward-progress matrix)."""
+
+from conftest import once
+
+from repro.experiments import table3_forward_progress
+
+
+def test_table3_forward_progress(benchmark, ctx):
+    result = once(benchmark, lambda: table3_forward_progress.run(ctx))
+    print()
+    print(result.render())
+    # Paper shape: ROCKCLIMB and SCHEMATIC always terminate.
+    for technique in ("rockclimb", "schematic"):
+        for tbpf, cells in result.cells[technique].items():
+            assert all(cells.values()), (technique, tbpf)
+    # MEMENTOS cannot survive the smallest budget everywhere.
+    assert not all(result.cells["mementos"][1_000].values())

@@ -1,0 +1,107 @@
+"""Targeting a custom platform: how the VM/NVM gap drives allocation.
+
+SCHEMATIC's inputs are the platform parameters (paper §II-B): the energy
+model, the VM size and the capacitor budget. This example defines two
+hypothetical platforms — one whose NVM is barely more expensive than VM
+(fast MRAM-class) and one with a wide gap (flash-class) — and shows how the
+same program gets a different memory allocation on each.
+
+Run: ``python examples/custom_platform.py``
+"""
+
+import random
+from dataclasses import replace
+
+from repro.core import Schematic
+from repro.core.placement import SchematicConfig
+from repro.emulator import PowerManager, run_intermittent
+from repro.emulator.runtime import CheckpointPolicy
+from repro.energy import EnergyModel, Platform
+from repro.frontend import compile_source
+from repro.ir import Load, MemorySpace, Store
+
+SOURCE = """
+u32 out;
+u32 window[64];
+u16 weights[64];
+
+void main() {
+    u32 acc = 0;
+    for (i32 round = 0; round < 4; round++) {
+        for (i32 i = 0; i < 64; i++) {
+            acc += window[i] * (u32) weights[i];
+            window[i] = acc & 0xffff;
+        }
+    }
+    out = acc;
+}
+"""
+
+
+def vm_variables(module):
+    names = set()
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            for inst in block:
+                if isinstance(inst, (Load, Store)):
+                    if inst.space is MemorySpace.VM:
+                        names.add(inst.var.name)
+    return sorted(names)
+
+
+def main() -> None:
+    base_model = EnergyModel()
+    platforms = {
+        "mram-like (NVM 1.1x VM)": Platform(
+            model=replace(base_model, nvm_access_ratio=1.1, nvm_access_cycles=0),
+            vm_size=512,
+            eb=8_000.0,
+        ),
+        "fram-like (NVM 2.47x VM)": Platform(
+            model=base_model, vm_size=512, eb=8_000.0
+        ),
+        "flash-like (NVM 8x VM)": Platform(
+            model=replace(base_model, nvm_access_ratio=8.0, nvm_access_cycles=3),
+            vm_size=512,
+            eb=8_000.0,
+        ),
+    }
+
+    module = compile_source(SOURCE, "custom")
+
+    def gen(run: int):
+        rng = random.Random(run)
+        return {
+            "window": [rng.randrange(0, 1 << 16) for _ in range(64)],
+            "weights": [rng.randrange(0, 256) for _ in range(64)],
+        }
+
+    inputs = gen(999)
+    for name, platform in platforms.items():
+        result = Schematic(platform, SchematicConfig(profile_runs=2)).compile(
+            module, input_generator=gen
+        )
+        report = run_intermittent(
+            result.module,
+            platform.model,
+            CheckpointPolicy.wait_mode("schematic"),
+            PowerManager.energy_budget(platform.eb),
+            vm_size=platform.vm_size,
+            inputs=inputs,
+        )
+        print(f"== {name} ==")
+        print(f"  VM-allocated variables: {vm_variables(result.module) or '(none)'}")
+        print(f"  checkpoints inserted:   {result.checkpoints_inserted}")
+        print(f"  total energy:           {report.energy.total / 1000:.1f} uJ "
+              f"(completed={report.completed})")
+        print()
+
+    print(
+        "The wider the VM/NVM gap, the more aggressively SCHEMATIC caches\n"
+        "data in VM — on the MRAM-like platform caching barely pays, while\n"
+        "on the flash-like one even the 256 B window array earns its keep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim so legacy editable installs work in fully offline
+environments (no wheel package available for PEP 660 builds):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""schematic-repro: reproduction of SCHEMATIC (CGO 2024).
+
+SCHEMATIC is a compiler technique for intermittently-powered (battery-free)
+systems that jointly decides, at compile time, (i) where to place checkpoints
+and (ii) which variables to allocate in volatile memory (VM) vs non-volatile
+memory (NVM) between checkpoints, minimizing energy while guaranteeing
+forward progress.
+
+The package is organized as:
+
+- :mod:`repro.ir` -- a small typed register IR (the compilation substrate).
+- :mod:`repro.frontend` -- MiniC, a C-like language lowered to the IR.
+- :mod:`repro.analysis` -- CFG, dominators, loops, call graph, liveness,
+  access counting and worst-case energy analyses.
+- :mod:`repro.energy` -- per-instruction energy model (MSP430FR5969 preset)
+  and platform description (VM size, capacitor budget).
+- :mod:`repro.emulator` -- IR-level intermittent-execution emulator with
+  per-category energy metering (the SCEPTIC substitute).
+- :mod:`repro.core` -- the SCHEMATIC technique itself (RCG, joint placement
+  and allocation, loop/function handling, program transformation).
+- :mod:`repro.baselines` -- RATCHET, MEMENTOS, ROCKCLIMB, ALFRED, All-NVM.
+- :mod:`repro.programs` -- the eight MiBench2-style benchmarks in MiniC.
+- :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

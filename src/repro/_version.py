@@ -1,0 +1,3 @@
+"""Version of the schematic-repro package."""
+
+__version__ = "1.0.0"

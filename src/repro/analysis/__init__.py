@@ -1,0 +1,35 @@
+"""Program analyses used by SCHEMATIC and the baselines.
+
+Everything here is a classic compiler analysis, implemented on the repro IR:
+
+- :mod:`repro.analysis.cfg` — control-flow graph view of a function.
+- :mod:`repro.analysis.dominators` — immediate dominators (Cooper-Harvey-
+  Kennedy) and dominance queries.
+- :mod:`repro.analysis.loops` — natural loops and the loop-nesting tree.
+- :mod:`repro.analysis.callgraph` — call graph, recursion rejection and the
+  reverse-topological (callee-first) order SCHEMATIC analyzes functions in.
+- :mod:`repro.analysis.liveness` — variable-level liveness, interprocedural
+  through call summaries (used by Eq. 2's save/restore trimming).
+- :mod:`repro.analysis.accesses` — per-block variable read/write counts
+  (the ``nR``/``nW`` of Eq. 1).
+"""
+
+from repro.analysis.cfg import CFG, Edge
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, LoopNest
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.liveness import FunctionAccessSummaries, LivenessInfo
+from repro.analysis.accesses import AccessCounts, block_access_counts
+
+__all__ = [
+    "CFG",
+    "Edge",
+    "DominatorTree",
+    "Loop",
+    "LoopNest",
+    "CallGraph",
+    "FunctionAccessSummaries",
+    "LivenessInfo",
+    "AccessCounts",
+    "block_access_counts",
+]

@@ -1,0 +1,94 @@
+"""Per-block variable access counts — the ``nR``/``nW`` of the gain function.
+
+SCHEMATIC's memory-allocation selection (Eq. 1) needs, for every interval
+between two potential checkpoints, how many reads and writes target each
+variable. This module provides the per-block building blocks; the core pass
+aggregates them along paths (weighting loop bodies by trip counts and call
+sites by callee summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Call, Load, Store
+
+
+@dataclass
+class AccessCounts:
+    """Read/write counts per variable name, plus first-access kinds.
+
+    ``first_access`` maps a variable to ``"r"`` or ``"w"`` — whether the
+    first access in the region is a read or a write. A first *write* means
+    the restore at the region start can be skipped for that variable
+    (Eq. 2's liveness optimization). For arrays, a write never counts as a
+    full overwrite, so their first access is conservatively ``"r"`` when any
+    read exists.
+    """
+
+    reads: Dict[str, int] = field(default_factory=dict)
+    writes: Dict[str, int] = field(default_factory=dict)
+    first_access: Dict[str, str] = field(default_factory=dict)
+
+    def add_read(self, name: str, count: int = 1) -> None:
+        self.reads[name] = self.reads.get(name, 0) + count
+        self.first_access.setdefault(name, "r")
+
+    def add_write(self, name: str, count: int = 1, full: bool = False) -> None:
+        self.writes[name] = self.writes.get(name, 0) + count
+        # Only a full overwrite (scalar store) lets us treat the first
+        # access as a write for restore-skipping purposes.
+        self.first_access.setdefault(name, "w" if full else "r")
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.reads) | set(self.writes)))
+
+    def merge_sequential(self, later: "AccessCounts", weight: int = 1) -> None:
+        """Fold ``later`` (executed after self) into this count set.
+
+        ``weight`` multiplies the later counts (used to weight loop bodies
+        by trip count)."""
+        for name, count in later.reads.items():
+            self.reads[name] = self.reads.get(name, 0) + count * weight
+        for name, count in later.writes.items():
+            self.writes[name] = self.writes.get(name, 0) + count * weight
+        for name, kind in later.first_access.items():
+            self.first_access.setdefault(name, kind)
+
+    def total(self, name: str) -> int:
+        return self.reads.get(name, 0) + self.writes.get(name, 0)
+
+    def copy(self) -> "AccessCounts":
+        return AccessCounts(
+            reads=dict(self.reads),
+            writes=dict(self.writes),
+            first_access=dict(self.first_access),
+        )
+
+
+def block_access_counts(
+    block: BasicBlock,
+    call_counts: Optional[Dict[str, AccessCounts]] = None,
+) -> AccessCounts:
+    """Access counts for one basic block.
+
+    ``call_counts`` maps callee names to *caller-visible* access summaries
+    (globals and ref-parameter actuals); when provided, call instructions
+    contribute their callee's counts. Ref-parameter positions inside the
+    summary use the formal's mangled name; the caller substitutes actuals
+    before calling this function (see
+    :meth:`repro.analysis.liveness.FunctionAccessSummaries.counts_at_call`).
+    """
+    counts = AccessCounts()
+    for inst in block:
+        if isinstance(inst, Load):
+            counts.add_read(inst.var.name)
+        elif isinstance(inst, Store):
+            counts.add_write(inst.var.name, full=not inst.var.is_array)
+        elif isinstance(inst, Call) and call_counts is not None:
+            callee = call_counts.get(inst.callee)
+            if callee is not None:
+                counts.merge_sequential(callee)
+    return counts

@@ -1,0 +1,101 @@
+"""Control-flow-graph view of an IR function."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set
+
+from repro.errors import AnalysisError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed CFG edge between two block labels.
+
+    CFG edges are SCHEMATIC's candidate checkpoint locations (§III-A:
+    "The locations SCHEMATIC is considering for checkpoint placement are the
+    CFG edges").
+    """
+
+    src: str
+    dst: str
+
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+
+class CFG:
+    """Successor/predecessor maps and traversal orders for one function."""
+
+    def __init__(self, func: Function):
+        self.function = func
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {label: [] for label in func.blocks}
+        for label, block in func.blocks.items():
+            succ = block.successor_labels()
+            self.succs[label] = succ
+            for s in succ:
+                if s not in self.preds:
+                    raise AnalysisError(
+                        f"{func.name}: edge to unknown block .{s}"
+                    )
+                self.preds[s].append(label)
+        self.entry = func.entry.label
+
+    # -- basic queries -------------------------------------------------------
+
+    def block(self, label: str) -> BasicBlock:
+        return self.function.block(label)
+
+    @property
+    def labels(self) -> List[str]:
+        return list(self.function.blocks)
+
+    def edges(self) -> List[Edge]:
+        """All CFG edges, in block order then successor order."""
+        return [Edge(u, v) for u in self.labels for v in self.succs[u]]
+
+    def exit_labels(self) -> List[str]:
+        return [label for label in self.labels if not self.succs[label]]
+
+    # -- orders ----------------------------------------------------------------
+
+    def postorder(self) -> List[str]:
+        """DFS postorder from the entry (reachable blocks only)."""
+        visited: Set[str] = set()
+        order: List[str] = []
+
+        def visit(label: str) -> None:
+            # Iterative DFS to survive deep CFGs.
+            stack = [(label, iter(self.succs[label]))]
+            visited.add(label)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(self.succs[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        return order
+
+    def reverse_postorder(self) -> List[str]:
+        """Topological-ish order: every block before its (non-back) successors."""
+        return list(reversed(self.postorder()))
+
+    def rpo_index(self) -> Dict[str, int]:
+        return {label: i for i, label in enumerate(self.reverse_postorder())}
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.function.blocks.values())
+
+    def __repr__(self) -> str:
+        return f"CFG({self.function.name}, {len(self.labels)} blocks)"

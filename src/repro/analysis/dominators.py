@@ -1,0 +1,81 @@
+"""Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm.
+
+Used to identify back edges (natural loops) and to sanity-check CFG
+reducibility before SCHEMATIC's loop handling runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.cfg import CFG
+
+
+class DominatorTree:
+    """Immediate-dominator tree of a CFG.
+
+    ``idom[entry]`` is the entry itself; unreachable blocks are absent.
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.idom: Dict[str, str] = {}
+        self._depth: Dict[str, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        index = {label: i for i, label in enumerate(rpo)}
+        entry = self.cfg.entry
+        idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+        idom[entry] = entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == entry:
+                    continue
+                preds = [p for p in self.cfg.preds[label] if idom.get(p) is not None]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = intersect(new_idom, p)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+
+        self.idom = {k: v for k, v in idom.items() if v is not None}
+
+        # Depths for fast dominance queries.
+        self._depth[entry] = 0
+        for label in rpo:
+            if label == entry or label not in self.idom:
+                continue
+            self._depth[label] = self._depth[self.idom[label]] + 1
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        if a not in self.idom or b not in self.idom:
+            return False
+        while self._depth.get(b, 0) > self._depth.get(a, 0):
+            b = self.idom[b]
+        return a == b
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def children(self, label: str) -> List[str]:
+        """Blocks whose immediate dominator is ``label``."""
+        return [
+            b for b, d in self.idom.items() if d == label and b != label
+        ]

@@ -1,0 +1,182 @@
+"""Natural-loop detection and the loop-nesting tree.
+
+SCHEMATIC "handles natural loops (strongly connected components of the CFG
+with a single entry point, called loop header)" and analyzes them through "a
+bottom-up traversal of the loop nesting tree" (§III-B2). This module finds
+back edges via dominance, collects each loop's body, builds the nesting
+tree, and rejects irreducible control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.cfg import CFG, Edge
+from repro.analysis.dominators import DominatorTree
+from repro.errors import AnalysisError
+
+
+@dataclass
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: the loop's single entry block.
+        latches: source blocks of back edges (our MiniC lowering produces a
+            single latch per loop, matching the paper's single-back-edge
+            assumption, §III-B2).
+        body: all block labels in the loop (header included).
+        parent: enclosing loop, or None for top-level loops.
+        children: directly nested loops.
+        maxiter: maximum trip count, if known (annotation or inference).
+    """
+
+    header: str
+    latches: List[str]
+    body: Set[str]
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = field(default_factory=list)
+    maxiter: Optional[int] = None
+
+    @property
+    def latch(self) -> str:
+        """The unique latch (raises if the loop has several)."""
+        if len(self.latches) != 1:
+            raise AnalysisError(
+                f"loop at .{self.header} has {len(self.latches)} latches; "
+                "expected exactly one"
+            )
+        return self.latches[0]
+
+    def back_edges(self) -> List[Edge]:
+        return [Edge(latch, self.header) for latch in self.latches]
+
+    def exit_edges(self, cfg: CFG) -> List[Edge]:
+        """Edges leaving the loop body."""
+        return [
+            Edge(u, v)
+            for u in sorted(self.body)
+            for v in cfg.succs[u]
+            if v not in self.body
+        ]
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return f"Loop(.{self.header}, {len(self.body)} blocks, depth={self.depth})"
+
+
+class LoopNest:
+    """All natural loops of a function plus the nesting tree."""
+
+    def __init__(self, cfg: CFG, dom: Optional[DominatorTree] = None):
+        self.cfg = cfg
+        self.dom = dom or DominatorTree(cfg)
+        self.loops: List[Loop] = []
+        #: innermost loop containing each block (header maps to its own loop)
+        self.innermost: Dict[str, Loop] = {}
+        self._discover()
+        self._check_reducible()
+        self._build_nesting()
+        self._attach_maxiter()
+
+    # -- discovery ---------------------------------------------------------
+
+    def _discover(self) -> None:
+        back_edges: Dict[str, List[str]] = {}
+        for edge in self.cfg.edges():
+            if self.dom.dominates(edge.dst, edge.src):
+                back_edges.setdefault(edge.dst, []).append(edge.src)
+
+        for header, latches in back_edges.items():
+            body: Set[str] = {header}
+            work = [l for l in latches if l != header]
+            while work:
+                label = work.pop()
+                if label in body:
+                    continue
+                body.add(label)
+                work.extend(
+                    p for p in self.cfg.preds[label] if p not in body
+                )
+            self.loops.append(Loop(header=header, latches=sorted(latches), body=body))
+
+        # Deterministic order: outermost-last by body size, then header name.
+        self.loops.sort(key=lambda l: (len(l.body), l.header))
+
+    def _check_reducible(self) -> None:
+        """Every retreating edge must target a dominator (i.e. be a back
+        edge of a natural loop); otherwise the CFG is irreducible."""
+        rpo_index = self.cfg.rpo_index()
+        for edge in self.cfg.edges():
+            if rpo_index[edge.dst] <= rpo_index[edge.src]:
+                if not self.dom.dominates(edge.dst, edge.src):
+                    raise AnalysisError(
+                        f"{self.cfg.function.name}: irreducible CFG "
+                        f"(retreating edge {edge} is not a back edge)"
+                    )
+
+    def _build_nesting(self) -> None:
+        # self.loops is sorted by increasing body size, so the first loop
+        # containing a block is its innermost loop.
+        for loop in self.loops:
+            for candidate in self.loops:
+                if candidate is loop:
+                    continue
+                if loop.body < candidate.body:
+                    # candidate contains loop; pick the smallest container.
+                    if loop.parent is None or len(candidate.body) < len(
+                        loop.parent.body
+                    ):
+                        loop.parent = candidate
+        for loop in self.loops:
+            if loop.parent is not None:
+                loop.parent.children.append(loop)
+        for label in self.cfg.labels:
+            for loop in self.loops:  # smallest-first ordering
+                if label in loop.body:
+                    self.innermost[label] = loop
+                    break
+
+    def _attach_maxiter(self) -> None:
+        bounds = self.cfg.function.loop_maxiter
+        for loop in self.loops:
+            loop.maxiter = bounds.get(loop.header)
+
+    # -- queries -----------------------------------------------------------
+
+    def bottom_up(self) -> List[Loop]:
+        """Loops in bottom-up nesting order (inner before outer), the order
+        SCHEMATIC analyzes them in (§III-B2)."""
+        order: List[Loop] = []
+        visited: Set[int] = set()
+
+        def visit(loop: Loop) -> None:
+            if id(loop) in visited:
+                return
+            visited.add(id(loop))
+            for child in loop.children:
+                visit(child)
+            order.append(loop)
+
+        for loop in self.loops:
+            if loop.parent is None:
+                visit(loop)
+        return order
+
+    def top_level(self) -> List[Loop]:
+        return [l for l in self.loops if l.parent is None]
+
+    def loop_of(self, label: str) -> Optional[Loop]:
+        return self.innermost.get(label)
+
+    def __repr__(self) -> str:
+        return f"LoopNest({self.cfg.function.name}, {len(self.loops)} loops)"

@@ -1,0 +1,59 @@
+"""The four baselines of the paper's evaluation (§IV-A) plus the All-NVM
+ablation (§IV-E), behind one uniform API.
+
+Every ``compile_*`` function takes an untransformed module and a platform
+and returns a :class:`CompiledTechnique`: the instrumented program, the
+runtime :class:`~repro.emulator.runtime.CheckpointPolicy` it requires, and
+a feasibility verdict (Table I: all-VM techniques cannot run programs whose
+data exceeds the VM size).
+
+- :mod:`repro.baselines.ratchet` — RATCHET [9]: all-NVM working memory,
+  compile-time checkpoints breaking write-after-read dependencies,
+  registers-only snapshots, roll-back on failure.
+- :mod:`repro.baselines.mementos` — MEMENTOS [8]: all-VM working memory,
+  potential checkpoints on loop latches, run-time voltage check decides
+  whether to actually save, roll-back on failure.
+- :mod:`repro.baselines.rockclimb` — ROCKCLIMB [18]: all-NVM, checkpoints
+  at loop back edges (conditional, unrolling factor <= 10) and around
+  calls, energy-driven extra checkpoints, wait-for-full-recharge.
+- :mod:`repro.baselines.alfred` — ALFRED [17]: VM-preferred allocation
+  (requires VM >= data), latch checkpoints, liveness-trimmed deferred
+  restore / anticipated save, roll-back on failure.
+- :mod:`repro.baselines.allnvm` — SCHEMATIC with VM allocation disabled.
+"""
+
+from repro.baselines.common import CompiledTechnique, compile_schematic
+from repro.baselines.ratchet import compile_ratchet
+from repro.baselines.mementos import compile_mementos
+from repro.baselines.alfred import compile_alfred
+from repro.baselines.rockclimb import compile_rockclimb
+from repro.baselines.allnvm import compile_allnvm
+
+ALL_TECHNIQUES = [
+    "ratchet",
+    "mementos",
+    "rockclimb",
+    "alfred",
+    "schematic",
+]
+
+COMPILERS = {
+    "ratchet": compile_ratchet,
+    "mementos": compile_mementos,
+    "rockclimb": compile_rockclimb,
+    "alfred": compile_alfred,
+    "schematic": compile_schematic,
+    "allnvm": compile_allnvm,
+}
+
+__all__ = [
+    "CompiledTechnique",
+    "compile_ratchet",
+    "compile_mementos",
+    "compile_rockclimb",
+    "compile_alfred",
+    "compile_allnvm",
+    "compile_schematic",
+    "ALL_TECHNIQUES",
+    "COMPILERS",
+]

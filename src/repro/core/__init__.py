@@ -1,0 +1,39 @@
+"""SCHEMATIC: joint checkpoint placement and memory allocation (paper §III).
+
+Pipeline (driven by :class:`repro.core.placement.Schematic`):
+
+1. :mod:`repro.core.tracing` profiles the program (seeded random inputs) and
+   produces per-region paths ordered by decreasing frequency, plus coverage
+   paths for never-executed code (§III-A3).
+2. :mod:`repro.core.region` condenses each function and each loop body into
+   an acyclic *region graph* of atoms (instruction slices, call sites,
+   collapsed inner loops); atom boundaries are the candidate checkpoint
+   locations.
+3. :mod:`repro.core.allocation` implements the gain function (Eq. 1), the
+   liveness-trimmed save/restore overhead (Eq. 2) and the gain/size-ratio
+   VM packing under the SVM capacity (§III-A2).
+4. :mod:`repro.core.rcg` builds the Reachable Checkpoint Graph for one path
+   and finds its shortest start->end path with Dijkstra (§III-A1).
+5. :mod:`repro.core.path_analysis` walks paths, commits final decisions,
+   and propagates the energy-left / energy-to-leave bounds (§III-A3).
+6. :mod:`repro.core.loop_analysis` implements Algorithm 1 (conditional
+   checkpoint every ``numit`` iterations); :mod:`repro.core.function_analysis`
+   traverses the call graph callee-first (§III-B).
+7. :mod:`repro.core.transform` rewrites the module: sets every load/store's
+   memory space and inserts (conditional) checkpoint instructions.
+8. :mod:`repro.core.verify` independently re-checks the forward-progress
+   guarantee on the transformed program.
+"""
+
+from repro.core.adaptive import AdaptationResult, run_with_adaptation
+from repro.core.placement import Schematic, SchematicConfig, SchematicResult
+from repro.core.verify import verify_forward_progress
+
+__all__ = [
+    "AdaptationResult",
+    "run_with_adaptation",
+    "Schematic",
+    "SchematicConfig",
+    "SchematicResult",
+    "verify_forward_progress",
+]

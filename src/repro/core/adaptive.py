@@ -1,0 +1,119 @@
+"""Adaptive recompilation for aging capacitors (paper §VI).
+
+"The capacity of the energy buffer may change over time for a given
+capacitor due to aging or temperature variations. ... In the event of a
+power failure occurring between two checkpoints, our technique detects that
+it restarted from the same checkpoint twice ... If such events occur
+frequently over time, one could recalculate checkpoint placement using a
+smaller capacitor size and perform an over-the-air update."
+
+:func:`run_with_adaptation` implements exactly that loop against the
+emulator: compile for the assumed budget, run on the *actual* (possibly
+degraded) budget, and on a forward-progress violation recompile with a
+derated assumption — the emulator's stuck detector plays the role of the
+device noticing repeated restarts from one checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.placement import Schematic, SchematicConfig
+from repro.core.tracing import InputGenerator, Profile
+from repro.emulator import PowerManager, run_intermittent
+from repro.emulator.report import ExecutionReport
+from repro.emulator.runtime import CheckpointPolicy
+from repro.energy.platform import Platform
+from repro.errors import InfeasibleBudgetError
+
+#: Default per-update derating factor for the assumed capacity. Real
+#: deployments would derive this from a capacitor-aging model [42].
+DEFAULT_DERATING = 0.7
+
+
+@dataclass
+class AdaptationResult:
+    """Outcome of an adaptive deployment session."""
+
+    completed: bool
+    recompilations: int
+    assumed_ebs: List[float]
+    final_report: Optional[ExecutionReport] = None
+    gave_up_reason: str = ""
+
+    @property
+    def final_assumed_eb(self) -> float:
+        return self.assumed_ebs[-1] if self.assumed_ebs else 0.0
+
+
+def run_with_adaptation(
+    module,
+    platform: Platform,
+    actual_eb: float,
+    inputs: Optional[Dict[str, List[int]]] = None,
+    input_generator: Optional[InputGenerator] = None,
+    profile: Optional[Profile] = None,
+    config: Optional[SchematicConfig] = None,
+    derating: float = DEFAULT_DERATING,
+    max_recompilations: int = 8,
+) -> AdaptationResult:
+    """Deploy ``module`` on a device whose real capacitor holds
+    ``actual_eb`` nJ while the firmware initially assumes ``platform.eb``.
+
+    Each forward-progress violation triggers an "over-the-air update": a
+    recompilation with the assumed budget multiplied by ``derating``.
+    Returns as soon as a run completes (outputs are the caller's to check),
+    or gives up after ``max_recompilations`` updates or when even the
+    smallest placement granularity cannot fit the assumed budget.
+    """
+    if not 0.0 < derating < 1.0:
+        raise ValueError("derating must be in (0, 1)")
+
+    assumed = platform.eb
+    assumed_ebs: List[float] = []
+    recompilations = 0
+    compiled_profile = profile
+
+    while True:
+        assumed_ebs.append(assumed)
+        try:
+            result = Schematic(platform.with_eb(assumed), config).compile(
+                module,
+                input_generator=input_generator,
+                profile=compiled_profile,
+            )
+        except InfeasibleBudgetError as exc:
+            return AdaptationResult(
+                completed=False,
+                recompilations=recompilations,
+                assumed_ebs=assumed_ebs,
+                gave_up_reason=f"placement infeasible at {assumed:.0f} nJ: {exc}",
+            )
+        compiled_profile = result.profile  # reuse across updates
+
+        report = run_intermittent(
+            result.module,
+            platform.model,
+            CheckpointPolicy.wait_mode("schematic-adaptive"),
+            PowerManager.energy_budget(actual_eb),
+            vm_size=platform.vm_size,
+            inputs=inputs,
+        )
+        if report.completed:
+            return AdaptationResult(
+                completed=True,
+                recompilations=recompilations,
+                assumed_ebs=assumed_ebs,
+                final_report=report,
+            )
+        if recompilations >= max_recompilations:
+            return AdaptationResult(
+                completed=False,
+                recompilations=recompilations,
+                assumed_ebs=assumed_ebs,
+                final_report=report,
+                gave_up_reason="update budget exhausted",
+            )
+        recompilations += 1
+        assumed *= derating

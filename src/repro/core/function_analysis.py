@@ -1,0 +1,384 @@
+"""Per-function analysis: loops bottom-up, then the function-level region.
+
+Functions are processed callee-first over the call graph (§III-B1); each
+function's final decisions are summarized as a
+:class:`~repro.core.summaries.FunctionResult` imposed on its callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import FunctionAccessSummaries, LivenessInfo
+from repro.analysis.loops import LoopNest
+from repro.core.allocation import SegmentContext
+from repro.core.loop_analysis import (
+    BackedgeCheckpoint,
+    LoopAnalysisOutput,
+    analyze_loop,
+)
+from repro.core.path_analysis import (
+    PlacedCheckpoint,
+    RegionAnalysis,
+    RegionOutcome,
+)
+from repro.core.region import (
+    AtomKind,
+    CostEnv,
+    RegionBuilder,
+    RegionGraph,
+)
+from repro.core.summaries import CkptBearing, FunctionResult, LoopResult, SharedAlloc
+from repro.core.tracing import Profile, loop_region_paths, region_paths_from_traces
+from repro.energy.model import EnergyModel
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import MemorySpace, Variable
+
+
+@dataclass
+class FunctionPlan:
+    """Everything the transformation pass needs for one function."""
+
+    function: str
+    #: space decisions: (label, instruction index) -> VM/NVM
+    access_spaces: Dict[Tuple[str, int], MemorySpace] = field(default_factory=dict)
+    #: enabled checkpoints (function region + loop bodies)
+    checkpoints: List[PlacedCheckpoint] = field(default_factory=list)
+    #: back-edge (conditional) checkpoints
+    backedges: List[BackedgeCheckpoint] = field(default_factory=list)
+    #: entry checkpoint data for the module's entry function
+    entry_restore: Tuple[str, ...] = ()
+    entry_alloc: Dict[str, MemorySpace] = field(default_factory=dict)
+
+
+class FunctionAnalyzer:
+    """Analyzes one function given the results of all its callees."""
+
+    def __init__(
+        self,
+        module: Module,
+        func: Function,
+        model: EnergyModel,
+        eb: float,
+        vm_capacity: int,
+        summaries: FunctionAccessSummaries,
+        function_results: Dict[str, FunctionResult],
+        profile: Profile,
+        variables: Dict[str, Variable],
+        is_entry: bool,
+        force_loop_checkpoints: bool = False,
+        checkpoint_around_calls: bool = False,
+        max_numit: Optional[int] = None,
+        amortize_loop_gains: bool = True,
+        liveness_trimming: bool = True,
+    ):
+        self.module = module
+        self.func = func
+        self.model = model
+        self.eb = eb
+        self.vm_capacity = vm_capacity
+        self.summaries = summaries
+        self.function_results = function_results
+        self.profile = profile
+        self.variables = variables
+        self.is_entry = is_entry
+        self.force_loop_checkpoints = force_loop_checkpoints
+        self.checkpoint_around_calls = checkpoint_around_calls
+        self.max_numit = max_numit
+        self.amortize_loop_gains = amortize_loop_gains
+        self.liveness_trimming = liveness_trimming
+
+        self.cfg = CFG(func)
+        self.nest = LoopNest(self.cfg)
+        self.liveness = LivenessInfo(func, module, summaries, self.cfg)
+        self.loop_results: Dict[str, LoopResult] = {}
+        self.loop_outputs: Dict[str, LoopAnalysisOutput] = {}
+        self.env = CostEnv(
+            model=model,
+            eb=eb,
+            summaries=summaries,
+            function_results=function_results,
+            loop_results=self.loop_results,
+        )
+        self.builder = RegionBuilder(func, self.cfg, self.nest, self.env)
+        self.ctx = SegmentContext(
+            model=model,
+            vm_capacity=vm_capacity,
+            variables=variables,
+            trim_with_liveness=liveness_trimming,
+        )
+
+    # ---------------------------------------------------------------- liveness
+
+    def _live_at_edge_fn(self, region: RegionGraph):
+        liveness = self.liveness
+
+        def live_at_edge(src_uid: int, dst_uid: int) -> Set[str]:
+            if src_uid == -1:
+                # Region entry: live at the entry atom's first position.
+                atom = region.atom(dst_uid)
+                if atom.kind is AtomKind.LOOP:
+                    return set(liveness.live_in[atom.label])
+                return liveness.live_before_instruction(atom.label, atom.start)
+            live: Set[str] = set()
+            for point in region.edge_points(src_uid, dst_uid):
+                if point.kind == "inst":
+                    live |= liveness.live_before_instruction(
+                        point.label, point.index
+                    )
+                else:
+                    live |= liveness.live_in[point.dst]
+            return live
+
+        return live_at_edge
+
+    def _exit_live(self) -> Set[str]:
+        live = {
+            v.name for v in self.module.globals.values() if not v.is_const
+        }
+        for var in self.func.variables.values():
+            if var.is_ref:
+                live.add(var.name)
+        return live
+
+    def _loop_ctx(self, loop, region: RegionGraph) -> SegmentContext:
+        """Segment context for a loop body: same capacity/variables, but
+        with the Eq. 1 gain amortized over the expected conditional-
+        checkpoint window (see SegmentContext.gain_amortization)."""
+        e_iter_nvm = sum(
+            atom.worst_case_energy(self.model)
+            for atom in region.atoms.values()
+            if not atom.is_barrier
+        ) + sum(
+            atom.base_energy
+            for atom in region.atoms.values()
+            if atom.is_barrier
+        )
+        overhead = self.model.save_energy(32) + self.model.restore_energy(32)
+        window = max(self.eb - overhead, 0.0)
+        estimate = int(window // e_iter_nvm) if e_iter_nvm > 0 else 1 << 20
+        estimate = max(estimate, 1)
+        if loop.maxiter is not None:
+            estimate = min(estimate, loop.maxiter)
+        estimate = min(estimate, 4096)
+        if not self.amortize_loop_gains:
+            estimate = 1
+        return SegmentContext(
+            model=self.model,
+            vm_capacity=self.vm_capacity,
+            variables=self.variables,
+            gain_amortization=float(estimate),
+            trim_with_liveness=self.liveness_trimming,
+        )
+
+    # ---------------------------------------------------------------- analysis
+
+    def analyze(self) -> Tuple[FunctionResult, FunctionPlan]:
+        traces = self.profile.function_traces(self.func.name)
+
+        # Loops bottom-up (§III-B2).
+        loop_regions: Dict[str, RegionGraph] = {}
+        for loop in self.nest.bottom_up():
+            region = self.builder.build_loop_region(loop)
+            loop_regions[loop.header] = region
+            paths = loop_region_paths(region, loop, traces)
+            output = analyze_loop(
+                loop,
+                region,
+                paths,
+                self._loop_ctx(loop, region),
+                self.eb,
+                self._live_at_edge_fn(region),
+                self._exit_live() | self.liveness.live_in[loop.header],
+                force_checkpoint=self.force_loop_checkpoints,
+                max_numit=self.max_numit,
+            )
+            self.loop_results[loop.header] = output.result
+            self.loop_outputs[loop.header] = output
+
+        # Function-level region.
+        region = self.builder.build_function_region()
+        paths = region_paths_from_traces(region, traces)
+        analysis = RegionAnalysis(
+            region,
+            self.ctx,
+            self.eb,
+            live_at_edge=self._live_at_edge_fn(region),
+            exit_live=self._exit_live(),
+            exit_need=0.0 if self.is_entry else self.model.save_energy(0),
+            exit_is_checkpoint=self.is_entry,
+        )
+        outcome = analysis.analyze(paths)
+
+        result = self._summarize(region, outcome)
+        plan = self._build_plan(region, loop_regions, outcome)
+        return result, plan
+
+    # ---------------------------------------------------------------- summary
+
+    def _caller_visible(self) -> Set[str]:
+        summary = self.summaries.summary(self.func.name)
+        return set(summary.reads) | set(summary.writes)
+
+    def _summarize(
+        self, region: RegionGraph, outcome: RegionOutcome
+    ) -> FunctionResult:
+        model = self.model
+        visible = self._caller_visible()
+        summary = self.summaries.summary(self.func.name)
+
+        shared_counts = summary.counts
+        # Reconstruct the base energy a caller should charge: the worst-case
+        # traversal energy minus the caller-visible accesses it will count
+        # itself (costed under this function's own final placements, which
+        # the caller is forced to adopt).
+        shared_access_energy = 0.0
+        alloc = dict(outcome.entry_alloc)
+        alloc.update(outcome.exit_alloc)
+        for name in set(shared_counts.reads) | set(shared_counts.writes):
+            if name not in visible:
+                continue
+            count = shared_counts.total(name)
+            space = alloc.get(name, MemorySpace.NVM)
+            shared_access_energy += count * model.access_cost_in_space(space)
+        base_energy = max(outcome.total_energy - shared_access_energy, 0.0)
+
+        # Restrict the caller-visible count space.
+        from repro.analysis.accesses import AccessCounts
+
+        visible_counts = AccessCounts()
+        for name, count in shared_counts.reads.items():
+            if name in visible:
+                visible_counts.add_read(name, count)
+        for name, count in shared_counts.writes.items():
+            if name in visible:
+                visible_counts.add_write(name, count)
+
+        local_names = {
+            v.name for v in self.func.variables.values() if not v.is_ref
+        }
+        private_reserve = max(
+            (
+                atom.shared.private_reserve
+                for atom in region.atoms.values()
+                if atom.shared is not None
+            ),
+            default=0,
+        )
+
+        if outcome.plain and self.checkpoint_around_calls and not self.is_entry:
+            # ROCKCLIMB mode: every call is bracketed by checkpoints, so the
+            # callee is summarized as a barrier even without internal ones.
+            ckpt = CkptBearing(
+                e_to_first=outcome.total_energy,
+                e_from_last=outcome.total_energy,
+                internal_energy=outcome.total_energy,
+                entry_forced=dict(outcome.entry_alloc),
+                entry_vm=outcome.entry_vm,
+                entry_restore=outcome.entry_restore,
+                exit_forced=dict(outcome.exit_alloc),
+                exit_vm=outcome.exit_vm,
+                exit_dirty=outcome.exit_dirty,
+                private_reserve=private_reserve,
+            )
+            return FunctionResult(
+                name=self.func.name,
+                base_energy=base_energy,
+                shared_counts=visible_counts,
+                ckpt=ckpt,
+                vm_reserved=outcome.vm_bytes_peak,
+            )
+
+        if outcome.plain:
+            forced = dict(outcome.combined_alloc)
+            forced.update(outcome.entry_alloc)
+            vm_names = tuple(
+                sorted(n for n, s in forced.items() if s is MemorySpace.VM)
+            )
+            vm_reserved = private_reserve + sum(
+                self.variables[n].size_bytes
+                for n in vm_names
+                if n in local_names and n in self.variables
+            )
+            shared = SharedAlloc(
+                forced=forced,
+                vm_names=vm_names,
+                restore_names=outcome.entry_restore,
+                dirty_names=tuple(
+                    n for n in outcome.exit_dirty if n in visible
+                ),
+                private_reserve=vm_reserved,
+            )
+            return FunctionResult(
+                name=self.func.name,
+                base_energy=base_energy,
+                shared_counts=visible_counts,
+                shared=shared,
+                vm_reserved=vm_reserved,
+            )
+
+        ckpt = CkptBearing(
+            e_to_first=outcome.e_to_first,
+            e_from_last=outcome.e_from_last,
+            internal_energy=outcome.total_energy,
+            entry_forced=dict(outcome.entry_alloc),
+            entry_vm=outcome.entry_vm,
+            entry_restore=outcome.entry_restore,
+            exit_forced=dict(outcome.exit_alloc),
+            exit_vm=outcome.exit_vm,
+            exit_dirty=outcome.exit_dirty,
+            private_reserve=private_reserve,
+        )
+        return FunctionResult(
+            name=self.func.name,
+            base_energy=base_energy,
+            shared_counts=visible_counts,
+            ckpt=ckpt,
+            vm_reserved=outcome.vm_bytes_peak,
+        )
+
+    # ---------------------------------------------------------------- plan
+
+    def _build_plan(
+        self,
+        region: RegionGraph,
+        loop_regions: Dict[str, RegionGraph],
+        outcome: RegionOutcome,
+    ) -> FunctionPlan:
+        plan = FunctionPlan(function=self.func.name)
+
+        def record_spaces(
+            reg: RegionGraph, alloc_of: Dict[int, Dict[str, MemorySpace]]
+        ) -> None:
+            for uid, atom in reg.atoms.items():
+                if atom.kind is not AtomKind.SLICE:
+                    continue
+                alloc = alloc_of.get(uid, {})
+                block = self.func.blocks[atom.label]
+                for idx in range(atom.start, atom.end):
+                    inst = block.instructions[idx]
+                    var = getattr(inst, "var", None)
+                    if var is None:
+                        continue
+                    if var.pinned_nvm or var.is_ref:
+                        space = MemorySpace.NVM
+                    else:
+                        space = alloc.get(var.name, MemorySpace.NVM)
+                    plan.access_spaces[(atom.label, idx)] = space
+
+        record_spaces(region, outcome.atom_alloc)
+        plan.checkpoints.extend(outcome.checkpoints)
+
+        for header, output in self.loop_outputs.items():
+            record_spaces(loop_regions[header], output.outcome.atom_alloc)
+            plan.checkpoints.extend(output.outcome.checkpoints)
+            if output.backedge is not None:
+                plan.backedges.append(output.backedge)
+
+        if self.is_entry:
+            plan.entry_restore = outcome.entry_restore
+            plan.entry_alloc = dict(outcome.entry_alloc)
+        return plan

@@ -1,0 +1,140 @@
+"""Summaries exchanged between analyzed sub-structures.
+
+SCHEMATIC analyzes loops bottom-up and functions callee-first; once a loop or
+callee is analyzed, its decisions are *final* and are imposed on the
+enclosing analysis (§III-B). Two shapes of summary exist:
+
+- **plain** (:class:`SharedAlloc`): the sub-structure contains no checkpoint,
+  so all of it shares one memory allocation and it can participate in an
+  enclosing segment like a single basic block ("we can treat the function
+  call to f_callee as a single basic block", §III-B1). It imposes the
+  placement of the variables it accesses (``forced``) on the segment.
+- **checkpoint-bearing** (:class:`CkptBearing`): the sub-structure contains
+  internal checkpoints, so the enclosing analysis must respect the energy to
+  its first internal checkpoint and the energy from its last one
+  ("we must take into account the memory allocation and energy required to
+  execute f_callee up to the first checkpoint(s) ... as well as the memory
+  allocation and remaining energy when exiting", §III-B1). This repo places
+  enabled checkpoints on both sides of such an atom, a conservative
+  simplification documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.accesses import AccessCounts
+from repro.ir.values import MemorySpace
+
+
+@dataclass
+class SharedAlloc:
+    """Constraints a *plain* (checkpoint-free) atom imposes on its segment.
+
+    Attributes:
+        forced: variable -> placement decided by the inner analysis. The
+            enclosing segment must use the same placement for these
+            variables (allocation can only change at checkpoints).
+        vm_names: the forced variables placed in VM (they occupy SVM).
+        restore_names: forced-VM variables whose first inner access reads
+            their value — the segment's starting checkpoint must restore
+            them.
+        dirty_names: forced-VM variables written inside — the segment's
+            ending checkpoint must save them if live.
+        private_reserve: additional VM bytes used transiently inside (e.g.
+            a callee's callees), reserved from the segment's capacity.
+    """
+
+    forced: Dict[str, MemorySpace] = field(default_factory=dict)
+    vm_names: Tuple[str, ...] = ()
+    restore_names: Tuple[str, ...] = ()
+    dirty_names: Tuple[str, ...] = ()
+    private_reserve: int = 0
+
+
+@dataclass
+class CkptBearing:
+    """Summary of an atom with internal checkpoints (a barrier atom).
+
+    ``e_to_first`` is the worst-case energy from atom entry through the
+    completion of the first internal save (or to atom exit on
+    checkpoint-free internal paths); ``e_from_last`` the worst-case energy
+    accumulated since the last internal checkpoint when the atom exits.
+
+    ``entry_vm``/``entry_restore``/``entry_forced`` describe the memory
+    allocation the atom expects when it starts (the checkpoint placed just
+    before the atom applies it); the ``exit_*`` fields describe the state
+    the checkpoint just after the atom must save.
+    """
+
+    e_to_first: float
+    e_from_last: float
+    internal_energy: float  # total energy of one traversal (for edge costs)
+    entry_forced: Dict[str, MemorySpace] = field(default_factory=dict)
+    entry_vm: Tuple[str, ...] = ()
+    entry_restore: Tuple[str, ...] = ()
+    exit_forced: Dict[str, MemorySpace] = field(default_factory=dict)
+    exit_vm: Tuple[str, ...] = ()
+    exit_dirty: Tuple[str, ...] = ()
+    #: For loop barriers: VM residency at each internal exit point, keyed by
+    #: the exiting block's label. A loop can be left from its header (zero
+    #: more iterations to run), from a break, or past its latch — each with
+    #: a different allocation; the checkpoint on each exit edge must save
+    #: exactly what is resident *there*. Empty for call barriers (functions
+    #: enforce a single exit allocation, §III-B1).
+    exit_states: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    private_reserve: int = 0
+
+
+@dataclass
+class FunctionResult:
+    """Final analysis result for one function, consumed by its callers.
+
+    Attributes:
+        name: function name.
+        base_energy: energy of one call that does not depend on the caller's
+            allocation choices: instruction cycles plus accesses to the
+            function's own (privately allocated) variables, under the
+            function's final allocation. Worst-case (loop bounds).
+        shared_counts: caller-visible access counts (globals + ref-param
+            formals), used when the caller aggregates segment counts.
+        shared: plain summary, or None when the function has checkpoints.
+        ckpt: barrier summary, or None when the function is plain.
+        vm_reserved: peak VM bytes used by the function's private variables
+            (incl. its callees) while it runs.
+    """
+
+    name: str
+    base_energy: float
+    shared_counts: AccessCounts
+    shared: Optional[SharedAlloc] = None
+    ckpt: Optional[CkptBearing] = None
+    vm_reserved: int = 0
+
+    @property
+    def has_checkpoints(self) -> bool:
+        return self.ckpt is not None
+
+
+@dataclass
+class LoopResult:
+    """Final analysis result for one loop, consumed by the enclosing region.
+
+    Same two shapes as :class:`FunctionResult`. ``numit`` is Algorithm 1's
+    conditional-checkpoint period (None when no back-edge checkpoint is
+    needed); ``iteration_energy`` is the worst-case energy of one iteration
+    under the loop's final allocation.
+    """
+
+    header: str
+    maxiter: int
+    iteration_energy: float
+    numit: Optional[int]
+    total_energy: float
+    shared: Optional[SharedAlloc] = None
+    ckpt: Optional[CkptBearing] = None
+
+    @property
+    def has_checkpoints(self) -> bool:
+        return self.ckpt is not None

@@ -1,0 +1,73 @@
+"""Independent verification of the forward-progress guarantee.
+
+Placement enforces the guarantee statically (worst-case energy between
+checkpoints <= EB, checked inside
+:meth:`repro.core.path_analysis.RegionAnalysis._worst_since_checkpoint`).
+This module re-checks it *dynamically*: run the transformed program in the
+emulator under the energy budget and confirm it terminates, never violates
+the budget between checkpoints, and produces the same outputs as a
+continuously powered reference run (i.e. no memory anomalies, §II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.emulator.interpreter import run_continuous, run_intermittent
+from repro.emulator.power import PowerManager
+from repro.emulator.runtime import CheckpointPolicy
+from repro.energy.model import EnergyModel
+from repro.ir.module import Module
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one dynamic verification run."""
+
+    completed: bool
+    outputs_match: bool
+    power_failures: int
+    failure_reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and self.outputs_match and self.power_failures == 0
+
+
+def verify_forward_progress(
+    transformed: Module,
+    reference: Module,
+    model: EnergyModel,
+    eb: float,
+    vm_size: int,
+    inputs: Optional[Dict[str, List[int]]] = None,
+    technique: str = "schematic",
+    max_instructions: int = 100_000_000,
+) -> VerificationResult:
+    """Run ``transformed`` under budget ``eb`` and compare against the
+    continuously powered ``reference`` module.
+
+    A wait-mode program with a correct placement experiences **zero** power
+    failures: every inter-checkpoint segment fits the budget and the
+    capacitor is refilled at each checkpoint. Any failure observed here is
+    a placement bug (or an intentionally undersized budget in tests).
+    """
+    ref_report = run_continuous(
+        reference, model, inputs=inputs, max_instructions=max_instructions
+    )
+    report = run_intermittent(
+        transformed,
+        model,
+        CheckpointPolicy.wait_mode(technique),
+        PowerManager.energy_budget(eb),
+        vm_size=vm_size,
+        inputs=inputs,
+        max_instructions=max_instructions,
+    )
+    return VerificationResult(
+        completed=report.completed,
+        outputs_match=report.outputs == ref_report.outputs,
+        power_failures=report.power_failures,
+        failure_reason=report.failure_reason,
+    )

@@ -1,0 +1,688 @@
+"""The IR interpreter: executes modules under (intermittent) power.
+
+Semantics notes:
+
+- Fixed-width two's-complement arithmetic with C-like truncating division;
+  shift amounts are masked to the operand width.
+- A power failure strikes *between* instructions: the instruction whose
+  energy overdraws the capacitor does not commit its effects.
+- Checkpoint instructions are executed according to the technique's
+  :class:`CheckpointPolicy` (wait mode vs roll-back mode, see
+  :mod:`repro.emulator.runtime`).
+- Forward-progress violation is detected when execution rolls back to the
+  same snapshot twice without reaching a new checkpoint in between —
+  execution being deterministic, the third attempt would fail identically
+  (paper §VI: "our technique detects that it restarted from the same
+  checkpoint twice").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.emulator.memory import MemoryState
+from repro.emulator.meter import EnergyMeter
+from repro.emulator.power import PowerManager
+from repro.emulator.report import ExecutionReport
+from repro.emulator.runtime import (
+    CheckpointPolicy,
+    FrameSnapshot,
+    Snapshot,
+)
+from repro.energy.model import EnergyModel
+from repro.errors import EmulationError, VMCapacityError
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Checkpoint,
+    CondCheckpoint,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    Opcode,
+    Ret,
+    Store,
+    UnOp,
+    UnaryOpcode,
+)
+from repro.ir.module import Module
+from repro.ir.values import Const, MemorySpace, Register, VarRef
+
+#: Cycles charged for the iteration-count test of a conditional checkpoint.
+COND_CHECK_CYCLES = 2
+
+#: Consecutive failed attempts from one snapshot before declaring the
+#: execution stuck (2 identical deterministic failures imply forever).
+MAX_ATTEMPTS_PER_SNAPSHOT = 2
+
+
+class _Frame:
+    __slots__ = ("function", "block", "index", "registers", "ref_bindings",
+                 "ret_target")
+
+    def __init__(
+        self,
+        function: Function,
+        block: str,
+        index: int = 0,
+        registers: Optional[Dict[str, int]] = None,
+        ref_bindings: Optional[Dict[str, str]] = None,
+        ret_target: Optional[str] = None,
+    ):
+        self.function = function
+        self.block = block
+        self.index = index
+        self.registers: Dict[str, int] = registers if registers is not None else {}
+        self.ref_bindings: Dict[str, str] = (
+            ref_bindings if ref_bindings is not None else {}
+        )
+        self.ret_target = ret_target
+
+
+@dataclass
+class InterpreterConfig:
+    """Knobs of one emulation run."""
+
+    #: How AUTO memory accesses are costed/directed (reference & profiling
+    #: runs on untransformed programs). Transformed programs have no AUTO
+    #: accesses left.
+    default_space: MemorySpace = MemorySpace.NVM
+    max_instructions: int = 200_000_000
+    #: Called as trace(function_name, block_label) on every block entry.
+    trace: Optional[Callable[[str, str], None]] = None
+    #: Inputs written into the NVM image before execution: name -> values.
+    inputs: Dict[str, List[int]] = field(default_factory=dict)
+    #: Enforce the VM capacity limit at run time.
+    vm_size: int = 1 << 30
+
+
+class Interpreter:
+    """Executes one module under a power schedule and checkpoint policy."""
+
+    def __init__(
+        self,
+        module: Module,
+        model: EnergyModel,
+        policy: CheckpointPolicy,
+        power: PowerManager,
+        config: Optional[InterpreterConfig] = None,
+    ):
+        self.module = module
+        self.model = model
+        self.policy = policy
+        self.power = power
+        self.config = config or InterpreterConfig()
+        self.memory = MemoryState(module, self.config.vm_size)
+        for name, values in self.config.inputs.items():
+            if name not in self.memory.nvm:
+                raise EmulationError(f"input for unknown global @{name}")
+            image = self.memory.nvm[name]
+            if len(values) != len(image):
+                raise EmulationError(
+                    f"input for @{name}: {len(values)} values, "
+                    f"variable has {len(image)}"
+                )
+            var = module.find_variable(name)
+            self.memory.nvm[name] = [var.type.wrap(v) for v in values]
+        if self.config.default_space is MemorySpace.VM:
+            # Reference runs "with all data in VM" (e.g. Table II's timing
+            # measurements) need every variable VM-resident up front.
+            for name in list(self.memory.nvm):
+                self.memory.load_into_vm(name)
+        self.meter = EnergyMeter()
+        self.frames: List[_Frame] = []
+        self.instructions_executed = 0
+        self.active_cycles = 0
+        self.checkpoints_skipped = 0
+        self.peak_vm_bytes = 0
+        self._snapshot: Optional[Snapshot] = None  # None = restart from boot
+        self._snapshot_inst: Optional[Instruction] = None
+        self._attempts_on_snapshot = 0
+        self._costs: Dict[int, Tuple[int, float, float, bool, bool]] = {}
+        #: type-keyed dispatch table — measurably faster than an
+        #: isinstance chain in the hot loop.
+        self._dispatch = {
+            BinOp: self._apply_binop,
+            Load: self._apply_load,
+            Store: self._apply_store,
+            Move: self._apply_move,
+            UnOp: self._apply_unop,
+            Jump: self._apply_jump,
+            Branch: self._apply_branch,
+            Call: self._do_call,
+            Ret: self._do_ret,
+        }
+
+    # -- cost cache ------------------------------------------------------------
+
+    def _cost(self, inst: Instruction) -> Tuple[int, float, float, bool, bool]:
+        """(cycles, energy, access_energy, access_is_vm, has_access)."""
+        key = id(inst)
+        cached = self._costs.get(key)
+        if cached is not None:
+            return cached
+        model = self.model
+        if isinstance(inst, (Load, Store)):
+            space = inst.space
+            if space is MemorySpace.AUTO:
+                space = self.config.default_space
+            base = (
+                model.load_base_cycles
+                if isinstance(inst, Load)
+                else model.store_base_cycles
+            )
+            cycles = base + model.access_cycles(space)
+            access_energy = model.access_energy(space)
+            energy = cycles * model.energy_per_cycle + access_energy
+            result = (
+                cycles,
+                energy,
+                access_energy,
+                space is MemorySpace.VM,
+                True,
+            )
+        elif isinstance(inst, (Checkpoint, CondCheckpoint)):
+            result = (0, 0.0, 0.0, False, False)
+        else:
+            cycles = model.instruction_cycles(inst)
+            result = (cycles, cycles * model.energy_per_cycle, 0.0, False, False)
+        self._costs[key] = result
+        return result
+
+    def _space_of(self, inst) -> MemorySpace:
+        return (
+            self.config.default_space
+            if inst.space is MemorySpace.AUTO
+            else inst.space
+        )
+
+    # -- value evaluation --------------------------------------------------------
+
+    def _value(self, frame: _Frame, value) -> int:
+        if isinstance(value, Const):
+            return value.value
+        if isinstance(value, Register):
+            try:
+                return frame.registers[value.name]
+            except KeyError:
+                raise EmulationError(
+                    f"read of uninitialized register %{value.name} in "
+                    f"@{frame.function.name}"
+                ) from None
+        raise EmulationError(f"operand {value} is not a scalar value")
+
+    def _resolve(self, frame: _Frame, name: str) -> str:
+        """Resolve a by-reference parameter to its concrete variable."""
+        return frame.ref_bindings.get(name, name)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> ExecutionReport:
+        entry = self.module.entry_function
+        self.frames = [_Frame(entry, entry.entry.label)]
+        if self.config.trace is not None:
+            self.config.trace(entry.name, entry.entry.label)
+
+        completed = False
+        failure_reason = ""
+        try:
+            completed, failure_reason = self._execute()
+        except VMCapacityError as exc:
+            failure_reason = f"vm capacity exceeded: {exc}"
+        # Flush any VM residue so outputs are observable (transforms insert
+        # exit checkpoints; this is a free backstop for reference runs).
+        for name in self.memory.vm_residents():
+            self.memory.save_to_nvm(name)
+        if completed:
+            self.meter.commit()
+
+        outputs = {
+            name: list(self.memory.nvm[name])
+            for name, var in self.module.globals.items()
+            if not var.is_const
+        }
+        return ExecutionReport(
+            technique=self.policy.name,
+            completed=completed,
+            failure_reason=failure_reason,
+            energy=self.meter.breakdown,
+            active_cycles=self.active_cycles,
+            instructions=self.instructions_executed,
+            power_failures=self.power.failures,
+            checkpoints_saved=self.meter.saves,
+            checkpoints_restored=self.meter.restores,
+            checkpoints_skipped=self.checkpoints_skipped,
+            vm_accesses=self.meter.vm_accesses,
+            nvm_accesses=self.meter.nvm_accesses,
+            outputs=outputs,
+            peak_vm_bytes=self.peak_vm_bytes,
+        )
+
+    def _execute(self) -> Tuple[bool, str]:
+        frames = self.frames
+        costs = self._costs
+        dispatch = self._dispatch
+        consume = self.power.consume
+        charge = self.meter.charge_compute
+        max_instructions = self.config.max_instructions
+        compute_cost = self._cost
+
+        while frames:
+            if self.instructions_executed >= max_instructions:
+                return False, "instruction budget exhausted (runaway program?)"
+            frame = frames[-1]
+            inst = frame.function.blocks[frame.block].instructions[frame.index]
+
+            handler = dispatch.get(type(inst))
+            if handler is None:  # checkpoint pseudo-instructions
+                outcome = self._do_checkpoint(frame, inst)
+                if outcome is not None:
+                    return outcome
+                continue
+
+            cost = costs.get(id(inst))
+            if cost is None:
+                cost = compute_cost(inst)
+            cycles, energy, access_energy, is_vm, has_access = cost
+            if consume(energy, cycles):
+                if not self._handle_power_failure():
+                    return False, "no forward progress"
+                continue
+            self.active_cycles += cycles
+            self.instructions_executed += 1
+            charge(energy, access_energy, is_vm, has_access)
+            handler(frame, inst)
+        return True, ""
+
+    # -- instruction effects -----------------------------------------------------
+
+    def _apply(self, frame: _Frame, inst: Instruction) -> None:
+        handler = self._dispatch.get(type(inst))
+        if handler is None:
+            raise EmulationError(f"cannot interpret {type(inst).__name__}")
+        handler(frame, inst)
+
+    def _apply_binop(self, frame: _Frame, inst: BinOp) -> None:
+        frame.registers[inst.dest.name] = self._binop(frame, inst)
+        frame.index += 1
+
+    def _apply_load(self, frame: _Frame, inst: Load) -> None:
+        name = frame.ref_bindings.get(inst.var.name, inst.var.name)
+        index = 0 if inst.index is None else self._value(frame, inst.index)
+        raw = self.memory.read(name, index, self._space_of(inst))
+        frame.registers[inst.dest.name] = inst.dest.type.wrap(raw)
+        frame.index += 1
+
+    def _apply_store(self, frame: _Frame, inst: Store) -> None:
+        name = frame.ref_bindings.get(inst.var.name, inst.var.name)
+        index = 0 if inst.index is None else self._value(frame, inst.index)
+        value = inst.var.type.wrap(self._value(frame, inst.value))
+        self.memory.write(name, index, value, self._space_of(inst))
+        frame.index += 1
+
+    def _apply_move(self, frame: _Frame, inst: Move) -> None:
+        frame.registers[inst.dest.name] = inst.dest.type.wrap(
+            self._value(frame, inst.src)
+        )
+        frame.index += 1
+
+    def _apply_unop(self, frame: _Frame, inst: UnOp) -> None:
+        value = self._value(frame, inst.src)
+        if inst.op is UnaryOpcode.NEG:
+            result = -value
+        elif inst.op is UnaryOpcode.NOT:
+            result = ~value
+        else:  # LNOT
+            result = int(value == 0)
+        frame.registers[inst.dest.name] = inst.dest.type.wrap(result)
+        frame.index += 1
+
+    def _apply_jump(self, frame: _Frame, inst: Jump) -> None:
+        self._goto(frame, inst.target)
+
+    def _apply_branch(self, frame: _Frame, inst: Branch) -> None:
+        target = (
+            inst.if_true if self._value(frame, inst.cond) != 0 else inst.if_false
+        )
+        self._goto(frame, target)
+
+    def _goto(self, frame: _Frame, label: str) -> None:
+        frame.block = label
+        frame.index = 0
+        if self.config.trace is not None:
+            self.config.trace(frame.function.name, label)
+
+    def _binop(self, frame: _Frame, inst: BinOp) -> int:
+        a = self._value(frame, inst.lhs)
+        b = self._value(frame, inst.rhs)
+        op = inst.op
+        if op is Opcode.ADD:
+            result = a + b
+        elif op is Opcode.SUB:
+            result = a - b
+        elif op is Opcode.MUL:
+            result = a * b
+        elif op is Opcode.DIV:
+            if b == 0:
+                raise EmulationError("division by zero")
+            result = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                result = -result
+        elif op is Opcode.REM:
+            if b == 0:
+                raise EmulationError("remainder by zero")
+            quotient = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                quotient = -quotient
+            result = a - quotient * b
+        elif op is Opcode.AND:
+            result = a & b
+        elif op is Opcode.OR:
+            result = a | b
+        elif op is Opcode.XOR:
+            result = a ^ b
+        elif op is Opcode.SHL:
+            result = a << (b & 31)
+        elif op is Opcode.SHR:
+            # Arithmetic shift for signed lhs, logical for unsigned. The
+            # operand's Python value already carries its signedness.
+            result = a >> (b & 31)
+        elif op is Opcode.EQ:
+            result = int(a == b)
+        elif op is Opcode.NE:
+            result = int(a != b)
+        elif op is Opcode.LT:
+            result = int(a < b)
+        elif op is Opcode.LE:
+            result = int(a <= b)
+        elif op is Opcode.GT:
+            result = int(a > b)
+        else:
+            result = int(a >= b)
+        return inst.dest.type.wrap(result)
+
+    def _do_call(self, frame: _Frame, inst: Call) -> None:
+        callee = self.module.function(inst.callee)
+        registers: Dict[str, int] = {}
+        ref_bindings: Dict[str, str] = {}
+        arg_regs = callee.arg_registers()
+        for i, (arg, param) in enumerate(zip(inst.args, callee.params)):
+            if isinstance(arg, VarRef):
+                formal = callee.variables[param.name]
+                concrete = self._resolve(frame, arg.variable.name)
+                ref_bindings[formal.name] = concrete
+            else:
+                reg = arg_regs[i]
+                assert reg is not None
+                registers[reg.name] = reg.type.wrap(self._value(frame, arg))
+        frame.index += 1  # resume after the call on return
+        new_frame = _Frame(
+            callee,
+            callee.entry.label,
+            registers=registers,
+            ref_bindings=ref_bindings,
+            ret_target=inst.dest.name if inst.dest is not None else None,
+        )
+        self.frames.append(new_frame)
+        if self.config.trace is not None:
+            self.config.trace(callee.name, callee.entry.label)
+
+    def _do_ret(self, frame: _Frame, inst: Ret) -> None:
+        value = (
+            self._value(frame, inst.value) if inst.value is not None else None
+        )
+        ret_target = frame.ret_target
+        self.frames.pop()
+        if self.frames and ret_target is not None and value is not None:
+            caller = self.frames[-1]
+            caller.registers[ret_target] = value
+            if self.config.trace is not None:
+                self.config.trace(caller.function.name, caller.block)
+        elif self.frames and self.config.trace is not None:
+            self.config.trace(self.frames[-1].function.name, self.frames[-1].block)
+
+    # -- checkpoints ------------------------------------------------------------
+
+    def _do_checkpoint(
+        self, frame: _Frame, inst
+    ) -> Optional[Tuple[bool, str]]:
+        """Execute a (conditional) checkpoint. Returns a (completed, reason)
+        pair to abort the run, or None to continue."""
+        model = self.model
+
+        if isinstance(inst, CondCheckpoint):
+            counter_key = f"__ckpt{inst.ckpt_id}"
+            count = frame.registers.get(counter_key, 0) + 1
+            check_energy = COND_CHECK_CYCLES * model.energy_per_cycle
+            if self.power.consume(check_energy, COND_CHECK_CYCLES):
+                if not self._handle_power_failure():
+                    return False, "no forward progress"
+                return None
+            self.active_cycles += COND_CHECK_CYCLES
+            self.meter.charge_compute(check_energy)
+            if count < inst.every:
+                frame.registers[counter_key] = count
+                frame.index += 1
+                return None
+            frame.registers[counter_key] = 0
+
+        # MEMENTOS-style dynamic skip decision.
+        if self.policy.skip_threshold is not None and getattr(
+            inst, "skippable", True
+        ):
+            check_energy = self.policy.check_energy
+            if self.power.consume(check_energy, COND_CHECK_CYCLES):
+                if not self._handle_power_failure():
+                    return False, "no forward progress"
+                return None
+            self.active_cycles += COND_CHECK_CYCLES
+            self.meter.charge_compute(check_energy)
+            if self.power.remaining_fraction > self.policy.skip_threshold:
+                self.checkpoints_skipped += 1
+                frame.index += 1
+                return None
+
+        # --- save -----------------------------------------------------------
+        # Checkpoint commits are atomic (real systems double-buffer the
+        # checkpoint area): the energy is consumed first, and the NVM image
+        # is updated only if the save completes — a failure mid-save leaves
+        # the previous consistent state in place.
+        payload = sum(self.memory.size_of(name) for name in inst.save_vars)
+        save_energy = model.save_energy(payload)
+        save_cycles = model.save_cycles(payload)
+        if self.power.consume(save_energy, save_cycles):
+            self.meter.charge_save(save_energy)  # energy was spent anyway
+            if not self._handle_power_failure():
+                return False, "no forward progress"
+            return None
+        for name in inst.save_vars:
+            self.memory.save_to_nvm(name)
+        self.active_cycles += save_cycles
+        self.meter.charge_save(save_energy)
+        self.meter.commit()
+
+        # Snapshot resumes immediately after this checkpoint instruction.
+        frame.index += 1
+        self._snapshot = Snapshot(
+            ckpt_id=inst.ckpt_id,
+            frames=[
+                FrameSnapshot(
+                    function=f.function.name,
+                    block=f.block,
+                    index=f.index,
+                    registers=dict(f.registers),
+                    ref_bindings=dict(f.ref_bindings),
+                    ret_target=f.ret_target,
+                )
+                for f in self.frames
+            ],
+            payload_bytes=sum(
+                self.memory.size_of(n) for n in inst.restore_vars
+            ),
+        )
+        self._snapshot_inst = inst
+        self._attempts_on_snapshot = 0
+
+        if self.policy.wait_for_full_recharge:
+            # Fig. 3 semantics: deep sleep until the capacitor is full; VM
+            # is conservatively assumed lost, so everything is restored.
+            self.power.recharge_full()
+            if not self._apply_restore(inst):
+                return False, "no forward progress"
+            return None
+
+        # Roll-back mode: execution continues with VM intact; only an
+        # allocation *change* moves data (none for the baselines).
+        if not self._apply_migration(inst):
+            return False, "no forward progress"
+        return None
+
+    def _apply_migration(self, inst) -> bool:
+        """Adjust VM residency to ``inst.alloc_after`` without a sleep:
+        load newly-VM variables, drop newly-NVM ones (whose values the save
+        just flushed). Only the moved bytes are billed."""
+        model = self.model
+        target = {
+            name
+            for name, space in inst.alloc_after.items()
+            if space is MemorySpace.VM
+        }
+        current = set(self.memory.vm_residents())
+        to_drop = current - target
+        for name in to_drop:
+            if name not in inst.save_vars:
+                # Not flushed by the save: write back now so no value is
+                # lost (conservative; baselines never hit this).
+                self.memory.save_to_nvm(name)
+            self.memory.drop_from_vm(name)
+        to_load = target - current
+        payload = 0
+        for name in to_load:
+            payload += self.memory.load_into_vm(name)
+        self.peak_vm_bytes = max(self.peak_vm_bytes, self.memory.vm_bytes_used())
+        if payload:
+            restore_energy = model.restore_energy(payload)
+            restore_cycles = model.restore_cycles(payload)
+            self.meter.charge_restore(restore_energy)
+            if self.power.consume(restore_energy, restore_cycles):
+                return self._handle_power_failure()
+            self.active_cycles += restore_cycles
+        return True
+
+    def _apply_restore(self, inst) -> bool:
+        """Clear VM, load the post-checkpoint VM set, charge the restore.
+        Returns False when stuck (restore itself cannot fit the budget)."""
+        model = self.model
+        self.memory.clear_vm()
+        vm_vars = [
+            name
+            for name, space in inst.alloc_after.items()
+            if space is MemorySpace.VM
+        ]
+        payload = 0
+        for name in vm_vars:
+            self.memory.load_into_vm(name)
+        for name in inst.restore_vars:
+            payload += self.memory.size_of(name)
+        self.peak_vm_bytes = max(self.peak_vm_bytes, self.memory.vm_bytes_used())
+        restore_energy = model.restore_energy(payload)
+        restore_cycles = model.restore_cycles(payload)
+        self.meter.charge_restore(restore_energy)
+        if self.power.consume(restore_energy, restore_cycles):
+            return self._handle_power_failure()
+        self.active_cycles += restore_cycles
+        return True
+
+    # -- power failures -----------------------------------------------------------
+
+    def _handle_power_failure(self) -> bool:
+        """Roll back to the last snapshot after an outage. Returns False
+        when the execution is stuck (no forward progress)."""
+        self._attempts_on_snapshot += 1
+        if self._attempts_on_snapshot >= MAX_ATTEMPTS_PER_SNAPSHOT + 1:
+            return False
+        self.meter.rollback()
+        self.memory.clear_vm()
+        self.power.recharge_full()
+
+        if self._snapshot is None:
+            # Restart from boot: fresh frames, nothing to restore but the
+            # (empty) register file. Mutate in place: _execute holds a
+            # reference to the frames list.
+            entry = self.module.entry_function
+            self.frames[:] = [_Frame(entry, entry.entry.label)]
+            restore_energy = self.model.restore_energy(0)
+            self.meter.charge_restore(restore_energy)
+            self.power.consume(restore_energy, self.model.restore_cycles(0))
+            if self.config.trace is not None:
+                self.config.trace(entry.name, entry.entry.label)
+            return True
+
+        snapshot = self._snapshot
+        self.frames[:] = [
+            _Frame(
+                self.module.function(f.function),
+                f.block,
+                f.index,
+                registers=dict(f.registers),
+                ref_bindings=dict(f.ref_bindings),
+                ret_target=f.ret_target,
+            )
+            for f in snapshot.frames
+        ]
+        return self._apply_restore(self._snapshot_inst)
+
+
+# -- drivers ---------------------------------------------------------------------
+
+
+def run_continuous(
+    module: Module,
+    model: EnergyModel,
+    default_space: MemorySpace = MemorySpace.NVM,
+    inputs: Optional[Dict[str, List[int]]] = None,
+    trace: Optional[Callable[[str, str], None]] = None,
+    max_instructions: int = 200_000_000,
+) -> ExecutionReport:
+    """Run a module under continuous power (reference/profiling runs).
+
+    Untransformed programs (all accesses AUTO) are costed as if every
+    variable lived in ``default_space``.
+    """
+    config = InterpreterConfig(
+        default_space=default_space,
+        inputs=dict(inputs or {}),
+        trace=trace,
+        max_instructions=max_instructions,
+    )
+    interp = Interpreter(
+        module,
+        model,
+        CheckpointPolicy.rollback_mode("continuous"),
+        PowerManager.continuous(),
+        config,
+    )
+    return interp.run()
+
+
+def run_intermittent(
+    module: Module,
+    model: EnergyModel,
+    policy: CheckpointPolicy,
+    power: PowerManager,
+    vm_size: int = 1 << 30,
+    inputs: Optional[Dict[str, List[int]]] = None,
+    max_instructions: int = 200_000_000,
+) -> ExecutionReport:
+    """Run a transformed module under intermittent power."""
+    config = InterpreterConfig(
+        inputs=dict(inputs or {}),
+        max_instructions=max_instructions,
+        vm_size=vm_size,
+    )
+    interp = Interpreter(module, model, policy, power, config)
+    return interp.run()

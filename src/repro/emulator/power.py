@@ -1,0 +1,95 @@
+"""Power-failure injection: the capacitor and its discharge.
+
+Two modes reproduce the paper's methodology:
+
+- ``ENERGY_BUDGET``: the capacitor holds ``EB`` nJ; a power failure occurs
+  the moment cumulative consumption since the last full recharge exceeds
+  ``EB``. This is the view SCHEMATIC's guarantee is stated in (§II-B).
+- ``PERIODIC_CYCLES``: a failure every ``TBPF`` *active* cycles, the
+  SCEPTIC emulator's "time between power failures" knob (§IV-A). §IV-C
+  links the two: EB is set to the average energy consumed per TBPF window.
+
+Sleeping at a checkpoint (wait-for-full-recharge techniques) resets the
+capacitor; failures during sleep are harmless (the paper: "Should a power
+failure occur during a standby period, the system goes back to sleep").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PowerMode(enum.Enum):
+    CONTINUOUS = "continuous"  # never fails (reference/profiling runs)
+    ENERGY_BUDGET = "energy-budget"
+    PERIODIC_CYCLES = "periodic-cycles"
+
+
+@dataclass
+class PowerManager:
+    """Tracks capacitor charge (or the TBPF countdown) during emulation."""
+
+    mode: PowerMode = PowerMode.CONTINUOUS
+    eb: float = float("inf")  # nJ, ENERGY_BUDGET mode
+    tbpf: int = 0  # active cycles, PERIODIC_CYCLES mode
+    consumed_since_recharge: float = 0.0
+    cycles_since_recharge: int = 0
+    failures: int = 0
+    recharges: int = 0
+
+    def consume(self, energy: float, cycles: int) -> bool:
+        """Account one instruction; returns True if power failed *during*
+        it (the instruction's effects are still applied — failure strikes at
+        the boundary, which is conservative for roll-back techniques and
+        irrelevant for wait-mode ones)."""
+        self.consumed_since_recharge += energy
+        self.cycles_since_recharge += cycles
+        if self.mode is PowerMode.ENERGY_BUDGET:
+            if self.consumed_since_recharge > self.eb:
+                self.failures += 1
+                return True
+        elif self.mode is PowerMode.PERIODIC_CYCLES:
+            if self.tbpf > 0 and self.cycles_since_recharge >= self.tbpf:
+                self.failures += 1
+                return True
+        return False
+
+    @property
+    def remaining(self) -> float:
+        """Remaining capacitor energy (what MEMENTOS's voltage measurement
+        observes). In PERIODIC_CYCLES mode the remaining window is converted
+        to a fraction of ``eb`` when ``eb`` is finite."""
+        if self.mode is PowerMode.ENERGY_BUDGET:
+            return max(self.eb - self.consumed_since_recharge, 0.0)
+        if self.mode is PowerMode.PERIODIC_CYCLES and self.tbpf > 0:
+            frac = max(1.0 - self.cycles_since_recharge / self.tbpf, 0.0)
+            return frac * (self.eb if self.eb != float("inf") else 1.0)
+        return float("inf")
+
+    @property
+    def remaining_fraction(self) -> float:
+        if self.mode is PowerMode.ENERGY_BUDGET and self.eb > 0:
+            return max(1.0 - self.consumed_since_recharge / self.eb, 0.0)
+        if self.mode is PowerMode.PERIODIC_CYCLES and self.tbpf > 0:
+            return max(1.0 - self.cycles_since_recharge / self.tbpf, 0.0)
+        return 1.0
+
+    def recharge_full(self) -> None:
+        """Sleep until the capacitor is fully charged (or: the device
+        restarts after an outage with a replenished capacitor)."""
+        self.consumed_since_recharge = 0.0
+        self.cycles_since_recharge = 0
+        self.recharges += 1
+
+    @classmethod
+    def continuous(cls) -> "PowerManager":
+        return cls(mode=PowerMode.CONTINUOUS)
+
+    @classmethod
+    def energy_budget(cls, eb: float) -> "PowerManager":
+        return cls(mode=PowerMode.ENERGY_BUDGET, eb=eb)
+
+    @classmethod
+    def periodic(cls, tbpf: int, eb: float = float("inf")) -> "PowerManager":
+        return cls(mode=PowerMode.PERIODIC_CYCLES, tbpf=tbpf, eb=eb)

@@ -1,0 +1,19 @@
+"""Energy model and platform description.
+
+The worst-case energy-consumption (WCEC) model is an input to SCHEMATIC
+(§II-B). Following the paper's evaluation (§IV-A), the model focuses on CPU
+energy: "The energy spent per instruction is calculated from the instruction
+execution time and the type of memory access (VM or NVM)" — the ALFRED
+model. The preset targets the MSP430FR5969 (64 KB FRAM NVM, 2 KB SRAM VM,
+16 MHz), where an NVM access costs 2.47x a VM access (§I, [12]).
+"""
+
+from repro.energy.model import EnergyModel, msp430fr5969_model
+from repro.energy.platform import Platform, msp430fr5969_platform
+
+__all__ = [
+    "EnergyModel",
+    "msp430fr5969_model",
+    "Platform",
+    "msp430fr5969_platform",
+]

@@ -1,0 +1,234 @@
+"""Per-instruction energy model (ALFRED-style, MSP430FR5969 preset).
+
+Units: energy in **nanojoules (nJ)**, time in **CPU cycles**. Experiments
+report microjoules (1 uJ = 1000 nJ).
+
+Calibration notes (documented so every number is auditable):
+
+- MSP430FR5969 active mode draws ~100 uA/MHz at 3 V; at 16 MHz that is
+  ~4.8 mW, i.e. ~0.3 nJ per cycle. ``energy_per_cycle`` = 0.3 nJ.
+- SRAM (VM) accesses execute at full speed; FRAM (NVM) accesses beyond
+  8 MHz insert wait states, and an NVM access consumes up to 2.47x the
+  energy of a VM access (paper §I, citing the MSP430FR5969 datasheet [12]).
+  We model a VM access at 0.20 nJ and an NVM access at 0.494 nJ
+  (= 2.47x), plus one wait-state cycle for NVM.
+- Checkpoint traffic moves bytes between VM/registers and NVM; we charge
+  per-byte costs derived from the word-access costs plus a fixed entry/exit
+  overhead for the save/restore routines and sleep-mode transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import EnergyModelError
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Checkpoint,
+    CondCheckpoint,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    Opcode,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.values import MemorySpace
+
+#: Default per-opcode base cycle counts (MSP430-flavoured).
+DEFAULT_OPCODE_CYCLES: Dict[Opcode, int] = {
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.AND: 1,
+    Opcode.OR: 1,
+    Opcode.XOR: 1,
+    Opcode.SHL: 1,
+    Opcode.SHR: 1,
+    Opcode.EQ: 1,
+    Opcode.NE: 1,
+    Opcode.LT: 1,
+    Opcode.LE: 1,
+    Opcode.GT: 1,
+    Opcode.GE: 1,
+    Opcode.MUL: 5,  # hardware multiplier sequence
+    Opcode.DIV: 24,  # software division
+    Opcode.REM: 24,
+}
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy/time costs of IR execution on a target platform.
+
+    All energies in nJ; all times in cycles. ``nvm_access_ratio`` is kept
+    explicit so experiments can sweep it (ablation of the VM/NVM gap).
+    """
+
+    name: str = "msp430fr5969"
+    frequency_hz: int = 16_000_000
+    energy_per_cycle: float = 0.3
+    vm_access_energy: float = 0.20
+    nvm_access_ratio: float = 2.47
+    vm_access_cycles: int = 0  # on top of the instruction's base cycles
+    nvm_access_cycles: int = 1  # FRAM wait state at 16 MHz
+    load_base_cycles: int = 2
+    store_base_cycles: int = 2
+    call_cycles: int = 5
+    ret_cycles: int = 4
+    jump_cycles: int = 2
+    branch_cycles: int = 2
+    move_cycles: int = 1
+    #: Fixed register-file size checkpointed with every snapshot: 16
+    #: registers x 16 bit on the MSP430 (paper: "CPU registers" are always
+    #: part of volatile data).
+    register_file_bytes: int = 32
+    #: Fixed energy overhead of entering a save (or restore) routine and the
+    #: associated sleep-mode transition.
+    checkpoint_fixed_energy: float = 30.0
+    checkpoint_fixed_cycles: int = 100
+    #: Cycles to move one byte between VM/registers and NVM during
+    #: checkpoint save/restore (word moves, loop overhead amortized).
+    copy_cycles_per_byte: float = 1.0
+    opcode_cycles: Dict[Opcode, int] = field(
+        default_factory=lambda: dict(DEFAULT_OPCODE_CYCLES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.energy_per_cycle <= 0:
+            raise EnergyModelError("energy_per_cycle must be positive")
+        if self.nvm_access_ratio < 1.0:
+            raise EnergyModelError(
+                "nvm_access_ratio below 1 would make NVM cheaper than VM"
+            )
+
+    # -- memory access costs --------------------------------------------------
+
+    @property
+    def nvm_access_energy(self) -> float:
+        return self.vm_access_energy * self.nvm_access_ratio
+
+    def access_energy(self, space: MemorySpace) -> float:
+        """Energy of one word access to ``space`` (on top of cycle energy)."""
+        if space is MemorySpace.VM:
+            return self.vm_access_energy
+        if space is MemorySpace.NVM:
+            return self.nvm_access_energy
+        raise EnergyModelError(
+            "cannot cost an access whose memory space is still AUTO; run a "
+            "placement pass first"
+        )
+
+    def access_cycles(self, space: MemorySpace) -> int:
+        if space is MemorySpace.VM:
+            return self.vm_access_cycles
+        if space is MemorySpace.NVM:
+            return self.nvm_access_cycles
+        raise EnergyModelError(
+            "cannot time an access whose memory space is still AUTO"
+        )
+
+    # -- instruction costs -------------------------------------------------------
+
+    def instruction_cycles(self, inst: Instruction) -> int:
+        """Cycle count of one instruction (checkpoints cost 0 here; their
+        runtime cost is charged by the checkpoint policy)."""
+        if isinstance(inst, BinOp):
+            return self.opcode_cycles[inst.op]
+        if isinstance(inst, UnOp):
+            return 1
+        if isinstance(inst, Move):
+            return self.move_cycles
+        if isinstance(inst, Load):
+            return self.load_base_cycles + self.access_cycles(inst.space)
+        if isinstance(inst, Store):
+            return self.store_base_cycles + self.access_cycles(inst.space)
+        if isinstance(inst, Call):
+            return self.call_cycles
+        if isinstance(inst, Ret):
+            return self.ret_cycles
+        if isinstance(inst, Jump):
+            return self.jump_cycles
+        if isinstance(inst, Branch):
+            return self.branch_cycles
+        if isinstance(inst, (Checkpoint, CondCheckpoint)):
+            return 0
+        raise EnergyModelError(f"no cycle model for {type(inst).__name__}")
+
+    def instruction_energy(self, inst: Instruction) -> float:
+        """Energy of one instruction = cycles x per-cycle energy, plus the
+        memory-array access energy for loads/stores."""
+        energy = self.instruction_cycles(inst) * self.energy_per_cycle
+        if isinstance(inst, (Load, Store)):
+            energy += self.access_energy(inst.space)
+        return energy
+
+    def access_cost_in_space(self, space: MemorySpace) -> float:
+        """Full energy of one load/store if directed at ``space`` — the
+        quantity whose VM/NVM difference is the gain per access of Eq. 1."""
+        base = self.load_base_cycles + self.access_cycles(space)
+        return base * self.energy_per_cycle + self.access_energy(space)
+
+    @property
+    def read_gain(self) -> float:
+        """Delta-E_R of Eq. 1: energy saved per read when a variable is in
+        VM instead of NVM."""
+        return self.access_cost_in_space(MemorySpace.NVM) - self.access_cost_in_space(
+            MemorySpace.VM
+        )
+
+    @property
+    def write_gain(self) -> float:
+        """Delta-E_W of Eq. 1 (symmetric read/write model)."""
+        return self.read_gain
+
+    # -- checkpoint costs -------------------------------------------------------
+
+    def copy_energy(self, size_bytes: int) -> float:
+        """Energy to copy ``size_bytes`` between VM/registers and NVM:
+        per-byte loop cost plus one NVM array access per word (2 bytes)."""
+        words = (size_bytes + 1) // 2
+        return (
+            size_bytes * self.copy_cycles_per_byte * self.energy_per_cycle
+            + words * self.nvm_access_energy
+        )
+
+    def save_energy(self, payload_bytes: int) -> float:
+        """Energy of a checkpoint save: fixed overhead + register file +
+        ``payload_bytes`` of VM-resident variables."""
+        return self.checkpoint_fixed_energy + self.copy_energy(
+            payload_bytes + self.register_file_bytes
+        )
+
+    def restore_energy(self, payload_bytes: int) -> float:
+        """Energy of a checkpoint restore (same traffic, opposite way)."""
+        return self.checkpoint_fixed_energy + self.copy_energy(
+            payload_bytes + self.register_file_bytes
+        )
+
+    def save_cycles(self, payload_bytes: int) -> int:
+        total = payload_bytes + self.register_file_bytes
+        return self.checkpoint_fixed_cycles + int(
+            total * self.copy_cycles_per_byte
+        )
+
+    def restore_cycles(self, payload_bytes: int) -> int:
+        return self.save_cycles(payload_bytes)
+
+    def variable_save_energy(self, size_bytes: int) -> float:
+        """E_save of Eq. 2 for one variable (no fixed part: the fixed
+        overhead is paid once per checkpoint, not per variable)."""
+        return self.copy_energy(size_bytes)
+
+    def variable_restore_energy(self, size_bytes: int) -> float:
+        """E_restore of Eq. 2 for one variable."""
+        return self.copy_energy(size_bytes)
+
+
+def msp430fr5969_model() -> EnergyModel:
+    """The default model: MSP430FR5969 at 16 MHz (paper §IV-A)."""
+    return EnergyModel()

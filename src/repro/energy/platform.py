@@ -1,0 +1,52 @@
+"""Platform description: memory sizes and the capacitor energy budget."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import EnergyModelError
+from repro.energy.model import EnergyModel, msp430fr5969_model
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An intermittent-computing platform (paper Fig. 2).
+
+    Attributes:
+        model: the per-instruction energy model.
+        vm_size: usable volatile memory in bytes (``SVM``). The
+            MSP430FR5969 has 2 KB of SRAM.
+        nvm_size: non-volatile memory in bytes (64 KB FRAM); assumed large
+            enough for all code and data (§II-B), checked when programs load.
+        eb: usable capacitor energy budget in nJ (``EB``). Every activity
+            between two checkpoints must fit in ``eb``.
+    """
+
+    model: EnergyModel
+    vm_size: int = 2048
+    nvm_size: int = 65536
+    eb: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.vm_size < 0 or self.nvm_size <= 0:
+            raise EnergyModelError("memory sizes must be positive")
+        if self.eb <= 0:
+            raise EnergyModelError("energy budget EB must be positive")
+        min_budget = self.model.save_energy(0) + self.model.restore_energy(0)
+        if self.eb <= min_budget:
+            raise EnergyModelError(
+                f"EB={self.eb} nJ cannot even fund one empty save+restore "
+                f"({min_budget} nJ); no checkpointing scheme can make progress"
+            )
+
+    def with_eb(self, eb: float) -> "Platform":
+        """A copy of this platform with a different capacitor budget."""
+        return replace(self, eb=eb)
+
+    def with_vm_size(self, vm_size: int) -> "Platform":
+        return replace(self, vm_size=vm_size)
+
+
+def msp430fr5969_platform(eb: float = 10_000.0) -> Platform:
+    """The paper's evaluation platform: 2 KB VM, 64 KB NVM, 16 MHz."""
+    return Platform(model=msp430fr5969_model(), eb=eb)

@@ -1,0 +1,70 @@
+"""ASCII stacked-bar charts for the figure experiments.
+
+The paper's Figures 6-8 are stacked bar charts; these helpers render the
+same visual in plain text (no plotting dependency), used by the figure
+modules' ``render_chart()`` methods and the ``run_all`` driver.
+
+Category glyphs follow the paper's legend order:
+``#`` computation, ``S`` save, ``r`` restore, ``x`` re-execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+#: (category key, glyph) in stacking order.
+CATEGORY_GLYPHS: Tuple[Tuple[str, str], ...] = (
+    ("computation", "#"),
+    ("save", "S"),
+    ("restore", "r"),
+    ("reexecution", "x"),
+)
+
+
+def stacked_bar(
+    parts: Dict[str, float], scale: float, width: int
+) -> str:
+    """One horizontal stacked bar: ``parts`` maps category -> value;
+    ``scale`` is value-per-character."""
+    if scale <= 0:
+        return ""
+    bar = []
+    for key, glyph in CATEGORY_GLYPHS:
+        value = parts.get(key, 0.0)
+        cells = int(round(value / scale))
+        bar.append(glyph * cells)
+    text = "".join(bar)
+    return text[:width]
+
+
+def stacked_bar_chart(
+    rows: Sequence[Tuple[str, Optional[Dict[str, float]]]],
+    width: int = 60,
+    unit: str = "uJ",
+    unit_scale: float = 1000.0,
+) -> str:
+    """Render labeled stacked bars with a shared scale.
+
+    ``rows``: (label, parts) pairs; ``None`` parts renders as "did not
+    complete". Values are divided by ``unit_scale`` for the value column.
+    """
+    totals = [
+        sum(parts.values()) for _label, parts in rows if parts is not None
+    ]
+    peak = max(totals, default=0.0)
+    if peak <= 0:
+        return "(nothing to chart)"
+    scale = peak / width
+    lines = [
+        "legend: "
+        + "  ".join(f"{glyph}={key}" for key, glyph in CATEGORY_GLYPHS)
+    ]
+    label_width = max((len(label) for label, _ in rows), default=8) + 1
+    for label, parts in rows:
+        if parts is None:
+            lines.append(f"{label:<{label_width}}| (did not complete)")
+            continue
+        total = sum(parts.values()) / unit_scale
+        bar = stacked_bar(parts, scale, width)
+        lines.append(f"{label:<{label_width}}|{bar:<{width}} {total:8.1f} {unit}")
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Export experiment results as machine-readable artifacts (JSON + CSV).
+
+``python -m repro.experiments.export [outdir] [--quick]`` regenerates every
+table/figure and writes, per artifact, a ``<name>.json`` (the structured
+result) and a flat ``<name>.csv`` for spreadsheet/plotting pipelines, plus
+a ``summary.json`` with the headline numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments import (
+    ablations,
+    figure6_energy_breakdown,
+    figure7_allocation_quality,
+    figure8_capacitor_size,
+    table1_vm_feasibility,
+    table2_exec_time,
+    table3_forward_progress,
+)
+from repro.experiments.common import (
+    EvaluationContext,
+    TBPF_VALUES,
+    TECHNIQUE_ORDER,
+)
+
+
+def _write_csv(path: Path, header: List[str], rows: List[List[object]]) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _write_json(path: Path, payload) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def export_table1(ctx: EvaluationContext, outdir: Path) -> Dict:
+    result = table1_vm_feasibility.run(ctx)
+    payload = {
+        "cells": result.cells,
+        "footprints": result.footprints,
+    }
+    _write_json(outdir / "table1_vm_feasibility.json", payload)
+    rows = [
+        [technique, benchmark, int(ok)]
+        for technique, cells in result.cells.items()
+        for benchmark, ok in cells.items()
+    ]
+    _write_csv(
+        outdir / "table1_vm_feasibility.csv",
+        ["technique", "benchmark", "feasible"],
+        rows,
+    )
+    return payload
+
+
+def export_table2(ctx: EvaluationContext, outdir: Path) -> Dict:
+    result = table2_exec_time.run(ctx)
+    payload = {
+        row.benchmark: {
+            "cycles": row.cycles,
+            "paper_cycles": row.paper_cycles,
+            "failures": {str(t): n for t, n in row.failures.items()},
+        }
+        for row in result.rows
+    }
+    _write_json(outdir / "table2_exec_time.json", payload)
+    rows = [
+        [row.benchmark, row.cycles, row.paper_cycles]
+        + [row.failures[t] for t in TBPF_VALUES]
+        for row in result.rows
+    ]
+    _write_csv(
+        outdir / "table2_exec_time.csv",
+        ["benchmark", "cycles", "paper_cycles"]
+        + [f"failures_tbpf_{t}" for t in TBPF_VALUES],
+        rows,
+    )
+    return payload
+
+
+def export_table3(ctx: EvaluationContext, outdir: Path) -> Dict:
+    result = table3_forward_progress.run(ctx)
+    payload = {
+        technique: {
+            str(tbpf): cells for tbpf, cells in by_tbpf.items()
+        }
+        for technique, by_tbpf in result.cells.items()
+    }
+    _write_json(outdir / "table3_forward_progress.json", payload)
+    rows = [
+        [technique, tbpf, benchmark, int(ok)]
+        for technique, by_tbpf in result.cells.items()
+        for tbpf, cells in by_tbpf.items()
+        for benchmark, ok in cells.items()
+    ]
+    _write_csv(
+        outdir / "table3_forward_progress.csv",
+        ["technique", "tbpf", "benchmark", "finished"],
+        rows,
+    )
+    return payload
+
+
+def export_figure6(ctx: EvaluationContext, outdir: Path) -> Dict:
+    result = figure6_energy_breakdown.run(ctx)
+    rows = []
+    payload: Dict = {"tbpf": result.tbpf, "cells": {}, "reductions": {}}
+    for technique, cells in result.cells.items():
+        payload["cells"][technique] = {}
+        for benchmark, cell in cells.items():
+            entry = {"completed": cell.completed}
+            if cell.completed and cell.energy is not None:
+                entry.update(cell.energy.as_dict())
+                rows.append(
+                    [
+                        technique,
+                        benchmark,
+                        cell.energy.total,
+                        cell.energy.computation,
+                        cell.energy.save,
+                        cell.energy.restore,
+                        cell.energy.reexecution,
+                    ]
+                )
+            payload["cells"][technique][benchmark] = entry
+    for baseline in TECHNIQUE_ORDER:
+        if baseline != "schematic":
+            payload["reductions"][baseline] = result.reduction_vs(baseline)
+    payload["average_reduction"] = result.average_reduction()
+    _write_json(outdir / "figure6_energy_breakdown.json", payload)
+    _write_csv(
+        outdir / "figure6_energy_breakdown.csv",
+        ["technique", "benchmark", "total_nj", "computation_nj", "save_nj",
+         "restore_nj", "reexecution_nj"],
+        rows,
+    )
+    return payload
+
+
+def export_figure7(ctx: EvaluationContext, outdir: Path) -> Dict:
+    result = figure7_allocation_quality.run(ctx)
+    rows = []
+    for benchmark, variants in result.cells.items():
+        for variant, cell in variants.items():
+            rows.append(
+                [
+                    benchmark, variant, int(cell.completed),
+                    cell.computation, cell.cpu, cell.vm_access,
+                    cell.nvm_access, cell.save, cell.restore,
+                    cell.vm_accesses, cell.nvm_accesses,
+                ]
+            )
+    payload = {
+        "tbpf": result.tbpf,
+        "computation_reduction": result.computation_reduction(),
+        "vm_access_share": result.vm_access_share(),
+        "vm_energy_share": result.vm_energy_share(),
+    }
+    _write_json(outdir / "figure7_allocation_quality.json", payload)
+    _write_csv(
+        outdir / "figure7_allocation_quality.csv",
+        ["benchmark", "variant", "completed", "computation_nj", "cpu_nj",
+         "vm_access_nj", "nvm_access_nj", "save_nj", "restore_nj",
+         "vm_accesses", "nvm_accesses"],
+        rows,
+    )
+    return payload
+
+
+def export_figure8(ctx: EvaluationContext, outdir: Path) -> Dict:
+    result = figure8_capacitor_size.run(ctx)
+    rows = []
+    payload: Dict = {"benchmark": result.benchmark, "cells": {}}
+    for technique, by_tbpf in result.cells.items():
+        payload["cells"][technique] = {}
+        for tbpf, cell in by_tbpf.items():
+            payload["cells"][technique][str(tbpf)] = (
+                cell.as_dict() if cell is not None else None
+            )
+            if cell is not None:
+                rows.append(
+                    [technique, tbpf, cell.total, cell.computation,
+                     cell.save, cell.restore, cell.reexecution,
+                     cell.intermittency_management]
+                )
+    _write_json(outdir / "figure8_capacitor_size.json", payload)
+    _write_csv(
+        outdir / "figure8_capacitor_size.csv",
+        ["technique", "tbpf", "total_nj", "computation_nj", "save_nj",
+         "restore_nj", "reexecution_nj", "management_nj"],
+        rows,
+    )
+    return payload
+
+
+def export_ablations(ctx: EvaluationContext, outdir: Path) -> Dict:
+    result = ablations.run(ctx)
+    rows = []
+    for variant, cells in result.cells.items():
+        for benchmark, cell in cells.items():
+            rows.append(
+                [variant, benchmark, int(cell.completed), cell.total,
+                 cell.computation, cell.save, cell.restore, cell.vm_accesses]
+            )
+    payload = {
+        "tbpf": result.tbpf,
+        "overheads_vs_full": {
+            variant: result.overhead_vs_full(variant)
+            for variant in ablations.VARIANTS
+            if variant != "full"
+        },
+    }
+    _write_json(outdir / "ablations.json", payload)
+    _write_csv(
+        outdir / "ablations.csv",
+        ["variant", "benchmark", "completed", "total_nj", "computation_nj",
+         "save_nj", "restore_nj", "vm_accesses"],
+        rows,
+    )
+    return payload
+
+
+def export_all(
+    outdir: Path, benchmarks: Optional[List[str]] = None
+) -> Dict[str, Dict]:
+    """Run and export every experiment; returns the summary payload."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    ctx = EvaluationContext(benchmarks=benchmarks)
+    results = {
+        "table1": export_table1(ctx, outdir),
+        "table2": export_table2(ctx, outdir),
+        "table3": export_table3(ctx, outdir),
+        "figure6": export_figure6(ctx, outdir),
+        "figure7": export_figure7(ctx, outdir),
+        "figure8": export_figure8(ctx, outdir),
+        "ablations": export_ablations(ctx, outdir),
+    }
+    summary = {
+        "benchmarks": ctx.benchmark_names,
+        "figure6_average_reduction": results["figure6"]["average_reduction"],
+        "figure7_computation_reduction": results["figure7"][
+            "computation_reduction"
+        ],
+        "ablation_overheads": results["ablations"]["overheads_vs_full"],
+    }
+    _write_json(outdir / "summary.json", summary)
+    return results
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    outdir = Path(paths[0]) if paths else Path("artifacts")
+    benchmarks = ["basicmath", "crc", "randmath"] if quick else None
+    export_all(outdir, benchmarks=benchmarks)
+    print(f"artifacts written to {outdir}/")
+
+
+if __name__ == "__main__":
+    main()

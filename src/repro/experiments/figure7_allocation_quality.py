@@ -1,0 +1,136 @@
+"""Figure 7 — quality of SCHEMATIC's memory allocation (§IV-E).
+
+SCHEMATIC vs All-NVM (SCHEMATIC with VM allocation disabled) at TBPF = 10k.
+Computation energy splits into no-memory-access / VM-access / NVM-access
+parts; intermittency-management energy (save + restore) is shown alongside.
+
+Expected shape: SCHEMATIC needs ~25 % less computation energy than All-NVM,
+with most memory accesses hitting VM (paper: 69 % of accesses, 33 % of
+computation energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import EvaluationContext
+
+DEFAULT_TBPF = 10_000
+
+
+@dataclass
+class Figure7Cell:
+    benchmark: str
+    variant: str  # "schematic" | "allnvm"
+    completed: bool
+    computation: float = 0.0  # nJ
+    cpu: float = 0.0
+    vm_access: float = 0.0
+    nvm_access: float = 0.0
+    save: float = 0.0
+    restore: float = 0.0
+    vm_accesses: int = 0
+    nvm_accesses: int = 0
+
+
+@dataclass
+class Figure7Result:
+    tbpf: int
+    cells: Dict[str, Dict[str, Figure7Cell]]  # benchmark -> variant -> cell
+    benchmarks: List[str]
+
+    def computation_reduction(self) -> float:
+        """Mean computation-energy reduction of SCHEMATIC vs All-NVM."""
+        ratios = []
+        for name in self.benchmarks:
+            allnvm = self.cells[name]["allnvm"]
+            ours = self.cells[name]["schematic"]
+            if allnvm.completed and ours.completed and allnvm.computation > 0:
+                ratios.append(1.0 - ours.computation / allnvm.computation)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def vm_access_share(self) -> float:
+        """Fraction of SCHEMATIC's memory accesses that target VM."""
+        vm = sum(self.cells[n]["schematic"].vm_accesses for n in self.benchmarks)
+        nvm = sum(
+            self.cells[n]["schematic"].nvm_accesses for n in self.benchmarks
+        )
+        total = vm + nvm
+        return vm / total if total else 0.0
+
+    def vm_energy_share(self) -> float:
+        """Fraction of SCHEMATIC's computation energy spent on VM accesses."""
+        vm = sum(self.cells[n]["schematic"].vm_access for n in self.benchmarks)
+        comp = sum(
+            self.cells[n]["schematic"].computation for n in self.benchmarks
+        )
+        return vm / comp if comp else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"Figure 7: SCHEMATIC vs All-NVM at TBPF={self.tbpf} (uJ)",
+            f"{'benchmark':<12}{'variant':<11}{'comp':>9}{'no-mem':>9}"
+            f"{'VM-acc':>9}{'NVM-acc':>9}{'save':>8}{'restore':>8}",
+        ]
+        for name in self.benchmarks:
+            for variant in ("allnvm", "schematic"):
+                c = self.cells[name][variant]
+                if not c.completed:
+                    lines.append(f"{name:<12}{variant:<11}{'x':>9}")
+                    continue
+                lines.append(
+                    f"{name:<12}{variant:<11}{c.computation / 1000:>9.1f}"
+                    f"{c.cpu / 1000:>9.1f}{c.vm_access / 1000:>9.1f}"
+                    f"{c.nvm_access / 1000:>9.1f}{c.save / 1000:>8.1f}"
+                    f"{c.restore / 1000:>8.1f}"
+                )
+        lines.append(
+            f"computation reduction vs All-NVM: "
+            f"{self.computation_reduction() * 100:.0f}% (paper: 25%)"
+        )
+        lines.append(
+            f"VM share of accesses: {self.vm_access_share() * 100:.0f}% "
+            "(paper: 69%)"
+        )
+        lines.append(
+            f"VM share of computation energy: "
+            f"{self.vm_energy_share() * 100:.0f}% (paper: 33%)"
+        )
+        return "\n".join(lines)
+
+
+def run(
+    ctx: Optional[EvaluationContext] = None, tbpf: int = DEFAULT_TBPF
+) -> Figure7Result:
+    ctx = ctx or EvaluationContext()
+    cells: Dict[str, Dict[str, Figure7Cell]] = {}
+    for name in ctx.benchmark_names:
+        cells[name] = {}
+        for variant in ("allnvm", "schematic"):
+            outcome = ctx.run_tbpf(variant, name, tbpf)
+            cell = Figure7Cell(
+                benchmark=name, variant=variant, completed=outcome.succeeded
+            )
+            if outcome.report is not None:
+                e = outcome.report.energy
+                cell.computation = e.computation
+                cell.cpu = e.cpu
+                cell.vm_access = e.vm_access
+                cell.nvm_access = e.nvm_access
+                cell.save = e.save
+                cell.restore = e.restore
+                cell.vm_accesses = outcome.report.vm_accesses
+                cell.nvm_accesses = outcome.report.nvm_accesses
+            cells[name][variant] = cell
+    return Figure7Result(
+        tbpf=tbpf, cells=cells, benchmarks=list(ctx.benchmark_names)
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Regenerate every table and figure; writes results to stdout.
+
+Usage::
+
+    python -m repro.experiments.run_all [--quick]
+
+``--quick`` restricts to the four fastest benchmarks (crc, randmath,
+basicmath, fft) so the whole sweep finishes in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import common
+from repro.experiments import (
+    ablations,
+    analysis_cost,
+    figure6_energy_breakdown,
+    figure7_allocation_quality,
+    figure8_capacitor_size,
+    table1_vm_feasibility,
+    table2_exec_time,
+    table3_forward_progress,
+)
+
+QUICK_BENCHMARKS = ["basicmath", "crc", "fft", "randmath"]
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    benchmarks = QUICK_BENCHMARKS if quick else None
+    ctx = common.EvaluationContext(benchmarks=benchmarks)
+
+    sections = [
+        ("Table I", table1_vm_feasibility),
+        ("Table II", table2_exec_time),
+        ("Table III", table3_forward_progress),
+        ("Figure 6", figure6_energy_breakdown),
+        ("Figure 7", figure7_allocation_quality),
+        ("Figure 8", figure8_capacitor_size),
+        ("Analysis cost", analysis_cost),
+        ("Ablations", ablations),
+    ]
+    for title, module in sections:
+        start = time.perf_counter()
+        result = module.run(ctx)
+        elapsed = time.perf_counter() - start
+        print("=" * 72)
+        print(result.render())
+        if hasattr(result, "render_chart"):
+            print()
+            print(result.render_chart())
+        print(f"[{title} regenerated in {elapsed:.1f}s]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

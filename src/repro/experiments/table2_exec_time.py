@@ -1,0 +1,79 @@
+"""Table II — execution time and minimal number of power failures (§IV-C).
+
+"We measured the execution time (in clock cycles, with all data in VM) of
+the benchmarks"; the minimal number of power failures for a TBPF is how
+many periodic outages an execution of that length must survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import EvaluationContext, TBPF_VALUES
+
+#: Paper values for side-by-side comparison (clock cycles).
+PAPER_CYCLES = {
+    "aes": 1_079_363,
+    "basicmath": 169_599,
+    "bitcount": 819_411,
+    "crc": 41_133,
+    "dijkstra": 1_381_746,
+    "fft": 377_578,
+    "randmath": 15_062,
+    "rc4": 437_335,
+}
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    cycles: int
+    paper_cycles: int
+    failures: Dict[int, int]  # tbpf -> minimal number of power failures
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row]
+
+    def render(self) -> str:
+        lines = [
+            "Table II: execution time and minimal number of power failures",
+            f"{'benchmark':<12}{'cycles':>10}{'paper':>10}"
+            + "".join(f"{f'TBPF={t}':>12}" for t in TBPF_VALUES),
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.benchmark:<12}{row.cycles:>10}{row.paper_cycles:>10}"
+                + "".join(
+                    f"{row.failures[t]:>12}" for t in TBPF_VALUES
+                )
+            )
+        return "\n".join(lines)
+
+
+def run(ctx: Optional[EvaluationContext] = None) -> Table2Result:
+    ctx = ctx or EvaluationContext()
+    rows: List[Table2Row] = []
+    for name in ctx.benchmark_names:
+        ref = ctx.vm_reference(name)
+        cycles = ref.active_cycles
+        failures = {tbpf: cycles // tbpf for tbpf in TBPF_VALUES}
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                cycles=cycles,
+                paper_cycles=PAPER_CYCLES.get(name, 0),
+                failures=failures,
+            )
+        )
+    return Table2Result(rows=rows)
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

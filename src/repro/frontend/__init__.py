@@ -1,0 +1,29 @@
+"""MiniC: a small C-like language lowered to the repro IR.
+
+The paper compiles C benchmarks with clang to LLVM IR; this repo replaces
+that pipeline with MiniC — enough C to express the MiBench2 kernels:
+
+- integer types ``u8 i8 u16 i16 u32 i32``, scalars and 1-D arrays,
+- globals (with initializers), ``const`` data (S-boxes, twiddle tables),
+- functions with by-value scalar and by-reference array parameters,
+- ``if/else``, ``while``, ``for``, ``break``, ``continue``, ``return``,
+- the usual C operators with short-circuit ``&&``/``||`` and casts,
+- ``@maxiter(n)`` loop annotations (the paper's loop-bound annotations,
+  §III-B2); constant-bound ``for`` loops are inferred automatically.
+
+Use :func:`compile_source` to go from source text to a validated
+:class:`~repro.ir.Module`.
+"""
+
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.lowering import compile_source, lower_program
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "compile_source",
+    "lower_program",
+]

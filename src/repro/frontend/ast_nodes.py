@@ -1,0 +1,220 @@
+"""AST node definitions for MiniC.
+
+Plain dataclasses; every node carries a source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class NameExpr(Expr):
+    """A scalar variable read (or an array name used as a call argument)."""
+
+    name: str
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass
+class UnaryExpr(Expr):
+    """``op operand`` with op in ``- ! ~``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    """``lhs op rhs`` for arithmetic/bitwise/comparison operators.
+
+    Short-circuit ``&&``/``||`` are represented by :class:`LogicalExpr`.
+    """
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class LogicalExpr(Expr):
+    """Short-circuit ``&&`` / ``||``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    """``(type) operand``."""
+
+    type_name: str
+    operand: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str
+    args: List[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Local variable declaration, optionally initialized (scalars only)."""
+
+    type_name: str
+    name: str
+    count: int = 1
+    initializer: Optional[Expr] = None
+    array_init: Optional[List[int]] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``lvalue op= expr`` where op may be empty (plain assignment)."""
+
+    target_name: str
+    index: Optional[Expr]
+    op: str  # "", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"
+    value: Expr
+
+
+@dataclass
+class IncDec(Stmt):
+    """``lvalue++`` / ``lvalue--`` statement."""
+
+    target_name: str
+    index: Optional[Expr]
+    op: str  # "+" or "-"
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """A bare call used as a statement."""
+
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt]
+    maxiter: Optional[int] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: List[Stmt]
+    maxiter: Optional[int] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt]
+
+
+@dataclass
+class Atomic(Stmt):
+    """An atomic section (paper SVI): straight-line statements in which
+    checkpoint placement is forbidden (peripheral transactions)."""
+
+    body: List[Stmt]
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ParamDecl(Node):
+    type_name: str
+    name: str
+    is_array: bool = False
+
+
+@dataclass
+class FuncDecl(Node):
+    return_type: Optional[str]  # None for void
+    name: str
+    params: List[ParamDecl]
+    body: List[Stmt]
+
+
+@dataclass
+class GlobalDecl(Node):
+    type_name: str
+    name: str
+    count: int = 1
+    is_const: bool = False
+    init: Optional[List[int]] = None  # scalar init = single-element list
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

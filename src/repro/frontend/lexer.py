@@ -1,0 +1,211 @@
+"""Tokenizer for MiniC."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    INT = "int-literal"
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    PUNCT = "punctuation"
+    ANNOTATION = "annotation"  # @maxiter
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "u8",
+    "i8",
+    "u16",
+    "i16",
+    "u32",
+    "i32",
+    "void",
+    "const",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "atomic",
+}
+
+# Longest first so that e.g. "<<=" is not read as "<" "<" "=".
+PUNCTUATION = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: Optional[int] = None  # for INT tokens
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.column}"
+
+
+class _Scanner:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    @property
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def skip_trivia(self) -> None:
+        """Skip whitespace and ``//`` / ``/* */`` comments."""
+        while not self.at_end:
+            ch = self.peek()
+            if ch in " \t\r\n":
+                self.advance()
+            elif ch == "/" and self.peek(1) == "/":
+                while not self.at_end and self.peek() != "\n":
+                    self.advance()
+            elif ch == "/" and self.peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self.advance(2)
+                while not (self.peek() == "*" and self.peek(1) == "/"):
+                    if self.at_end:
+                        raise LexError(
+                            "unterminated block comment", start_line, start_col
+                        )
+                    self.advance()
+                self.advance(2)
+            else:
+                return
+
+
+def _scan_number(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    text = ""
+    if scanner.peek() == "0" and scanner.peek(1) in "xX":
+        text += scanner.advance(2)
+        while scanner.peek() and scanner.peek() in "0123456789abcdefABCDEF":
+            text += scanner.advance()
+        if len(text) == 2:
+            raise LexError("hex literal with no digits", line, column)
+        value = int(text, 16)
+    else:
+        while scanner.peek().isdigit():
+            text += scanner.advance()
+        value = int(text)
+    if scanner.peek().isalpha() or scanner.peek() == "_":
+        raise LexError(
+            f"invalid character {scanner.peek()!r} in number", scanner.line,
+            scanner.column,
+        )
+    return Token(TokenKind.INT, text, line, column, value=value)
+
+
+def _scan_word(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    text = ""
+    while scanner.peek().isalnum() or scanner.peek() == "_":
+        text += scanner.advance()
+    kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+    return Token(kind, text, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC source, ending with an EOF token."""
+    scanner = _Scanner(source)
+    tokens: List[Token] = []
+    while True:
+        scanner.skip_trivia()
+        if scanner.at_end:
+            tokens.append(Token(TokenKind.EOF, "", scanner.line, scanner.column))
+            return tokens
+        ch = scanner.peek()
+        if ch.isdigit():
+            tokens.append(_scan_number(scanner))
+        elif ch.isalpha() or ch == "_":
+            tokens.append(_scan_word(scanner))
+        elif ch == "@":
+            line, column = scanner.line, scanner.column
+            scanner.advance()
+            word = ""
+            while scanner.peek().isalnum() or scanner.peek() == "_":
+                word += scanner.advance()
+            if word != "maxiter":
+                raise LexError(f"unknown annotation @{word}", line, column)
+            tokens.append(Token(TokenKind.ANNOTATION, f"@{word}", line, column))
+        else:
+            for punct in PUNCTUATION:
+                if scanner.source.startswith(punct, scanner.pos):
+                    line, column = scanner.line, scanner.column
+                    scanner.advance(len(punct))
+                    tokens.append(Token(TokenKind.PUNCT, punct, line, column))
+                    break
+            else:
+                raise LexError(
+                    f"unexpected character {ch!r}", scanner.line, scanner.column
+                )

@@ -1,0 +1,701 @@
+"""Lowering MiniC ASTs to the repro IR (with semantic checking).
+
+Scalars — including scalar parameters and loop counters — are lowered to
+memory-resident :class:`~repro.ir.Variable` objects accessed with explicit
+``load``/``store`` instructions, never promoted to registers. This mirrors
+the paper's setting ("we assume that compiler optimizations do not promote
+variables to registers", §II-A): variables are exactly the objects the
+checkpoint-placement/allocation passes reason about. Virtual registers hold
+expression temporaries only.
+
+Loop bounds: constant-bound ``for`` loops get their trip count inferred;
+other loops take a ``@maxiter(n)`` annotation (paper §III-B2: "The maximum
+number of iterations of loops is provided using annotations."). The bound is
+recorded in ``Function.loop_maxiter`` keyed by the loop-header label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.ir import (
+    Const,
+    IRBuilder,
+    IntType,
+    Module,
+    Opcode,
+    Param,
+    Register,
+    U8,
+    UnaryOpcode,
+    Value,
+    Variable,
+    VarRef,
+    validate_module,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.types import I32, U32, type_from_name
+
+_BINOPS = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.REM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+    "<": Opcode.LT,
+    "<=": Opcode.LE,
+    ">": Opcode.GT,
+    ">=": Opcode.GE,
+}
+
+
+@dataclass
+class _LoopContext:
+    """Branch targets for break/continue inside a loop body."""
+
+    break_target: BasicBlock
+    continue_target: BasicBlock
+
+
+@dataclass(frozen=True)
+class _FuncSig:
+    params: Tuple[ast.ParamDecl, ...]
+    return_type: Optional[IntType]
+
+
+class _FunctionLowerer:
+    """Lowers one MiniC function to IR."""
+
+    def __init__(
+        self,
+        builder: IRBuilder,
+        decl: ast.FuncDecl,
+        signatures: Dict[str, _FuncSig],
+        globals_: Dict[str, Variable],
+    ):
+        self.builder = builder
+        self.decl = decl
+        self.signatures = signatures
+        self.globals = globals_
+        #: lexical scope stack; index 0 is the function's outermost scope.
+        self.scopes: List[Dict[str, Variable]] = [{}]
+        self._name_counts: Dict[str, int] = {}
+        self.loop_stack: List[_LoopContext] = []
+
+    # -- helpers --------------------------------------------------------------
+
+    def error(self, message: str, node: ast.Node) -> SemanticError:
+        return SemanticError(f"in {self.decl.name}: {message}", node.line)
+
+    @property
+    def scope(self) -> Dict[str, Variable]:
+        return self.scopes[-1]
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, node: ast.Node) -> str:
+        """Validate a declaration in the current scope and return a
+        function-unique backing name (C block scoping: shadowing across
+        scopes is allowed, redeclaration within one scope is not)."""
+        if name in self.scope:
+            raise self.error(f"redeclaration of {name!r}", node)
+        if name in self.globals:
+            raise self.error(
+                f"local {name!r} shadows a global (unsupported)", node
+            )
+        count = self._name_counts.get(name, 0)
+        self._name_counts[name] = count + 1
+        return name if count == 0 else f"{name}__{count}"
+
+    def lookup(self, name: str, node: ast.Node) -> Variable:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise self.error(f"undefined variable {name!r}", node)
+
+    def _typed_const(self, value: int, node: ast.Node) -> Const:
+        """Type an integer literal: i32 unless it only fits unsigned."""
+        if I32.contains(value):
+            return Const(value, I32)
+        if U32.contains(value):
+            return Const(value, U32)
+        raise self.error(f"literal {value} does not fit any 32-bit type", node)
+
+    # -- expressions -----------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return self._typed_const(expr.value, expr)
+        if isinstance(expr, ast.NameExpr):
+            var = self.lookup(expr.name, expr)
+            if var.is_array:
+                raise self.error(
+                    f"array {expr.name!r} used as a scalar value", expr
+                )
+            return self.builder.emit_load(var)
+        if isinstance(expr, ast.IndexExpr):
+            var = self.lookup(expr.name, expr)
+            if not var.is_array:
+                raise self.error(f"indexing scalar {expr.name!r}", expr)
+            index = self.lower_expr(expr.index)
+            return self.builder.emit_load(var, index)
+        if isinstance(expr, ast.UnaryExpr):
+            operand = self.lower_expr(expr.operand)
+            op = {
+                "-": UnaryOpcode.NEG,
+                "~": UnaryOpcode.NOT,
+                "!": UnaryOpcode.LNOT,
+            }[expr.op]
+            return self.builder.emit_unop(op, operand)
+        if isinstance(expr, ast.BinaryExpr):
+            lhs = self.lower_expr(expr.lhs)
+            rhs = self.lower_expr(expr.rhs)
+            return self.builder.emit_binop(_BINOPS[expr.op], lhs, rhs)
+        if isinstance(expr, ast.LogicalExpr):
+            return self._lower_logical(expr)
+        if isinstance(expr, ast.CastExpr):
+            operand = self.lower_expr(expr.operand)
+            return self.builder.emit_move(operand, type_from_name(expr.type_name))
+        if isinstance(expr, ast.CallExpr):
+            result = self._lower_call(expr)
+            if result is None:
+                raise self.error(
+                    f"void function {expr.name!r} used as a value", expr
+                )
+            return result
+        raise self.error(f"unsupported expression {type(expr).__name__}", expr)
+
+    def _lower_logical(self, expr: ast.LogicalExpr) -> Value:
+        """Short-circuit ``&&`` / ``||`` with control flow.
+
+        The 0/1 result lands in a single register written on both paths.
+        """
+        builder = self.builder
+        result = builder.fresh_reg(U8, hint="logic")
+        rhs_block = builder.new_block("sc_rhs")
+        short_block = builder.new_block("sc_short")
+        join_block = builder.new_block("sc_join")
+
+        lhs = self.lower_expr(expr.lhs)
+        if expr.op == "&&":
+            builder.emit_branch(lhs, rhs_block, short_block)
+            short_value = 0
+        else:
+            builder.emit_branch(lhs, short_block, rhs_block)
+            short_value = 1
+
+        builder.position_at(short_block)
+        short_block.append(_move_to(result, Const(short_value, U8)))
+        builder.emit_jump(join_block)
+
+        builder.position_at(rhs_block)
+        rhs = self.lower_expr(expr.rhs)
+        normalized = builder.emit_binop(Opcode.NE, rhs, Const(0, U8), type_=U8)
+        rhs_exit = builder.block
+        assert rhs_exit is not None
+        rhs_exit.append(_move_to(result, normalized))
+        builder.emit_jump(join_block)
+
+        builder.position_at(join_block)
+        return result
+
+    def _lower_call(self, expr: ast.CallExpr) -> Optional[Register]:
+        sig = self.signatures.get(expr.name)
+        if sig is None:
+            raise self.error(f"call to undefined function {expr.name!r}", expr)
+        if len(expr.args) != len(sig.params):
+            raise self.error(
+                f"{expr.name!r} takes {len(sig.params)} arguments, "
+                f"{len(expr.args)} given",
+                expr,
+            )
+        args: List[Value] = []
+        for arg, param in zip(expr.args, sig.params):
+            if param.is_array:
+                if not isinstance(arg, ast.NameExpr):
+                    raise self.error(
+                        f"argument for array parameter {param.name!r} must be "
+                        "an array name",
+                        expr,
+                    )
+                var = self.lookup(arg.name, arg)
+                if not var.is_array and not var.is_ref:
+                    raise self.error(
+                        f"{arg.name!r} is not an array (parameter "
+                        f"{param.name!r})",
+                        expr,
+                    )
+                # Paper §IV-A pointer rule: anything accessed through a
+                # pointer is pinned to NVM.
+                var.pinned_nvm = True
+                args.append(VarRef(var))
+            else:
+                args.append(self.lower_expr(arg))
+        return self.builder.emit_call(expr.name, args, sig.return_type)
+
+    # -- statements -----------------------------------------------------------
+
+    def lower_body(self, body: List[ast.Stmt]) -> None:
+        for stmt in body:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.IncDec):
+            self._lower_incdec(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.CallExpr):
+                self._lower_call(stmt.expr)
+            else:
+                self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise self.error("break outside a loop", stmt)
+            self.builder.emit_jump(self.loop_stack[-1].break_target)
+            self._start_dead_block()
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise self.error("continue outside a loop", stmt)
+            self.builder.emit_jump(self.loop_stack[-1].continue_target)
+            self._start_dead_block()
+        elif isinstance(stmt, ast.Block):
+            self.push_scope()
+            self.lower_body(stmt.body)
+            self.pop_scope()
+        elif isinstance(stmt, ast.Atomic):
+            self._lower_atomic(stmt)
+        else:
+            raise self.error(f"unsupported statement {type(stmt).__name__}", stmt)
+
+    _ATOMIC_ALLOWED = (ast.VarDecl, ast.Assign, ast.IncDec)
+
+    def _check_atomic_body(self, body) -> None:
+        """Atomic sections must lower to straight-line code in one block:
+        no control flow, no calls, no short-circuit operators."""
+
+        def check_expr(expr: ast.Expr) -> None:
+            if isinstance(expr, (ast.LogicalExpr, ast.CallExpr)):
+                raise self.error(
+                    "atomic sections cannot contain calls or &&/|| "
+                    "(they would introduce control flow)",
+                    expr,
+                )
+            for field_name in ("lhs", "rhs", "operand", "index", "value"):
+                child = getattr(expr, field_name, None)
+                if isinstance(child, ast.Expr):
+                    check_expr(child)
+
+        for stmt in body:
+            if not isinstance(stmt, self._ATOMIC_ALLOWED):
+                raise self.error(
+                    f"{type(stmt).__name__} not allowed in an atomic section",
+                    stmt,
+                )
+            if isinstance(stmt, ast.VarDecl):
+                if stmt.initializer is not None:
+                    check_expr(stmt.initializer)
+            if isinstance(stmt, ast.Assign):
+                if stmt.index is not None:
+                    check_expr(stmt.index)
+                check_expr(stmt.value)
+            if isinstance(stmt, ast.IncDec) and stmt.index is not None:
+                check_expr(stmt.index)
+
+    def _lower_atomic(self, stmt: ast.Atomic) -> None:
+        """Lower an atomic section and record its instruction range so the
+        placement passes never put a checkpoint inside it (paper §VI:
+        "atomic sections ... in which checkpoint placement would be
+        forbidden")."""
+        self._check_atomic_body(stmt.body)
+        block = self.builder.block
+        assert block is not None
+        start = len(block.instructions)
+        self.push_scope()
+        self.lower_body(stmt.body)
+        self.pop_scope()
+        end_block = self.builder.block
+        assert end_block is block, "atomic body created control flow"
+        end = len(block.instructions)
+        if end > start:
+            func = self.builder.function
+            assert func is not None
+            func.atomic_ranges.append((block.label, start, end))
+
+    def _start_dead_block(self) -> None:
+        """After break/continue/return, park the builder on a fresh block so
+        trailing statements don't corrupt the terminated block. The dead
+        block is pruned before validation."""
+        self.builder.position_at(self.builder.new_block("dead"))
+
+    def _lower_var_decl(self, stmt: ast.VarDecl) -> None:
+        backing = self.declare(stmt.name, stmt)
+        type_ = type_from_name(stmt.type_name)
+        var = self.builder.local(backing, type_, count=stmt.count)
+        self.scope[stmt.name] = var
+        if stmt.initializer is not None:
+            value = self.lower_expr(stmt.initializer)
+            self.builder.emit_store(var, value)
+        elif stmt.array_init is not None:
+            for i, raw in enumerate(stmt.array_init):
+                self.builder.emit_store(
+                    var, self.builder.const(raw, type_), index=Const(i, U32)
+                )
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        var = self.lookup(stmt.target_name, stmt)
+        if var.is_const:
+            raise self.error(f"assignment to const {stmt.target_name!r}", stmt)
+        index = self.lower_expr(stmt.index) if stmt.index is not None else None
+        if var.is_array and index is None:
+            raise self.error(f"assigning to array {stmt.target_name!r}", stmt)
+        if not var.is_array and stmt.index is not None:
+            raise self.error(f"indexing scalar {stmt.target_name!r}", stmt)
+        value = self.lower_expr(stmt.value)
+        if stmt.op:
+            current = self.builder.emit_load(var, index)
+            value = self.builder.emit_binop(_BINOPS[stmt.op], current, value)
+        self.builder.emit_store(var, value, index)
+
+    def _lower_incdec(self, stmt: ast.IncDec) -> None:
+        var = self.lookup(stmt.target_name, stmt)
+        index = self.lower_expr(stmt.index) if stmt.index is not None else None
+        current = self.builder.emit_load(var, index)
+        op = Opcode.ADD if stmt.op == "+" else Opcode.SUB
+        updated = self.builder.emit_binop(op, current, Const(1, var.type))
+        self.builder.emit_store(var, updated, index)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        builder = self.builder
+        then_block = builder.new_block("then")
+        join_block = builder.new_block("endif")
+        else_block = builder.new_block("else") if stmt.else_body else join_block
+
+        cond = self.lower_expr(stmt.cond)
+        builder.emit_branch(cond, then_block, else_block)
+
+        builder.position_at(then_block)
+        self.push_scope()
+        self.lower_body(stmt.then_body)
+        self.pop_scope()
+        if not builder.block.is_terminated:
+            builder.emit_jump(join_block)
+
+        if stmt.else_body:
+            builder.position_at(else_block)
+            self.push_scope()
+            self.lower_body(stmt.else_body)
+            self.pop_scope()
+            if not builder.block.is_terminated:
+                builder.emit_jump(join_block)
+
+        builder.position_at(join_block)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        builder = self.builder
+        header = builder.new_block("while_head")
+        body_block = builder.new_block("while_body")
+        exit_block = builder.new_block("while_end")
+
+        builder.emit_jump(header)
+        builder.position_at(header)
+        cond = self.lower_expr(stmt.cond)
+        builder.emit_branch(cond, body_block, exit_block)
+
+        if stmt.maxiter is not None:
+            assert self.builder.function is not None
+            self.builder.function.loop_maxiter[header.label] = stmt.maxiter
+
+        self.loop_stack.append(_LoopContext(exit_block, header))
+        builder.position_at(body_block)
+        self.push_scope()
+        self.lower_body(stmt.body)
+        self.pop_scope()
+        if not builder.block.is_terminated:
+            builder.emit_jump(header)
+        self.loop_stack.pop()
+
+        builder.position_at(exit_block)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        builder = self.builder
+        self.push_scope()  # the for-init declaration scopes over the loop
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+
+        header = builder.new_block("for_head")
+        body_block = builder.new_block("for_body")
+        step_block = builder.new_block("for_step")
+        exit_block = builder.new_block("for_end")
+
+        builder.emit_jump(header)
+        builder.position_at(header)
+        if stmt.cond is not None:
+            cond = self.lower_expr(stmt.cond)
+            builder.emit_branch(cond, body_block, exit_block)
+        else:
+            builder.emit_jump(body_block)
+
+        maxiter = stmt.maxiter
+        if maxiter is None:
+            maxiter = _infer_trip_count(stmt)
+        if maxiter is not None:
+            assert builder.function is not None
+            builder.function.loop_maxiter[header.label] = maxiter
+
+        self.loop_stack.append(_LoopContext(exit_block, step_block))
+        builder.position_at(body_block)
+        self.push_scope()
+        self.lower_body(stmt.body)
+        self.pop_scope()
+        if not builder.block.is_terminated:
+            builder.emit_jump(step_block)
+        self.loop_stack.pop()
+
+        builder.position_at(step_block)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        builder.emit_jump(header)
+
+        self.pop_scope()
+        builder.position_at(exit_block)
+
+    def _lower_return(self, stmt: ast.Return) -> None:
+        sig = self.signatures[self.decl.name]
+        if sig.return_type is None:
+            if stmt.value is not None:
+                raise self.error("void function returns a value", stmt)
+            self.builder.emit_ret()
+        else:
+            if stmt.value is None:
+                raise self.error("missing return value", stmt)
+            value = self.lower_expr(stmt.value)
+            self.builder.emit_ret(value)
+        self._start_dead_block()
+
+
+def _move_to(dest: Register, src: Value):
+    """A Move that writes an *existing* register (cross-block result)."""
+    from repro.ir.instructions import Move
+
+    return Move(dest, src)
+
+
+def _as_const_int(expr: Optional[ast.Expr]) -> Optional[int]:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if (
+        isinstance(expr, ast.UnaryExpr)
+        and expr.op == "-"
+        and isinstance(expr.operand, ast.IntLiteral)
+    ):
+        return -expr.operand.value
+    return None
+
+
+def _infer_trip_count(stmt: ast.For) -> Optional[int]:
+    """Infer an iteration bound for ``for (i = a; i <op> b; i += c)`` with
+    constant ``a``, ``b``, ``c`` and a loop variable not otherwise assigned.
+
+    Returns a conservative upper bound, or None when the shape is not
+    recognized (the user must then annotate with ``@maxiter``). The body is
+    scanned for assignments to the counter; any hit disables inference.
+    """
+    init_value: Optional[int] = None
+    counter: Optional[str] = None
+    if isinstance(stmt.init, ast.VarDecl) and stmt.init.initializer is not None:
+        counter = stmt.init.name
+        init_value = _as_const_int(stmt.init.initializer)
+    elif isinstance(stmt.init, ast.Assign) and not stmt.init.op:
+        if stmt.init.index is None:
+            counter = stmt.init.target_name
+            init_value = _as_const_int(stmt.init.value)
+    if counter is None or init_value is None:
+        return None
+
+    if not isinstance(stmt.cond, ast.BinaryExpr):
+        return None
+    cond = stmt.cond
+    if not (isinstance(cond.lhs, ast.NameExpr) and cond.lhs.name == counter):
+        return None
+    bound = _as_const_int(cond.rhs)
+    if bound is None:
+        return None
+
+    step: Optional[int] = None
+    if isinstance(stmt.step, ast.IncDec) and stmt.step.target_name == counter:
+        step = 1 if stmt.step.op == "+" else -1
+    elif (
+        isinstance(stmt.step, ast.Assign)
+        and stmt.step.target_name == counter
+        and stmt.step.index is None
+        and stmt.step.op in ("+", "-")
+    ):
+        raw = _as_const_int(stmt.step.value)
+        if raw is not None and raw != 0:
+            step = raw if stmt.step.op == "+" else -raw
+    if step is None or step == 0:
+        return None
+
+    if _body_assigns(stmt.body, counter):
+        return None
+
+    if cond.op == "<" and step > 0:
+        span = bound - init_value
+    elif cond.op == "<=" and step > 0:
+        span = bound - init_value + 1
+    elif cond.op == ">" and step < 0:
+        span = init_value - bound
+    elif cond.op == ">=" and step < 0:
+        span = init_value - bound + 1
+    elif cond.op == "!=":
+        span = abs(bound - init_value)
+    else:
+        return None
+    if span <= 0:
+        return None
+    trips = (span + abs(step) - 1) // abs(step)
+    return max(trips, 1)
+
+
+def _body_assigns(body: List[ast.Stmt], name: str) -> bool:
+    """True if any statement in ``body`` (recursively) writes ``name``."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Assign, ast.IncDec)) and stmt.target_name == name:
+            return True
+        if isinstance(stmt, ast.VarDecl) and stmt.name == name:
+            return True
+        if isinstance(stmt, ast.If):
+            if _body_assigns(stmt.then_body, name) or _body_assigns(
+                stmt.else_body, name
+            ):
+                return True
+        if isinstance(stmt, (ast.While, ast.Block)):
+            if _body_assigns(stmt.body, name):
+                return True
+        if isinstance(stmt, ast.For):
+            inner = ([stmt.init] if stmt.init else []) + (
+                [stmt.step] if stmt.step else []
+            )
+            if _body_assigns(inner + stmt.body, name):
+                return True
+    return False
+
+
+def _prune_dead_blocks(module: Module) -> None:
+    """Remove blocks unreachable from each function's entry (created while
+    parking the builder after break/continue/return)."""
+    for func in module.functions.values():
+        reachable = set()
+        work = [func.entry.label]
+        while work:
+            label = work.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            work.extend(func.blocks[label].successor_labels())
+        for label in [l for l in func.blocks if l not in reachable]:
+            del func.blocks[label]
+
+
+def lower_program(program: ast.Program, name: str = "module") -> Module:
+    """Lower a parsed MiniC program to a validated IR module."""
+    module = Module(name)
+    builder = IRBuilder(module)
+
+    for decl in program.globals:
+        type_ = type_from_name(decl.type_name)
+        init = decl.init
+        if init is not None:
+            init = [type_.wrap(v) for v in init]
+        module.add_global(
+            Variable(
+                name=decl.name,
+                type=type_,
+                count=decl.count,
+                is_const=decl.is_const,
+                init=init,
+            )
+        )
+
+    signatures: Dict[str, _FuncSig] = {}
+    for decl in program.functions:
+        if decl.name in signatures:
+            raise SemanticError(f"duplicate function {decl.name!r}", decl.line)
+        return_type = (
+            type_from_name(decl.return_type) if decl.return_type else None
+        )
+        signatures[decl.name] = _FuncSig(tuple(decl.params), return_type)
+
+    for decl in program.functions:
+        sig = signatures[decl.name]
+        params = [
+            Param(
+                name=p.name,
+                type=type_from_name(p.type_name),
+                is_ref=p.is_array,
+            )
+            for p in decl.params
+        ]
+        func = builder.start_function(decl.name, params, sig.return_type)
+
+        lowerer = _FunctionLowerer(builder, decl, signatures, module.globals)
+        # Parameter backing variables + prologue.
+        for i, param in enumerate(params):
+            if param.is_ref:
+                var = Variable(
+                    name=f"{decl.name}.{param.name}",
+                    type=param.type,
+                    count=2,  # placeholder element count; binds at call time
+                    is_ref=True,
+                    pinned_nvm=True,
+                )
+                func.add_variable(var, bare_name=param.name)
+            else:
+                var = builder.local(param.name, param.type)
+                builder.emit_store(var, func.arg_registers()[i])
+            lowerer.scope[param.name] = var
+
+        lowerer.lower_body(decl.body)
+        current = builder.block
+        assert current is not None
+        if not current.is_terminated:
+            if sig.return_type is None:
+                builder.emit_ret()
+            else:
+                builder.emit_ret(Const(0, sig.return_type))
+
+    _prune_dead_blocks(module)
+    return validate_module(module)
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Parse and lower MiniC source text to a validated IR module."""
+    return lower_program(parse(source), name)

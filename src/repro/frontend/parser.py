@@ -1,0 +1,587 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF, ``{}`` = repetition, ``[]`` = option)::
+
+    program      = { global_decl | func_decl } ;
+    global_decl  = ["const"] type ident [ "[" int "]" ] [ "=" init ] ";" ;
+    init         = int_expr | "{" int_expr { "," int_expr } "}" ;
+    func_decl    = ("void" | type) ident "(" [ params ] ")" block ;
+    params       = param { "," param } ;
+    param        = type ident [ "[" "]" ] ;
+    block        = "{" { stmt } "}" ;
+    stmt         = var_decl | assign_or_call | if | while | for
+                 | return | break | continue | block ;
+    if           = "if" "(" expr ")" stmt [ "else" stmt ] ;
+    while        = [ "@maxiter" "(" int ")" ] "while" "(" expr ")" stmt ;
+    for          = [ "@maxiter" "(" int ")" ]
+                   "for" "(" [simple] ";" [expr] ";" [simple] ")" stmt ;
+
+Expressions use C precedence with short-circuit ``&&``/``||``, casts
+``(type) expr``, and the statement forms ``x++``/``x--``.
+
+Constant expressions in initializers and ``@maxiter`` are folded at parse
+time (literals with ``+ - * / % << >> | & ^ ~`` and unary minus).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.frontend.ast_nodes import (
+    Assign,
+    Atomic,
+    BinaryExpr,
+    Block,
+    Break,
+    CallExpr,
+    CastExpr,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    IncDec,
+    IndexExpr,
+    IntLiteral,
+    LogicalExpr,
+    NameExpr,
+    ParamDecl,
+    Program,
+    Return,
+    Stmt,
+    UnaryExpr,
+    VarDecl,
+    While,
+)
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+TYPE_NAMES = {"u8", "i8", "u16", "i16", "u32", "i32"}
+
+ASSIGN_OPS = {
+    "=": "",
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "&=": "&",
+    "|=": "|",
+    "^=": "^",
+    "<<=": "<<",
+    ">>=": ">>",
+}
+
+# Binary operator precedence, loosest first. && / || handled separately.
+_PRECEDENCE = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind in (
+            TokenKind.PUNCT,
+            TokenKind.KEYWORD,
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.current.text!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {self.current.text!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def at_type(self) -> bool:
+        return self.current.kind is TokenKind.KEYWORD and (
+            self.current.text in TYPE_NAMES
+        )
+
+    # -- constant folding ------------------------------------------------------
+
+    def _const_int(self, expr: Expr) -> int:
+        """Fold a constant expression (for sizes, initializers, @maxiter)."""
+        if isinstance(expr, IntLiteral):
+            return expr.value
+        if isinstance(expr, UnaryExpr):
+            value = self._const_int(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return int(value == 0)
+        if isinstance(expr, BinaryExpr):
+            lhs = self._const_int(expr.lhs)
+            rhs = self._const_int(expr.rhs)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b,
+                "%": lambda a, b: a % b,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](lhs, rhs)
+        raise ParseError("expected a constant expression", expr.line, 0)
+
+    def parse_const_int(self) -> int:
+        return self._const_int(self.parse_expr())
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program(line=1)
+        while self.current.kind is not TokenKind.EOF:
+            is_const = self.accept("const")
+            if self.check("void"):
+                if is_const:
+                    raise ParseError(
+                        "const void is not a thing", self.current.line,
+                        self.current.column,
+                    )
+                program.functions.append(self._parse_function())
+                continue
+            if not self.at_type():
+                raise ParseError(
+                    f"expected declaration, found {self.current.text!r}",
+                    self.current.line,
+                    self.current.column,
+                )
+            # type ident ...: function if followed by '(', else global.
+            if (
+                not is_const
+                and self.peek(1).kind is TokenKind.IDENT
+                and self.peek(2).text == "("
+            ):
+                program.functions.append(self._parse_function())
+            else:
+                program.globals.append(self._parse_global(is_const))
+        return program
+
+    def _parse_global(self, is_const: bool) -> GlobalDecl:
+        type_token = self.advance()
+        name = self.expect_ident()
+        count = 1
+        is_array = False
+        if self.accept("["):
+            count = self.parse_const_int()
+            self.expect("]")
+            is_array = True
+            if count < 1:
+                raise ParseError(
+                    f"array {name.text!r} has size {count}", name.line, name.column
+                )
+        init: Optional[List[int]] = None
+        if self.accept("="):
+            if self.accept("{"):
+                if not is_array:
+                    raise ParseError(
+                        "brace initializer on a scalar", name.line, name.column
+                    )
+                values = [self.parse_const_int()]
+                while self.accept(","):
+                    values.append(self.parse_const_int())
+                self.expect("}")
+                if len(values) == 1 and count > 1:
+                    values = values * count  # splat single value
+                if len(values) != count:
+                    raise ParseError(
+                        f"array {name.text!r}: {len(values)} initializers for "
+                        f"{count} elements",
+                        name.line,
+                        name.column,
+                    )
+                init = values
+            else:
+                if is_array:
+                    raise ParseError(
+                        "array initializer must be braced", name.line, name.column
+                    )
+                init = [self.parse_const_int()]
+        elif is_const:
+            raise ParseError(
+                f"const {name.text!r} must be initialized", name.line, name.column
+            )
+        self.expect(";")
+        return GlobalDecl(
+            line=name.line,
+            type_name=type_token.text,
+            name=name.text,
+            count=count,
+            is_const=is_const,
+            init=init,
+        )
+
+    def _parse_function(self) -> FuncDecl:
+        type_token = self.advance()
+        return_type = None if type_token.text == "void" else type_token.text
+        name = self.expect_ident()
+        self.expect("(")
+        params: List[ParamDecl] = []
+        if not self.check(")"):
+            while True:
+                if not self.at_type():
+                    raise ParseError(
+                        f"expected parameter type, found {self.current.text!r}",
+                        self.current.line,
+                        self.current.column,
+                    )
+                ptype = self.advance()
+                pname = self.expect_ident()
+                is_array = False
+                if self.accept("["):
+                    self.expect("]")
+                    is_array = True
+                params.append(
+                    ParamDecl(
+                        line=pname.line,
+                        type_name=ptype.text,
+                        name=pname.text,
+                        is_array=is_array,
+                    )
+                )
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self._parse_block_body()
+        return FuncDecl(
+            line=name.line,
+            return_type=return_type,
+            name=name.text,
+            params=params,
+            body=body,
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block_body(self) -> List[Stmt]:
+        self.expect("{")
+        body: List[Stmt] = []
+        while not self.check("}"):
+            if self.current.kind is TokenKind.EOF:
+                raise ParseError(
+                    "unexpected end of file in block",
+                    self.current.line,
+                    self.current.column,
+                )
+            body.append(self._parse_stmt())
+        self.expect("}")
+        return body
+
+    def _parse_stmt(self) -> Stmt:
+        token = self.current
+        if token.kind is TokenKind.ANNOTATION:
+            self.advance()
+            self.expect("(")
+            maxiter = self.parse_const_int()
+            self.expect(")")
+            loop = self._parse_stmt()
+            if isinstance(loop, While):
+                loop.maxiter = maxiter
+            elif isinstance(loop, For):
+                loop.maxiter = maxiter
+            else:
+                raise ParseError(
+                    "@maxiter must precede a loop", token.line, token.column
+                )
+            return loop
+        if self.check("{"):
+            return Block(line=token.line, body=self._parse_block_body())
+        if self.accept("atomic"):
+            return Atomic(line=token.line, body=self._parse_block_body())
+        if self.at_type():
+            return self._parse_var_decl()
+        if self.check("if"):
+            return self._parse_if()
+        if self.check("while"):
+            return self._parse_while()
+        if self.check("for"):
+            return self._parse_for()
+        if self.accept("return"):
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return Return(line=token.line, value=value)
+        if self.accept("break"):
+            self.expect(";")
+            return Break(line=token.line)
+        if self.accept("continue"):
+            self.expect(";")
+            return Continue(line=token.line)
+        stmt = self._parse_simple_stmt()
+        self.expect(";")
+        return stmt
+
+    def _parse_var_decl(self) -> VarDecl:
+        type_token = self.advance()
+        name = self.expect_ident()
+        count = 1
+        array_init: Optional[List[int]] = None
+        initializer: Optional[Expr] = None
+        if self.accept("["):
+            count = self.parse_const_int()
+            self.expect("]")
+            if count < 1:
+                raise ParseError(
+                    f"array {name.text!r} has size {count}", name.line, name.column
+                )
+            if self.accept("="):
+                self.expect("{")
+                values = [self.parse_const_int()]
+                while self.accept(","):
+                    values.append(self.parse_const_int())
+                self.expect("}")
+                if len(values) == 1 and count > 1:
+                    values = values * count
+                if len(values) != count:
+                    raise ParseError(
+                        f"array {name.text!r}: {len(values)} initializers for "
+                        f"{count} elements",
+                        name.line,
+                        name.column,
+                    )
+                array_init = values
+        elif self.accept("="):
+            initializer = self.parse_expr()
+        self.expect(";")
+        return VarDecl(
+            line=name.line,
+            type_name=type_token.text,
+            name=name.text,
+            count=count,
+            initializer=initializer,
+            array_init=array_init,
+        )
+
+    def _parse_simple_stmt(self) -> Stmt:
+        """Assignment, increment/decrement, or a bare call."""
+        token = self.current
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected statement, found {token.text!r}", token.line, token.column
+            )
+        name = self.advance()
+        if self.check("("):
+            call = self._parse_call(name)
+            return ExprStmt(line=name.line, expr=call)
+        index: Optional[Expr] = None
+        if self.accept("["):
+            index = self.parse_expr()
+            self.expect("]")
+        if self.accept("++"):
+            return IncDec(line=name.line, target_name=name.text, index=index, op="+")
+        if self.accept("--"):
+            return IncDec(line=name.line, target_name=name.text, index=index, op="-")
+        for text, op in ASSIGN_OPS.items():
+            if self.check(text):
+                self.advance()
+                value = self.parse_expr()
+                return Assign(
+                    line=name.line,
+                    target_name=name.text,
+                    index=index,
+                    op=op,
+                    value=value,
+                )
+        raise ParseError(
+            f"expected assignment operator, found {self.current.text!r}",
+            self.current.line,
+            self.current.column,
+        )
+
+    def _parse_if(self) -> If:
+        token = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self._stmt_as_body(self._parse_stmt())
+        else_body: List[Stmt] = []
+        if self.accept("else"):
+            else_body = self._stmt_as_body(self._parse_stmt())
+        return If(line=token.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> While:
+        token = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self._stmt_as_body(self._parse_stmt())
+        return While(line=token.line, cond=cond, body=body)
+
+    def _parse_for(self) -> For:
+        token = self.expect("for")
+        self.expect("(")
+        init: Optional[Stmt] = None
+        if not self.check(";"):
+            init = (
+                self._parse_var_decl_no_semi()
+                if self.at_type()
+                else self._parse_simple_stmt()
+            )
+        self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.check(")") else self._parse_simple_stmt()
+        self.expect(")")
+        body = self._stmt_as_body(self._parse_stmt())
+        return For(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_var_decl_no_semi(self) -> VarDecl:
+        """Variable declaration in a for-init (no trailing semicolon)."""
+        type_token = self.advance()
+        name = self.expect_ident()
+        initializer = None
+        if self.accept("="):
+            initializer = self.parse_expr()
+        return VarDecl(
+            line=name.line,
+            type_name=type_token.text,
+            name=name.text,
+            initializer=initializer,
+        )
+
+    @staticmethod
+    def _stmt_as_body(stmt: Stmt) -> List[Stmt]:
+        return stmt.body if isinstance(stmt, Block) else [stmt]
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_logical_or()
+
+    def _parse_logical_or(self) -> Expr:
+        expr = self._parse_logical_and()
+        while self.check("||"):
+            token = self.advance()
+            rhs = self._parse_logical_and()
+            expr = LogicalExpr(line=token.line, op="||", lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_logical_and(self) -> Expr:
+        expr = self._parse_binary(0)
+        while self.check("&&"):
+            token = self.advance()
+            rhs = self._parse_binary(0)
+            expr = LogicalExpr(line=token.line, op="&&", lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        expr = self._parse_binary(level + 1)
+        while any(self.check(op) for op in _PRECEDENCE[level]):
+            token = self.advance()
+            rhs = self._parse_binary(level + 1)
+            expr = BinaryExpr(line=token.line, op=token.text, lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        token = self.current
+        if token.text in ("-", "!", "~") and token.kind is TokenKind.PUNCT:
+            self.advance()
+            operand = self._parse_unary()
+            return UnaryExpr(line=token.line, op=token.text, operand=operand)
+        # Cast: "(type)" unary
+        if (
+            token.text == "("
+            and self.peek(1).text in TYPE_NAMES
+            and self.peek(2).text == ")"
+        ):
+            self.advance()
+            type_token = self.advance()
+            self.expect(")")
+            operand = self._parse_unary()
+            return CastExpr(
+                line=token.line, type_name=type_token.text, operand=operand
+            )
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self.advance()
+            assert token.value is not None
+            return IntLiteral(line=token.line, value=token.value)
+        if token.kind is TokenKind.IDENT:
+            name = self.advance()
+            if self.check("("):
+                return self._parse_call(name)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return IndexExpr(line=name.line, name=name.text, index=index)
+            return NameExpr(line=name.line, name=name.text)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError(
+            f"expected expression, found {token.text!r}", token.line, token.column
+        )
+
+    def _parse_call(self, name: Token) -> CallExpr:
+        self.expect("(")
+        args: List[Expr] = []
+        if not self.check(")"):
+            args.append(self.parse_expr())
+            while self.accept(","):
+                args.append(self.parse_expr())
+        self.expect(")")
+        return CallExpr(line=name.line, name=name.text, args=args)
+
+
+def parse(source: str) -> Program:
+    """Parse MiniC source text into an AST."""
+    parser = Parser(tokenize(source))
+    return parser.parse_program()

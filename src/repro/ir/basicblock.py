@@ -1,0 +1,61 @@
+"""Basic blocks: straight-line instruction sequences ended by a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.errors import IRError
+from repro.ir.instructions import Branch, Instruction, Jump, Ret
+
+
+class BasicBlock:
+    """A labeled sequence of instructions; the last one is the terminator."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instructions: List[Instruction] = []
+
+    def append(self, inst: Instruction) -> None:
+        """Append an instruction; refuses to add past a terminator."""
+        if self.is_terminated:
+            raise IRError(
+                f"block .{self.label} already terminated; cannot append {inst}"
+            )
+        self.instructions.append(inst)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The terminator instruction, or None if the block is open."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successor_labels(self) -> List[str]:
+        """Labels of CFG successor blocks (empty for returns/open blocks)."""
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, Branch):
+            if term.if_true == term.if_false:
+                return [term.if_true]
+            return [term.if_true, term.if_false]
+        if isinstance(term, Ret):
+            return []
+        return []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {inst}" for inst in self.instructions)
+        return f".{self.label}:\n{body}"
+
+    def __repr__(self) -> str:
+        return f"BasicBlock(.{self.label}, {len(self.instructions)} insts)"

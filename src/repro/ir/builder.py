@@ -1,0 +1,194 @@
+"""IRBuilder: ergonomic construction of IR functions.
+
+The builder keeps an insertion point (a block) and provides one ``emit_*``
+method per instruction kind, creating fresh typed registers on demand. It is
+used by the MiniC lowering pass and by tests that hand-build programs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function, Param
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Jump,
+    Load,
+    Move,
+    Opcode,
+    Ret,
+    Store,
+    UnOp,
+    UnaryOpcode,
+)
+from repro.ir.module import Module
+from repro.ir.types import IntType, common_type
+from repro.ir.values import Const, MemorySpace, Register, Value, Variable
+
+
+def _value_type(value: Value) -> IntType:
+    if isinstance(value, (Register, Const)):
+        return value.type
+    raise IRError(f"operand {value} has no scalar type")
+
+
+class IRBuilder:
+    """Builds instructions into a current block of a current function."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.function: Optional[Function] = None
+        self.block: Optional[BasicBlock] = None
+        self._reg_counter = 0
+        self._label_counter = 0
+
+    # -- function/block management ------------------------------------------
+
+    def start_function(
+        self,
+        name: str,
+        params: Optional[List[Param]] = None,
+        return_type: Optional[IntType] = None,
+    ) -> Function:
+        """Create a function, its entry block, and position the builder."""
+        func = Function(name, params, return_type)
+        self.module.add_function(func)
+        self.function = func
+        self._reg_counter = 0
+        self._label_counter = 0
+        entry = func.add_block("entry")
+        self.block = entry
+        return func
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a new (unpositioned) block with a fresh label."""
+        if self.function is None:
+            raise IRError("builder has no current function")
+        self._label_counter += 1
+        return self.function.add_block(f"{hint}{self._label_counter}")
+
+    def position_at(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def fresh_reg(self, type_: IntType, hint: str = "t") -> Register:
+        self._reg_counter += 1
+        return Register(f"{hint}{self._reg_counter}", type_)
+
+    def local(
+        self,
+        name: str,
+        type_: IntType,
+        count: int = 1,
+        is_const: bool = False,
+        init: Optional[List[int]] = None,
+    ) -> Variable:
+        """Declare a local variable of the current function (mangled name)."""
+        if self.function is None:
+            raise IRError("builder has no current function")
+        var = Variable(
+            name=f"{self.function.name}.{name}",
+            type=type_,
+            count=count,
+            is_const=is_const,
+            init=init,
+        )
+        self.function.add_variable(var, bare_name=name)
+        return var
+
+    # -- emitters -------------------------------------------------------------
+
+    def _append(self, inst) -> None:
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        self.block.append(inst)
+
+    def emit_move(self, src: Value, type_: Optional[IntType] = None) -> Register:
+        dest = self.fresh_reg(type_ or _value_type(src))
+        self._append(Move(dest, src))
+        return dest
+
+    def emit_binop(
+        self,
+        op: Opcode,
+        lhs: Value,
+        rhs: Value,
+        type_: Optional[IntType] = None,
+    ) -> Register:
+        if type_ is None:
+            merged = common_type(_value_type(lhs), _value_type(rhs))
+            from repro.ir.types import U8
+
+            type_ = U8 if op.is_comparison else merged
+        dest = self.fresh_reg(type_)
+        self._append(BinOp(op, dest, lhs, rhs))
+        return dest
+
+    def emit_unop(
+        self, op: UnaryOpcode, src: Value, type_: Optional[IntType] = None
+    ) -> Register:
+        if type_ is None:
+            from repro.ir.types import U8
+
+            type_ = U8 if op is UnaryOpcode.LNOT else _value_type(src)
+        dest = self.fresh_reg(type_)
+        self._append(UnOp(op, dest, src))
+        return dest
+
+    def emit_load(
+        self,
+        var: Variable,
+        index: Optional[Value] = None,
+        space: MemorySpace = MemorySpace.AUTO,
+    ) -> Register:
+        if var.is_array and index is None:
+            raise IRError(f"load of array {var.name} needs an index")
+        if not var.is_array and index is not None:
+            raise IRError(f"load of scalar {var.name} must not have an index")
+        dest = self.fresh_reg(var.type)
+        self._append(Load(dest, var, index, space))
+        return dest
+
+    def emit_store(
+        self,
+        var: Variable,
+        value: Value,
+        index: Optional[Value] = None,
+        space: MemorySpace = MemorySpace.AUTO,
+    ) -> None:
+        if var.is_const:
+            raise IRError(f"store to const variable {var.name}")
+        if var.is_array and index is None:
+            raise IRError(f"store to array {var.name} needs an index")
+        if not var.is_array and index is not None:
+            raise IRError(f"store to scalar {var.name} must not have an index")
+        self._append(Store(var, index, value, space))
+
+    def emit_call(
+        self,
+        callee: str,
+        args: Optional[List[Value]] = None,
+        return_type: Optional[IntType] = None,
+    ) -> Optional[Register]:
+        dest = self.fresh_reg(return_type) if return_type is not None else None
+        self._append(Call(dest, callee, list(args or [])))
+        return dest
+
+    def emit_jump(self, target: BasicBlock) -> None:
+        self._append(Jump(target.label))
+
+    def emit_branch(
+        self, cond: Value, if_true: BasicBlock, if_false: BasicBlock
+    ) -> None:
+        self._append(Branch(cond, if_true.label, if_false.label))
+
+    def emit_ret(self, value: Optional[Value] = None) -> None:
+        self._append(Ret(value))
+
+    # -- convenience ----------------------------------------------------------
+
+    def const(self, value: int, type_: IntType) -> Const:
+        return Const(type_.wrap(value), type_)

@@ -1,0 +1,257 @@
+"""Classic IR cleanup passes: constant folding, branch simplification,
+jump threading and unreachable-block elimination.
+
+These run *before* checkpoint placement (they change code layout, which
+placement treats as final). They deliberately do **not** promote variables
+to registers — the paper's setting keeps variables memory-resident so the
+allocation passes can reason about them (§II-A) — so loads/stores are
+untouched except where their operands fold.
+
+Use :func:`optimize_module` for the standard pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Instruction,
+    Jump,
+    Move,
+    Opcode,
+    UnOp,
+    UnaryOpcode,
+)
+from repro.ir.module import Module
+from repro.ir.values import Const, Register, Value
+
+
+def _fold_binop(op: Opcode, a: int, b: int, dest_type) -> Optional[int]:
+    """Evaluate a binary op on constants with the interpreter's semantics;
+    None when the operation would trap (division by zero stays in the code
+    so the runtime error is preserved)."""
+    if op is Opcode.ADD:
+        result = a + b
+    elif op is Opcode.SUB:
+        result = a - b
+    elif op is Opcode.MUL:
+        result = a * b
+    elif op is Opcode.DIV:
+        if b == 0:
+            return None
+        result = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            result = -result
+    elif op is Opcode.REM:
+        if b == 0:
+            return None
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        result = a - quotient * b
+    elif op is Opcode.AND:
+        result = a & b
+    elif op is Opcode.OR:
+        result = a | b
+    elif op is Opcode.XOR:
+        result = a ^ b
+    elif op is Opcode.SHL:
+        result = a << (b & 31)
+    elif op is Opcode.SHR:
+        result = a >> (b & 31)
+    elif op is Opcode.EQ:
+        result = int(a == b)
+    elif op is Opcode.NE:
+        result = int(a != b)
+    elif op is Opcode.LT:
+        result = int(a < b)
+    elif op is Opcode.LE:
+        result = int(a <= b)
+    elif op is Opcode.GT:
+        result = int(a > b)
+    else:
+        result = int(a >= b)
+    return dest_type.wrap(result)
+
+
+class _ConstEnv:
+    """Block-local constant tracking for registers (registers are written
+    once per block in practice, but the analysis stays sound for re-writes
+    by updating the binding at each definition)."""
+
+    def __init__(self) -> None:
+        self.values: Dict[str, int] = {}
+
+    def resolve(self, value: Value) -> Value:
+        if isinstance(value, Register) and value.name in self.values:
+            return Const(value.type.wrap(self.values[value.name]), value.type)
+        return value
+
+    def define(self, reg: Register, value: Optional[int]) -> None:
+        if value is None:
+            self.values.pop(reg.name, None)
+        else:
+            self.values[reg.name] = value
+
+
+def fold_constants(func: Function) -> int:
+    """Block-local constant folding and copy propagation through Moves.
+
+    Returns the number of instructions simplified. Cross-block registers
+    (e.g. the short-circuit result registers) are never folded: the
+    environment resets at block entry.
+    """
+    folded = 0
+    for block in func.blocks.values():
+        env = _ConstEnv()
+        new_instructions: List[Instruction] = []
+        for inst in block.instructions:
+            if isinstance(inst, Move):
+                src = env.resolve(inst.src)
+                if isinstance(src, Const):
+                    env.define(inst.dest, inst.dest.type.wrap(src.value))
+                    new_instructions.append(Move(inst.dest, src))
+                    folded += 1 if src is not inst.src else 0
+                    continue
+                env.define(inst.dest, None)
+                new_instructions.append(inst)
+            elif isinstance(inst, UnOp):
+                src = env.resolve(inst.src)
+                if isinstance(src, Const):
+                    if inst.op is UnaryOpcode.NEG:
+                        value = -src.value
+                    elif inst.op is UnaryOpcode.NOT:
+                        value = ~src.value
+                    else:
+                        value = int(src.value == 0)
+                    value = inst.dest.type.wrap(value)
+                    env.define(inst.dest, value)
+                    new_instructions.append(
+                        Move(inst.dest, Const(value, inst.dest.type))
+                    )
+                    folded += 1
+                    continue
+                env.define(inst.dest, None)
+                new_instructions.append(inst)
+            elif isinstance(inst, BinOp):
+                lhs = env.resolve(inst.lhs)
+                rhs = env.resolve(inst.rhs)
+                if isinstance(lhs, Const) and isinstance(rhs, Const):
+                    value = _fold_binop(
+                        inst.op, lhs.value, rhs.value, inst.dest.type
+                    )
+                    if value is not None:
+                        env.define(inst.dest, value)
+                        new_instructions.append(
+                            Move(inst.dest, Const(value, inst.dest.type))
+                        )
+                        folded += 1
+                        continue
+                if lhs is not inst.lhs or rhs is not inst.rhs:
+                    folded += 1
+                env.define(inst.dest, None)
+                new_instructions.append(BinOp(inst.op, inst.dest, lhs, rhs))
+            elif isinstance(inst, Branch):
+                cond = env.resolve(inst.cond)
+                if isinstance(cond, Const):
+                    target = inst.if_true if cond.value != 0 else inst.if_false
+                    new_instructions.append(Jump(target))
+                    folded += 1
+                else:
+                    new_instructions.append(inst)
+            else:
+                for reg in inst.defs():
+                    env.define(reg, None)
+                new_instructions.append(inst)
+        block.instructions = new_instructions
+    return folded
+
+
+def thread_jumps(func: Function) -> int:
+    """Redirect edges that land on empty forwarding blocks (a lone Jump).
+
+    The forwarding blocks themselves become unreachable and are removed by
+    :func:`remove_unreachable_blocks`. Self-forwarding cycles are left
+    alone. Blocks holding checkpoint instructions are never threaded away.
+    """
+    forwards: Dict[str, str] = {}
+    for label, block in func.blocks.items():
+        if len(block.instructions) == 1 and isinstance(
+            block.instructions[0], Jump
+        ):
+            forwards[label] = block.instructions[0].target
+
+    def final_target(label: str) -> str:
+        seen = {label}
+        while label in forwards:
+            label = forwards[label]
+            if label in seen:
+                return label  # cycle: give up
+            seen.add(label)
+        return label
+
+    changed = 0
+    for block in func.blocks.values():
+        term = block.terminator
+        if isinstance(term, Jump):
+            target = final_target(term.target)
+            if target != term.target and target != block.label:
+                term.target = target
+                changed += 1
+        elif isinstance(term, Branch):
+            for attr in ("if_true", "if_false"):
+                target = final_target(getattr(term, attr))
+                if target != getattr(term, attr) and target != block.label:
+                    setattr(term, attr, target)
+                    changed += 1
+    # The entry block may itself be a forwarder; don't remove it (callers
+    # rely on the first block being the entry), remove_unreachable keeps it.
+    return changed
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete blocks unreachable from the entry. Returns how many."""
+    reachable: Set[str] = set()
+    work = [func.entry.label]
+    while work:
+        label = work.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        work.extend(func.blocks[label].successor_labels())
+    doomed = [label for label in func.blocks if label not in reachable]
+    for label in doomed:
+        del func.blocks[label]
+        func.loop_maxiter.pop(label, None)
+        func.atomic_ranges = [
+            r for r in func.atomic_ranges if r[0] != label
+        ]
+    return len(doomed)
+
+
+def optimize_function(func: Function) -> Dict[str, int]:
+    """Run the standard pipeline to a fixpoint on one function."""
+    stats = {"folded": 0, "threaded": 0, "removed_blocks": 0}
+    for _ in range(8):  # fixpoint bound; each round strictly shrinks work
+        folded = fold_constants(func)
+        threaded = thread_jumps(func)
+        removed = remove_unreachable_blocks(func)
+        stats["folded"] += folded
+        stats["threaded"] += threaded
+        stats["removed_blocks"] += removed
+        if not (folded or threaded or removed):
+            break
+    return stats
+
+
+def optimize_module(module: Module) -> Dict[str, int]:
+    """Optimize every function in place; returns aggregate statistics."""
+    totals = {"folded": 0, "threaded": 0, "removed_blocks": 0}
+    for func in module.functions.values():
+        stats = optimize_function(func)
+        for key, value in stats.items():
+            totals[key] += value
+    return totals

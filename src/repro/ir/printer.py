@@ -1,0 +1,58 @@
+"""Textual dump of IR modules and functions (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Variable
+
+
+def _format_variable(var: Variable) -> str:
+    flags = []
+    if var.is_const:
+        flags.append("const")
+    if var.is_ref:
+        flags.append("ref")
+    if var.pinned_nvm:
+        flags.append("pinned_nvm")
+    flag_str = f" [{', '.join(flags)}]" if flags else ""
+    init_str = ""
+    if var.init is not None:
+        shown = ", ".join(str(v) for v in var.init)
+        init_str = f" = {{{shown}}}"
+    return f"{var}{flag_str}{init_str}"
+
+
+def print_function(func: Function) -> str:
+    """Render one function as text."""
+    lines: List[str] = []
+    params = ", ".join(
+        f"{'&' if p.is_ref else ''}{p.name}:{p.type}" for p in func.params
+    )
+    ret = str(func.return_type) if func.return_type is not None else "void"
+    lines.append(f"func @{func.name}({params}) -> {ret} {{")
+    for bare, var in func.variables.items():
+        lines.append(f"  local {bare}: {_format_variable(var)}")
+    for label, bound in func.loop_maxiter.items():
+        lines.append(f"  maxiter .{label} = {bound}")
+    for label, start, end in func.atomic_ranges:
+        lines.append(f"  atomic .{label} [{start}:{end}]")
+    for block in func.blocks.values():
+        lines.append(f".{block.label}:")
+        for inst in block:
+            lines.append(f"    {inst}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module as text."""
+    lines: List[str] = [f"module {module.name} (entry @{module.entry})"]
+    for var in module.globals.values():
+        lines.append(f"global {_format_variable(var)}")
+    for func in module.functions.values():
+        lines.append("")
+        lines.append(print_function(func))
+    return "\n".join(lines)

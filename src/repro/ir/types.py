@@ -1,0 +1,90 @@
+"""Integer types of the IR.
+
+The MSP430-class targets SCHEMATIC evaluates on are integer-only
+microcontrollers, so the IR supports fixed-width two's-complement integers
+(the MiBench2 kernels used in the paper are integer/fixed-point codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntType:
+    """A fixed-width integer type.
+
+    Attributes:
+        bits: width in bits (8, 16 or 32).
+        signed: two's-complement signed if True, unsigned otherwise.
+    """
+
+    bits: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.bits not in (8, 16, 32):
+            raise ValueError(f"unsupported integer width: {self.bits}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage size of one value of this type, in bytes."""
+        return self.bits // 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` into this type's range with wraparound semantics.
+
+        This is the single place where the emulator's integer arithmetic is
+        made to match fixed-width hardware behaviour.
+        """
+        masked = value & ((1 << self.bits) - 1)
+        if self.signed and masked >= (1 << (self.bits - 1)):
+            masked -= 1 << self.bits
+        return masked
+
+    def contains(self, value: int) -> bool:
+        """True if ``value`` is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        return f"{'i' if self.signed else 'u'}{self.bits}"
+
+
+I8 = IntType(8, True)
+U8 = IntType(8, False)
+I16 = IntType(16, True)
+U16 = IntType(16, False)
+I32 = IntType(32, True)
+U32 = IntType(32, False)
+
+_BY_NAME = {str(t): t for t in (I8, U8, I16, U16, I32, U32)}
+
+
+def type_from_name(name: str) -> IntType:
+    """Look up a type by its textual name (``"i32"``, ``"u8"``, ...)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown type name: {name!r}") from None
+
+
+def common_type(a: IntType, b: IntType) -> IntType:
+    """Usual-arithmetic-conversions result type for a binary operation.
+
+    The wider width wins; on equal widths, unsigned wins (C-like promotion,
+    which is what clang would produce for the MiBench kernels).
+    """
+    bits = max(a.bits, b.bits)
+    if a.bits == b.bits:
+        signed = a.signed and b.signed
+    else:
+        signed = a.signed if a.bits > b.bits else b.signed
+    return IntType(bits, signed)

@@ -1,0 +1,148 @@
+"""Structural validation of IR modules.
+
+``validate_module`` raises :class:`~repro.errors.IRValidationError` on the
+first problem found, or returns the module (enabling
+``validate_module(lower(...))`` chaining). The checks are the invariants the
+rest of the library relies on; every compilation pipeline in this repo runs
+the validator after lowering and after each transformation pass.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import IRValidationError
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Branch,
+    Call,
+    Checkpoint,
+    CondCheckpoint,
+    Jump,
+    Load,
+    Ret,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import VarRef
+
+
+def _fail(where: str, message: str) -> None:
+    raise IRValidationError(f"{where}: {message}")
+
+
+def _validate_function(module: Module, func: Function) -> None:
+    where = f"@{func.name}"
+    if not func.blocks:
+        _fail(where, "function has no blocks")
+
+    labels = set(func.blocks)
+    known_vars = set(func.variables.values()) | set(module.globals.values())
+
+    # Parameters must have backing variables.
+    for param in func.params:
+        if param.name not in func.variables:
+            _fail(where, f"parameter {param.name!r} has no backing variable")
+        backing = func.variables[param.name]
+        if param.is_ref and not backing.is_ref:
+            _fail(where, f"array parameter {param.name!r} backing is not is_ref")
+
+    defined: Set[str] = set()  # registers defined anywhere in the function
+    for reg in func.arg_registers():
+        if reg is not None:
+            defined.add(reg.name)
+    for block in func.blocks.values():
+        for inst in block:
+            for reg in inst.defs():
+                defined.add(reg.name)
+
+    ckpt_ids: Set[int] = set()
+    for block in func.blocks.values():
+        bwhere = f"{where}/.{block.label}"
+        if not block.is_terminated:
+            _fail(bwhere, "block has no terminator")
+        for i, inst in enumerate(block):
+            if inst.is_terminator and i != len(block.instructions) - 1:
+                _fail(bwhere, f"terminator {inst} is not the last instruction")
+
+            for reg in inst.uses():
+                if reg.name not in defined:
+                    _fail(bwhere, f"{inst}: use of undefined register %{reg.name}")
+
+            if isinstance(inst, (Load, Store)):
+                if inst.var not in known_vars:
+                    _fail(bwhere, f"{inst}: unknown variable @{inst.var.name}")
+                if inst.var.is_array and inst.index is None:
+                    _fail(bwhere, f"{inst}: array access without index")
+                if not inst.var.is_array and inst.index is not None:
+                    _fail(bwhere, f"{inst}: scalar access with index")
+                if isinstance(inst, Store) and inst.var.is_const:
+                    _fail(bwhere, f"{inst}: store to const variable")
+
+            if isinstance(inst, Call):
+                if inst.callee not in module.functions:
+                    _fail(bwhere, f"{inst}: call to unknown function")
+                callee = module.functions[inst.callee]
+                if len(inst.args) != len(callee.params):
+                    _fail(
+                        bwhere,
+                        f"{inst}: {len(inst.args)} args, callee expects "
+                        f"{len(callee.params)}",
+                    )
+                for arg, param in zip(inst.args, callee.params):
+                    if param.is_ref != isinstance(arg, VarRef):
+                        _fail(
+                            bwhere,
+                            f"{inst}: argument for {param.name!r} must "
+                            f"{'be' if param.is_ref else 'not be'} by-reference",
+                        )
+                if inst.dest is not None and callee.return_type is None:
+                    _fail(bwhere, f"{inst}: void callee used as a value")
+
+            if isinstance(inst, Jump):
+                if inst.target not in labels:
+                    _fail(bwhere, f"{inst}: unknown target")
+            if isinstance(inst, Branch):
+                for target in (inst.if_true, inst.if_false):
+                    if target not in labels:
+                        _fail(bwhere, f"{inst}: unknown target .{target}")
+
+            if isinstance(inst, Ret):
+                if func.return_type is None and inst.value is not None:
+                    _fail(bwhere, f"{inst}: value returned from void function")
+                if func.return_type is not None and inst.value is None:
+                    _fail(bwhere, f"{inst}: missing return value")
+
+            if isinstance(inst, (Checkpoint, CondCheckpoint)):
+                if inst.ckpt_id in ckpt_ids:
+                    _fail(bwhere, f"{inst}: duplicate checkpoint id in function")
+                ckpt_ids.add(inst.ckpt_id)
+
+    # Every non-entry block should be reachable from the entry.
+    reachable: Set[str] = set()
+    work = [func.entry.label]
+    while work:
+        label = work.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        work.extend(func.blocks[label].successor_labels())
+    unreachable = set(func.blocks) - reachable
+    if unreachable:
+        _fail(where, f"unreachable blocks: {sorted(unreachable)}")
+
+
+def validate_module(module: Module) -> Module:
+    """Validate a module; raises :class:`IRValidationError` on any problem."""
+    if module.entry not in module.functions:
+        _fail(f"module {module.name}", f"no entry function @{module.entry}")
+    entry = module.functions[module.entry]
+    if entry.params:
+        _fail(
+            f"module {module.name}",
+            "entry function must take no parameters "
+            "(inputs are provided through global variables)",
+        )
+    for func in module.functions.values():
+        _validate_function(module, func)
+    return module

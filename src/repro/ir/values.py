@@ -1,0 +1,132 @@
+"""Operand kinds and program variables.
+
+The allocation unit of SCHEMATIC is the *variable* — a named scalar or array
+considered as a whole (paper §III-A: "Memory allocation is performed at the
+granularity of variables in the source code (scalars, structs, arrays
+considered as a whole)"). Expression temporaries are *registers*: volatile
+state saved as part of the register file at checkpoints, never allocated to
+memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.ir.types import IntType
+
+
+class MemorySpace(enum.Enum):
+    """Where a memory access (or a variable) is directed."""
+
+    VM = "vm"
+    NVM = "nvm"
+    #: Not yet decided — the state of every access before a placement pass
+    #: (SCHEMATIC or a baseline) rewrites the program.
+    AUTO = "auto"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Register:
+    """A virtual register (per-function mutable temporary)."""
+
+    name: str
+    type: IntType
+
+    def __str__(self) -> str:
+        return f"%{self.name}:{self.type}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal operand."""
+
+    value: int
+    type: IntType
+
+    def __post_init__(self) -> None:
+        if not self.type.contains(self.value):
+            raise ValueError(
+                f"constant {self.value} does not fit in type {self.type}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.value}:{self.type}"
+
+
+@dataclass(eq=False)
+class Variable:
+    """A named memory-resident program variable (scalar or array).
+
+    Attributes:
+        name: unique name within its scope (module for globals, function for
+            locals; the frontend mangles local names as ``func.name``).
+        type: element type.
+        count: number of elements (1 for scalars).
+        is_const: read-only data (e.g. an S-box). Const variables live in NVM
+            program memory, are never checkpointed, and may still be *cached*
+            in VM by an allocation pass (restore cost only, no save cost).
+        is_ref: the variable is a by-reference array parameter; at run time it
+            binds to a caller variable. Per the paper's pointer rule
+            (§IV-A: "variables accessed through pointers are systematically
+            allocated in NVM"), ref parameters and every variable ever bound
+            to one are pinned to NVM.
+        pinned_nvm: set when the pointer rule (or a technique decision)
+            forbids VM allocation for this variable.
+        init: optional initial values (length ``count``), stored in NVM at
+            program load.
+        is_global: module-level variable (False for function locals).
+    """
+
+    name: str
+    type: IntType
+    count: int = 1
+    is_const: bool = False
+    is_ref: bool = False
+    pinned_nvm: bool = False
+    init: Optional[List[int]] = None
+    is_global: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"variable {self.name!r} has count {self.count}")
+        if self.init is not None and len(self.init) != self.count:
+            raise ValueError(
+                f"variable {self.name!r}: init has {len(self.init)} values, "
+                f"expected {self.count}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        """Total storage footprint of the variable."""
+        return self.count * self.type.size_bytes
+
+    @property
+    def is_array(self) -> bool:
+        return self.count > 1
+
+    def __str__(self) -> str:
+        suffix = f"[{self.count}]" if self.is_array else ""
+        return f"@{self.name}:{self.type}{suffix}"
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A by-reference argument operand: passes ``variable`` to an array
+    parameter of a callee."""
+
+    variable: Variable
+
+    def __str__(self) -> str:
+        return f"&{self.variable.name}"
+
+
+#: Anything that can appear as an instruction operand.
+Value = Union[Register, Const, VarRef]

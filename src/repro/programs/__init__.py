@@ -1,0 +1,66 @@
+"""The eight MiBench2-style benchmarks of the paper's evaluation (§IV-A),
+re-written in MiniC: aes, basicmath, bitcount, crc, dijkstra, fft,
+randmath, rc4.
+
+Data footprints reproduce the paper's feasibility classes against the
+MSP430FR5969's 2 KB VM (Table I): dijkstra (~30 KB), fft (~16.5 KB) and
+rc4 (~6.3 KB) exceed it; the other five fit.
+
+Use :func:`get_benchmark` / :func:`all_benchmarks`.
+"""
+
+from repro.programs.base import Benchmark
+from repro.programs import (
+    aes,
+    basicmath,
+    bitcount,
+    crc,
+    dijkstra,
+    fft,
+    randmath,
+    rc4,
+)
+
+#: Paper order (Tables I-III read left to right in this order).
+BENCHMARK_NAMES = [
+    "aes",
+    "basicmath",
+    "bitcount",
+    "crc",
+    "dijkstra",
+    "fft",
+    "randmath",
+    "rc4",
+]
+
+_FACTORIES = {
+    "aes": aes.build,
+    "basicmath": basicmath.build,
+    "bitcount": bitcount.build,
+    "crc": crc.build,
+    "dijkstra": dijkstra.build,
+    "fft": fft.build,
+    "randmath": randmath.build,
+    "rc4": rc4.build,
+}
+
+_CACHE = {}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Build (and cache) one benchmark by name."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _FACTORIES[name]()
+    return _CACHE[name]
+
+
+def all_benchmarks():
+    """All eight benchmarks, in paper order."""
+    return [get_benchmark(name) for name in BENCHMARK_NAMES]
+
+
+__all__ = ["Benchmark", "BENCHMARK_NAMES", "get_benchmark", "all_benchmarks"]

@@ -1,0 +1,201 @@
+"""aes — AES-128 ECB encryption (MiBench2 ``aes``).
+
+Encrypts a multi-block buffer in place with a freshly expanded key.
+Footprint (sbox 256 + rcon 10 + key 16 + expanded key 176 + state 16 +
+buffer 1280 + locals) stays under the 2 KB VM, matching Table I.
+
+The S-box and round constants are generated here (standard AES GF(2^8)
+construction) and embedded as const tables.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark, format_table
+
+NUM_BLOCKS = 52
+BUF_BYTES = NUM_BLOCKS * 16
+
+
+def _generate_sbox():
+    """The AES S-box from first principles (multiplicative inverse in
+    GF(2^8) followed by the affine transformation)."""
+
+    def gf_mul(a: int, b: int) -> int:
+        result = 0
+        for _ in range(8):
+            if b & 1:
+                result ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return result
+
+    # Build inverses via exponentiation tables on the generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        transformed = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= b << bit
+        sbox[value] = transformed
+    return sbox
+
+
+def _generate_rcon():
+    rcon = []
+    value = 1
+    for _ in range(10):
+        rcon.append(value)
+        value <<= 1
+        if value & 0x100:
+            value = (value & 0xFF) ^ 0x1B
+    return rcon
+
+
+SBOX = _generate_sbox()
+RCON = _generate_rcon()
+
+SOURCE = f"""
+const u8 sbox[256] = {format_table(SBOX)};
+const u8 rcon[10] = {format_table(RCON)};
+
+u8 key[16];
+u8 buf[{BUF_BYTES}];
+u8 xkey[176];
+u8 state[16];
+u32 checksum;
+
+void expand_key() {{
+    for (i32 i = 0; i < 16; i++) {{
+        xkey[i] = key[i];
+    }}
+    for (i32 r = 1; r <= 10; r++) {{
+        i32 base = r * 16;
+        u8 t0 = sbox[xkey[base - 3]];
+        u8 t1 = sbox[xkey[base - 2]];
+        u8 t2 = sbox[xkey[base - 1]];
+        u8 t3 = sbox[xkey[base - 4]];
+        xkey[base] = (u8) (xkey[base - 16] ^ t0 ^ rcon[r - 1]);
+        xkey[base + 1] = (u8) (xkey[base - 15] ^ t1);
+        xkey[base + 2] = (u8) (xkey[base - 14] ^ t2);
+        xkey[base + 3] = (u8) (xkey[base - 13] ^ t3);
+        for (i32 c = 4; c < 16; c++) {{
+            xkey[base + c] = (u8) (xkey[base + c - 16] ^ xkey[base + c - 4]);
+        }}
+    }}
+}}
+
+u8 xtime(u8 x) {{
+    u8 doubled = (u8) (x << 1);
+    if ((x >> 7) != 0) {{
+        doubled ^= 0x1b;
+    }}
+    return doubled;
+}}
+
+void add_round_key(i32 round) {{
+    i32 base = round * 16;
+    for (i32 i = 0; i < 16; i++) {{
+        state[i] ^= xkey[base + i];
+    }}
+}}
+
+void sub_bytes() {{
+    for (i32 i = 0; i < 16; i++) {{
+        state[i] = sbox[state[i]];
+    }}
+}}
+
+void shift_rows() {{
+    u8 t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    t = state[2];
+    state[2] = state[10];
+    state[10] = t;
+    t = state[6];
+    state[6] = state[14];
+    state[14] = t;
+    t = state[3];
+    state[3] = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = t;
+}}
+
+void mix_columns() {{
+    for (i32 c = 0; c < 4; c++) {{
+        i32 base = c * 4;
+        u8 a0 = state[base];
+        u8 a1 = state[base + 1];
+        u8 a2 = state[base + 2];
+        u8 a3 = state[base + 3];
+        u8 all = (u8) (a0 ^ a1 ^ a2 ^ a3);
+        state[base] = (u8) (a0 ^ all ^ xtime((u8) (a0 ^ a1)));
+        state[base + 1] = (u8) (a1 ^ all ^ xtime((u8) (a1 ^ a2)));
+        state[base + 2] = (u8) (a2 ^ all ^ xtime((u8) (a2 ^ a3)));
+        state[base + 3] = (u8) (a3 ^ all ^ xtime((u8) (a3 ^ a0)));
+    }}
+}}
+
+void encrypt_block(i32 offset) {{
+    for (i32 i = 0; i < 16; i++) {{
+        state[i] = buf[offset + i];
+    }}
+    add_round_key(0);
+    for (i32 round = 1; round < 10; round++) {{
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }}
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+    for (i32 i = 0; i < 16; i++) {{
+        buf[offset + i] = state[i];
+    }}
+}}
+
+void main() {{
+    expand_key();
+    for (i32 b = 0; b < {NUM_BLOCKS}; b++) {{
+        encrypt_block(b * 16);
+    }}
+    u32 sum = 0;
+    for (i32 i = 0; i < {BUF_BYTES}; i++) {{
+        sum += (u32) buf[i];
+    }}
+    checksum = sum;
+}}
+"""
+
+
+def build() -> Benchmark:
+    return Benchmark(
+        name="aes",
+        source=SOURCE,
+        input_vars={"key": 256, "buf": 256},
+        output_vars=["buf", "checksum"],
+    )

@@ -1,0 +1,98 @@
+"""basicmath — integer square/cube roots and angle conversions
+(MiBench2 ``basicmath``, integer-only re-expression).
+
+The original computes cubic roots, integer square roots and degree/radian
+conversions; we do the same in fixed point: a bit-by-bit ``isqrt``, a
+Newton ``icbrt`` and Q12 angle conversions over an input vector.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark
+
+N = 64
+PASSES = 2
+
+SOURCE = f"""
+u32 values[{N}];
+u32 out_sqrt[{N}];
+u32 out_cbrt[{N}];
+i32 out_deg[{N}];
+u32 total;
+
+u32 isqrt(u32 x) {{
+    u32 op = x;
+    u32 res = 0;
+    u32 one = 0x40000000;
+    @maxiter(16)
+    while (one > op) {{
+        one >>= 2;
+    }}
+    @maxiter(16)
+    while (one != 0) {{
+        if (op >= res + one) {{
+            op -= res + one;
+            res = (res >> 1) + one;
+        }} else {{
+            res >>= 1;
+        }}
+        one >>= 2;
+    }}
+    return res;
+}}
+
+u32 icbrt(u32 x) {{
+    if (x == 0) {{
+        return 0;
+    }}
+    u32 guess = x;
+    if (guess > 1625) {{
+        guess = 1625;  /* cbrt(2^32) upper bound */
+    }}
+    @maxiter(64)
+    while (guess * guess * guess > x) {{
+        u32 next = (2 * guess + x / (guess * guess)) / 3;
+        if (next >= guess) {{
+            break;
+        }}
+        guess = next;
+    }}
+    return guess;
+}}
+
+/* Q12 fixed point: 180/pi = 57.2958 -> 234684/4096, pi/180 -> 71.57/4096 */
+i32 rad_to_deg_q12(i32 rad_q12) {{
+    return (i32) (((rad_q12 * 14668) >> 8));
+}}
+
+i32 deg_to_rad_q12(i32 deg_q12) {{
+    return (i32) ((deg_q12 * 71) >> 12);
+}}
+
+void main() {{
+    u32 acc = 0;
+    for (i32 pass = 0; pass < {PASSES}; pass++) {{
+        for (i32 i = 0; i < {N}; i++) {{
+            u32 v = values[i] + (u32) pass * 977;
+            u32 s = isqrt(v);
+            u32 c = icbrt(v);
+            i32 d = rad_to_deg_q12((i32) (v & 0x3fff));
+            i32 r = deg_to_rad_q12(d);
+            out_sqrt[i] = s;
+            out_cbrt[i] = c;
+            out_deg[i] = d - r;
+            acc += s + c + (u32) d;
+        }}
+    }}
+    total = acc;
+}}
+"""
+
+
+def build() -> Benchmark:
+    return Benchmark(
+        name="basicmath",
+        source=SOURCE,
+        input_vars={"values": 1 << 26},
+        output_vars=["out_sqrt", "out_cbrt", "out_deg", "total"],
+    )

@@ -1,0 +1,95 @@
+"""bitcount — population counts with five algorithms (MiBench2
+``bitcount``): iterated shift-and, Kernighan's sparse loop, nibble-table
+lookup, byte-table lookup and the SWAR reduction. Each method runs over the
+whole input vector for several passes; per-method totals are the output.
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark, format_table
+
+N = 96
+PASSES = 5
+
+NIBBLE_TABLE = [bin(i).count("1") for i in range(16)]
+BYTE_TABLE = [bin(i).count("1") for i in range(256)]
+
+SOURCE = f"""
+const u8 nibble_bits[16] = {format_table(NIBBLE_TABLE)};
+const u8 byte_bits[256] = {format_table(BYTE_TABLE)};
+
+u32 data[{N}];
+u32 counts[5];
+u32 total;
+
+u32 count_shift(u32 x) {{
+    u32 n = 0;
+    for (i32 i = 0; i < 32; i++) {{
+        n += (x >> i) & 1;
+    }}
+    return n;
+}}
+
+u32 count_kernighan(u32 x) {{
+    u32 n = 0;
+    @maxiter(32)
+    while (x != 0) {{
+        x &= x - 1;
+        n++;
+    }}
+    return n;
+}}
+
+u32 count_nibbles(u32 x) {{
+    u32 n = 0;
+    for (i32 i = 0; i < 8; i++) {{
+        n += (u32) nibble_bits[(x >> (i * 4)) & 15];
+    }}
+    return n;
+}}
+
+u32 count_bytes(u32 x) {{
+    u32 n = 0;
+    for (i32 i = 0; i < 4; i++) {{
+        n += (u32) byte_bits[(x >> (i * 8)) & 255];
+    }}
+    return n;
+}}
+
+u32 count_swar(u32 x) {{
+    x = x - ((x >> 1) & 0x55555555);
+    x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+    x = (x + (x >> 4)) & 0x0f0f0f0f;
+    return (x * 0x01010101) >> 24;
+}}
+
+void main() {{
+    for (i32 m = 0; m < 5; m++) {{
+        counts[m] = 0;
+    }}
+    for (i32 pass = 0; pass < {PASSES}; pass++) {{
+        for (i32 i = 0; i < {N}; i++) {{
+            u32 v = data[i] + (u32) pass;
+            counts[0] += count_shift(v);
+            counts[1] += count_kernighan(v);
+            counts[2] += count_nibbles(v);
+            counts[3] += count_bytes(v);
+            counts[4] += count_swar(v);
+        }}
+    }}
+    u32 acc = 0;
+    for (i32 m = 0; m < 5; m++) {{
+        acc += counts[m];
+    }}
+    total = acc;
+}}
+"""
+
+
+def build() -> Benchmark:
+    return Benchmark(
+        name="bitcount",
+        source=SOURCE,
+        input_vars={"data": 1 << 32},
+        output_vars=["counts", "total"],
+    )

@@ -1,0 +1,69 @@
+"""randmath — PRNG-driven integer math kernel (MiBench2 ``randmath``):
+a linear congruential generator feeding gcd and modular-exponentiation
+computations. The shortest benchmark (paper Table II: ~15 k cycles).
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark
+
+N = 24
+
+SOURCE = f"""
+u32 seed_in;
+u32 out[{N}];
+u32 total;
+
+u32 lcg(u32 s) {{
+    return s * 1103515245 + 12345;
+}}
+
+u32 gcd(u32 a, u32 b) {{
+    @maxiter(48)
+    while (b != 0) {{
+        u32 t = a % b;
+        a = b;
+        b = t;
+    }}
+    return a;
+}}
+
+u32 modexp(u32 base, u32 exponent, u32 modulus) {{
+    u32 result = 1;
+    base %= modulus;
+    @maxiter(16)
+    while (exponent != 0) {{
+        if ((exponent & 1) != 0) {{
+            result = (result * base) % modulus;
+        }}
+        exponent >>= 1;
+        base = (base * base) % modulus;
+    }}
+    return result;
+}}
+
+void main() {{
+    u32 s = seed_in | 1;
+    u32 acc = 0;
+    for (i32 i = 0; i < {N}; i++) {{
+        s = lcg(s);
+        u32 a = (s >> 16) + 3;
+        s = lcg(s);
+        u32 b = (s >> 20) + 7;
+        u32 g = gcd(a, b);
+        u32 m = modexp(a & 1023, b & 31, 40961);
+        out[i] = g + m;
+        acc += out[i];
+    }}
+    total = acc;
+}}
+"""
+
+
+def build() -> Benchmark:
+    return Benchmark(
+        name="randmath",
+        source=SOURCE,
+        input_vars={"seed_in": 1 << 32},
+        output_vars=["out", "total"],
+    )

@@ -1,0 +1,64 @@
+"""rc4 — the RC4 stream cipher (MiBench2 ``rc4``): key scheduling followed
+by keystream generation XORed over a large buffer.
+
+The ~6.3 KB working set (256 B state + 16 B key + 6 KB buffer) exceeds the
+2 KB VM, matching the paper's "rc4 (6.5 KB)" infeasibility class
+(Table I).
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import Benchmark
+
+OUT = 6000
+
+SOURCE = f"""
+u8 key[16];
+u8 s[256];
+u8 out[{OUT}];
+u32 keystream_sum;
+
+void ksa() {{
+    for (i32 i = 0; i < 256; i++) {{
+        s[i] = (u8) i;
+    }}
+    i32 j = 0;
+    for (i32 i = 0; i < 256; i++) {{
+        j = (j + (i32) s[i] + (i32) key[i & 15]) & 255;
+        u8 t = s[i];
+        s[i] = s[j];
+        s[j] = t;
+    }}
+}}
+
+u32 prga() {{
+    i32 i = 0;
+    i32 j = 0;
+    u32 acc = 0;
+    for (i32 n = 0; n < {OUT}; n++) {{
+        i = (i + 1) & 255;
+        j = (j + (i32) s[i]) & 255;
+        u8 t = s[i];
+        s[i] = s[j];
+        s[j] = t;
+        u8 k = s[((i32) s[i] + (i32) s[j]) & 255];
+        out[n] = (u8) (out[n] ^ k);
+        acc += (u32) k;
+    }}
+    return acc;
+}}
+
+void main() {{
+    ksa();
+    keystream_sum = prga();
+}}
+"""
+
+
+def build() -> Benchmark:
+    return Benchmark(
+        name="rc4",
+        source=SOURCE,
+        input_vars={"key": 256, "out": 256},
+        output_vars=["out", "keystream_sum"],
+    )

@@ -1,0 +1,110 @@
+"""Tests for the CFG view and dominator computation."""
+
+from repro.analysis import CFG, DominatorTree
+from repro.frontend import compile_source
+from tests.helpers import BRANCHY_SRC
+
+
+def diamond_module():
+    return compile_source(
+        """
+        u32 out; u32 sel;
+        void main() {
+            if (sel != 0) { out = 1; } else { out = 2; }
+            out += 1;
+        }
+        """
+    )
+
+
+class TestCFG:
+    def test_preds_and_succs_are_inverse(self):
+        cfg = CFG(diamond_module().functions["main"])
+        for label in cfg.labels:
+            for succ in cfg.succs[label]:
+                assert label in cfg.preds[succ]
+            for pred in cfg.preds[label]:
+                assert label in cfg.succs[pred]
+
+    def test_entry_has_no_preds(self):
+        cfg = CFG(diamond_module().functions["main"])
+        assert cfg.preds[cfg.entry] == []
+
+    def test_exit_labels(self):
+        cfg = CFG(diamond_module().functions["main"])
+        exits = cfg.exit_labels()
+        assert len(exits) == 1
+
+    def test_reverse_postorder_topological_on_dag(self):
+        cfg = CFG(diamond_module().functions["main"])
+        index = cfg.rpo_index()
+        for label in cfg.labels:
+            for succ in cfg.succs[label]:
+                # diamond has no back edges
+                assert index[label] < index[succ]
+
+    def test_rpo_starts_at_entry(self):
+        cfg = CFG(diamond_module().functions["main"])
+        assert cfg.reverse_postorder()[0] == cfg.entry
+
+    def test_edges_enumeration(self):
+        cfg = CFG(diamond_module().functions["main"])
+        edges = cfg.edges()
+        assert len(edges) == sum(len(s) for s in cfg.succs.values())
+
+    def test_postorder_covers_reachable(self):
+        module = compile_source(BRANCHY_SRC)
+        cfg = CFG(module.functions["main"])
+        assert set(cfg.postorder()) == set(cfg.labels)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = CFG(diamond_module().functions["main"])
+        dom = DominatorTree(cfg)
+        for label in cfg.labels:
+            assert dom.dominates(cfg.entry, label)
+
+    def test_dominance_is_reflexive(self):
+        cfg = CFG(diamond_module().functions["main"])
+        dom = DominatorTree(cfg)
+        for label in cfg.labels:
+            assert dom.dominates(label, label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        module = diamond_module()
+        cfg = CFG(module.functions["main"])
+        dom = DominatorTree(cfg)
+        # The join block's idom must be the branching block, not an arm.
+        join = [l for l in cfg.labels if l.startswith("endif")][0]
+        then = [l for l in cfg.labels if l.startswith("then")][0]
+        assert not dom.dominates(then, join)
+        assert dom.idom[join] == cfg.entry
+
+    def test_loop_header_dominates_body(self):
+        module = compile_source(
+            """
+            u32 out;
+            void main() {
+                for (i32 i = 0; i < 4; i++) { out += 1; }
+            }
+            """
+        )
+        cfg = CFG(module.functions["main"])
+        dom = DominatorTree(cfg)
+        header = [l for l in cfg.labels if "for_head" in l][0]
+        body = [l for l in cfg.labels if "for_body" in l][0]
+        step = [l for l in cfg.labels if "for_step" in l][0]
+        assert dom.dominates(header, body)
+        assert dom.dominates(header, step)
+        assert dom.strictly_dominates(header, body)
+
+    def test_children_partition(self):
+        cfg = CFG(diamond_module().functions["main"])
+        dom = DominatorTree(cfg)
+        seen = set()
+        for label in cfg.labels:
+            for child in dom.children(label):
+                assert child not in seen
+                seen.add(child)
+        assert seen == set(cfg.labels) - {cfg.entry}

@@ -1,0 +1,233 @@
+"""Tests for call graph, access summaries and variable liveness."""
+
+import pytest
+
+from repro.analysis import (
+    CFG,
+    CallGraph,
+    FunctionAccessSummaries,
+    LivenessInfo,
+)
+from repro.analysis.accesses import AccessCounts, block_access_counts
+from repro.errors import RecursionUnsupportedError
+from repro.frontend import compile_source
+from tests.helpers import CALLS_SRC
+
+
+class TestCallGraph:
+    def test_reverse_topological_puts_callees_first(self):
+        module = compile_source(CALLS_SRC)
+        order = CallGraph(module).reverse_topological()
+        assert order.index("weight") < order.index("main")
+        assert order.index("scale") < order.index("main")
+
+    def test_leaf_functions(self):
+        module = compile_source(CALLS_SRC)
+        leaves = set(CallGraph(module).leaf_functions())
+        assert leaves == {"weight", "scale"}
+
+    def test_mutual_recursion_detected(self):
+        module = compile_source(
+            """
+            u32 f(u32 n) { return g(n); }
+            u32 g(u32 n) { if (n == 0) { return 0; } return f(n - 1); }
+            void main() { u32 x = f(3); }
+            """
+        )
+        with pytest.raises(RecursionUnsupportedError):
+            CallGraph(module)
+
+    def test_reachable_from_entry(self):
+        module = compile_source(
+            """
+            void unused() { }
+            void main() { }
+            """
+        )
+        assert CallGraph(module).reachable_from_entry() == {"main"}
+
+
+class TestAccessCounts:
+    def test_block_counts(self):
+        module = compile_source(
+            """
+            u32 g;
+            void main() {
+                u32 x = 1;
+                g = x + x;
+            }
+            """
+        )
+        entry = module.functions["main"].entry
+        counts = block_access_counts(entry)
+        assert counts.reads["main.x"] == 2
+        assert counts.writes["main.x"] == 1
+        assert counts.writes["g"] == 1
+        assert counts.first_access["main.x"] == "w"
+        assert counts.first_access["g"] == "w"
+
+    def test_array_write_not_full(self):
+        module = compile_source(
+            "i32 a[4]; void main() { a[0] = 1; i32 x = a[1]; }"
+        )
+        counts = block_access_counts(module.functions["main"].entry)
+        # Array writes never count as full overwrites.
+        assert counts.first_access["a"] == "r"
+
+    def test_merge_sequential_weighting(self):
+        first = AccessCounts()
+        first.add_read("x", 1)
+        second = AccessCounts()
+        second.add_read("x", 2)
+        second.add_write("y", 1, full=True)
+        first.merge_sequential(second, weight=5)
+        assert first.reads["x"] == 11
+        assert first.writes["y"] == 5
+        assert first.first_access["x"] == "r"
+
+
+class TestSummaries:
+    def test_caller_visible_sets(self):
+        module = compile_source(CALLS_SRC)
+        summaries = FunctionAccessSummaries(module)
+        weight = summaries.summary("weight")
+        # weight only touches its own locals.
+        assert weight.reads == set() and weight.writes == set()
+        scale = summaries.summary("scale")
+        assert "scale.buf" in scale.reads or "scale.buf" in scale.writes
+
+    def test_call_effects_substitute_actuals(self):
+        module = compile_source(CALLS_SRC)
+        summaries = FunctionAccessSummaries(module)
+        from repro.ir import Call
+
+        call = next(
+            inst
+            for block in module.functions["main"].blocks.values()
+            for inst in block
+            if isinstance(inst, Call) and inst.callee == "scale"
+        )
+        reads, writes = summaries.call_effects(call)
+        assert "data" in writes
+        assert "scale.buf" not in writes
+
+    def test_counts_at_call_loop_weighted(self):
+        module = compile_source(
+            """
+            u32 g;
+            void hot() {
+                for (i32 i = 0; i < 10; i++) { g += 1; }
+            }
+            void main() { hot(); }
+            """
+        )
+        summaries = FunctionAccessSummaries(module)
+        from repro.ir import Call
+
+        call = next(
+            inst
+            for block in module.functions["main"].blocks.values()
+            for inst in block
+            if isinstance(inst, Call)
+        )
+        counts = summaries.counts_at_call(call)
+        assert counts.reads["g"] >= 10
+        assert counts.writes["g"] >= 10
+
+
+class TestLiveness:
+    def _liveness(self, source: str, func: str = "main"):
+        module = compile_source(source)
+        summaries = FunctionAccessSummaries(module)
+        f = module.functions[func]
+        return module, f, LivenessInfo(f, module, summaries)
+
+    def test_loop_counter_live_at_header(self):
+        module, func, live = self._liveness(
+            "u32 out; void main() { for (i32 i = 0; i < 4; i++) { out += 1; } }"
+        )
+        header = next(l for l in func.blocks if "for_head" in l)
+        assert "main.i" in live.live_in[header]
+
+    def test_dead_after_last_use(self):
+        module, func, live = self._liveness(
+            """
+            u32 out;
+            void main() {
+                u32 t = 5;
+                out = t;
+                u32 u = 7;
+                out += u;
+            }
+            """
+        )
+        exit_label = func.exit_blocks()[0].label
+        assert "main.t" not in live.live_out[exit_label]
+
+    def test_globals_live_at_exit(self):
+        module, func, live = self._liveness(
+            "u32 out; void main() { out = 1; }"
+        )
+        exit_label = func.exit_blocks()[0].label
+        assert "out" in live.live_out[exit_label]
+
+    def test_const_globals_not_exit_live(self):
+        module, func, live = self._liveness(
+            "const u8 t[2] = {1,2}; u32 out; void main() { out = (u32) t[0]; }"
+        )
+        exit_label = func.exit_blocks()[0].label
+        assert "t" not in live.live_out[exit_label]
+
+    def test_live_before_instruction(self):
+        module, func, live = self._liveness(
+            """
+            u32 out;
+            void main() {
+                u32 a = 1;
+                u32 b = 2;
+                out = a;
+                out += b;
+            }
+            """
+        )
+        entry = func.entry.label
+        # Before the first instruction, neither local carries a value.
+        first = live.live_before_instruction(entry, 0)
+        assert "main.a" not in first and "main.b" not in first
+
+    def test_scalar_store_kills(self):
+        module, func, live = self._liveness(
+            """
+            u32 out; u32 g;
+            void main() {
+                g = 1;      /* kill: value before is dead */
+                out = g;
+            }
+            """
+        )
+        entry = func.entry.label
+        assert "g" not in live._use[entry]
+
+    def test_callee_reads_are_uses(self):
+        module, func, live = self._liveness(
+            """
+            u32 g; u32 out;
+            u32 f() { return g; }
+            void main() { out = f(); }
+            """
+        )
+        entry = func.entry.label
+        assert "g" in live.live_in[entry]
+
+    def test_array_store_does_not_kill(self):
+        module, func, live = self._liveness(
+            """
+            i32 a[4]; u32 out;
+            void main() {
+                a[0] = 1;
+                out = (u32) a[1];
+            }
+            """
+        )
+        # 'a' must be live-in: the store to a[0] does not kill a[1].
+        assert "a" in live.live_in[func.entry.label]

@@ -1,0 +1,142 @@
+"""Tests for natural-loop detection and the loop-nesting tree."""
+
+import pytest
+
+from repro.analysis import CFG, LoopNest
+from repro.errors import AnalysisError
+from repro.frontend import compile_source
+
+
+def nest_for(source: str, func: str = "main") -> LoopNest:
+    module = compile_source(source)
+    return LoopNest(CFG(module.functions[func]))
+
+
+class TestLoopDetection:
+    def test_single_loop(self):
+        nest = nest_for(
+            "u32 out; void main() { for (i32 i = 0; i < 4; i++) { out += 1; } }"
+        )
+        assert len(nest.loops) == 1
+        loop = nest.loops[0]
+        assert loop.header.startswith("for_head")
+        assert loop.latch.startswith("for_step")
+        assert loop.maxiter == 4
+
+    def test_no_loops(self):
+        nest = nest_for("u32 out; void main() { out = 1; }")
+        assert nest.loops == []
+
+    def test_nested_loops(self):
+        nest = nest_for(
+            """
+            u32 out;
+            void main() {
+                for (i32 i = 0; i < 4; i++) {
+                    for (i32 j = 0; j < 2; j++) { out += 1; }
+                }
+            }
+            """
+        )
+        assert len(nest.loops) == 2
+        inner = min(nest.loops, key=lambda l: len(l.body))
+        outer = max(nest.loops, key=lambda l: len(l.body))
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.depth == 1 and outer.depth == 0
+        assert inner.body < outer.body
+
+    def test_bottom_up_order(self):
+        nest = nest_for(
+            """
+            u32 out;
+            void main() {
+                for (i32 i = 0; i < 4; i++) {
+                    for (i32 j = 0; j < 2; j++) {
+                        for (i32 k = 0; k < 2; k++) { out += 1; }
+                    }
+                }
+                for (i32 m = 0; m < 3; m++) { out += 2; }
+            }
+            """
+        )
+        order = nest.bottom_up()
+        assert len(order) == 4
+        position = {id(l): i for i, l in enumerate(order)}
+        for loop in nest.loops:
+            if loop.parent is not None:
+                assert position[id(loop)] < position[id(loop.parent)]
+
+    def test_innermost_mapping(self):
+        nest = nest_for(
+            """
+            u32 out;
+            void main() {
+                for (i32 i = 0; i < 4; i++) {
+                    out += 1;
+                    for (i32 j = 0; j < 2; j++) { out += 2; }
+                }
+            }
+            """
+        )
+        inner = min(nest.loops, key=lambda l: len(l.body))
+        outer = max(nest.loops, key=lambda l: len(l.body))
+        inner_body_block = [l for l in inner.body if "for_body" in l and l in inner.body]
+        assert nest.loop_of(inner.header) is inner
+        assert nest.loop_of(outer.header) is outer
+
+    def test_exit_edges(self):
+        nest = nest_for(
+            """
+            u32 out;
+            void main() {
+                for (i32 i = 0; i < 100; i++) {
+                    if (i == 3) { break; }
+                    out += 1;
+                }
+            }
+            """
+        )
+        (loop,) = nest.loops
+        cfg = nest.cfg
+        exits = loop.exit_edges(cfg)
+        # normal exit (header -> end) + break exit
+        assert len(exits) == 2
+        for edge in exits:
+            assert edge.src in loop.body and edge.dst not in loop.body
+
+    def test_while_loop_detected(self):
+        nest = nest_for(
+            """
+            u32 out; u32 x;
+            void main() {
+                @maxiter(32)
+                while (x != 0) { x >>= 1; out += 1; }
+            }
+            """
+        )
+        assert len(nest.loops) == 1
+        assert nest.loops[0].maxiter == 32
+
+    def test_back_edges(self):
+        nest = nest_for(
+            "u32 out; void main() { for (i32 i = 0; i < 4; i++) { out += 1; } }"
+        )
+        (loop,) = nest.loops
+        (edge,) = loop.back_edges()
+        assert edge.src == loop.latch and edge.dst == loop.header
+
+    def test_loops_in_callee(self):
+        module = compile_source(
+            """
+            u32 out;
+            u32 f(u32 x) {
+                u32 acc = 0;
+                for (i32 i = 0; i < 3; i++) { acc += x; }
+                return acc;
+            }
+            void main() { out = f(2); }
+            """
+        )
+        nest = LoopNest(CFG(module.functions["f"]))
+        assert len(nest.loops) == 1

@@ -1,0 +1,159 @@
+"""Tests for atomic sections (paper §VI): parsing, lowering, and the
+guarantee that no checkpoint lands inside one."""
+
+import pytest
+
+from repro.core import Schematic
+from repro.core.placement import SchematicConfig
+from repro.core.verify import verify_forward_progress
+from repro.emulator import run_continuous
+from repro.energy import msp430fr5969_model
+from repro.errors import InfeasibleBudgetError, SemanticError
+from repro.frontend import compile_source
+from repro.ir import Checkpoint, CondCheckpoint
+from tests.helpers import platform
+
+MODEL = msp430fr5969_model()
+
+SENSOR_SRC = """
+u32 out;
+u32 port_a;
+u32 port_b;
+i32 readings[32];
+
+void main() {
+    u32 acc = 0;
+    for (i32 i = 0; i < 32; i++) {
+        atomic {
+            port_a = (u32) i;
+            port_b = port_a + 1;
+            u32 sample = port_a * 7 + port_b;
+            readings[i] = (i32) sample;
+        }
+        acc += (u32) readings[i];
+    }
+    out = acc;
+}
+"""
+
+
+class TestFrontend:
+    def test_atomic_lowered_and_recorded(self):
+        module = compile_source(SENSOR_SRC)
+        ranges = module.functions["main"].atomic_ranges
+        assert len(ranges) == 1
+        label, start, end = ranges[0]
+        assert end > start
+
+    def test_atomic_semantics_preserved(self):
+        module = compile_source(SENSOR_SRC)
+        report = run_continuous(module, MODEL)
+        expected = sum((i * 7 + i + 1) & 0xFFFFFFFF for i in range(32))
+        assert report.outputs["out"] == [expected & 0xFFFFFFFF]
+
+    def test_control_flow_rejected(self):
+        with pytest.raises(SemanticError, match="atomic"):
+            compile_source(
+                "u32 out; void main() { atomic { if (out) { out = 1; } } }"
+            )
+
+    def test_loops_rejected(self):
+        with pytest.raises(SemanticError, match="atomic"):
+            compile_source(
+                "u32 out; void main() { atomic { "
+                "for (i32 i = 0; i < 3; i++) { out += 1; } } }"
+            )
+
+    def test_calls_rejected(self):
+        with pytest.raises(SemanticError, match="atomic"):
+            compile_source(
+                "u32 f() { return 1; } u32 out; "
+                "void main() { atomic { out = f(); } }"
+            )
+
+    def test_short_circuit_rejected(self):
+        with pytest.raises(SemanticError, match="atomic"):
+            compile_source(
+                "u32 out; u32 a; void main() { atomic { out = a && 1; } }"
+            )
+
+    def test_empty_atomic_is_fine(self):
+        module = compile_source("u32 out; void main() { atomic { } out = 1; }")
+        assert module.functions["main"].atomic_ranges == []
+
+    def test_ranges_survive_clone(self):
+        module = compile_source(SENSOR_SRC)
+        clone = module.clone()
+        assert clone.functions["main"].atomic_ranges == (
+            module.functions["main"].atomic_ranges
+        )
+
+
+def _checkpoint_positions(module):
+    positions = []
+    for fname, func in module.functions.items():
+        for label, block in func.blocks.items():
+            for idx, inst in enumerate(block.instructions):
+                if isinstance(inst, (Checkpoint, CondCheckpoint)):
+                    positions.append((fname, label, idx))
+    return positions
+
+
+class TestPlacementRespectsAtomic:
+    @pytest.mark.parametrize("eb", [400.0, 900.0, 5_000.0])
+    def test_no_checkpoint_inside_atomic(self, eb):
+        module = compile_source(SENSOR_SRC)
+        plat = platform(eb=eb)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: {}
+        )
+        # The transformed ranges shift by the number of checkpoints
+        # inserted before them in the same block; recompute from the
+        # transformed module by locating the port_a store run.
+        func = result.module.functions["main"]
+        for label, block in func.blocks.items():
+            store_indices = [
+                idx
+                for idx, inst in enumerate(block.instructions)
+                if getattr(getattr(inst, "var", None), "name", "") in
+                ("port_a", "port_b", "readings")
+                and type(inst).__name__ == "Store"
+            ]
+            if not store_indices:
+                continue
+            lo, hi = min(store_indices), max(store_indices)
+            for fname, clabel, idx in _checkpoint_positions(result.module):
+                if clabel == label:
+                    assert not (lo < idx <= hi), (
+                        f"checkpoint inside atomic body at {clabel}[{idx}]"
+                    )
+
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, eb, plat.vm_size
+        )
+        assert verdict.ok
+
+    def test_oversized_atomic_rejected(self):
+        # 300 NVM stores in one atomic section cannot fit a ~150 nJ budget.
+        body = "\n".join(f"sink{i} = {i};" for i in range(100))
+        decls = "\n".join(f"u32 sink{i};" for i in range(100))
+        src = f"{decls}\nvoid main() {{ atomic {{ {body} }} }}"
+        module = compile_source(src)
+        with pytest.raises(InfeasibleBudgetError, match="atomic"):
+            Schematic(
+                platform(eb=250.0), SchematicConfig(profile_runs=1)
+            ).compile(module, input_generator=lambda run: {})
+
+    def test_oversized_atomic_fine_with_big_capacitor(self):
+        body = "\n".join(f"sink{i} = {i};" for i in range(100))
+        decls = "\n".join(f"u32 sink{i};" for i in range(100))
+        src = f"{decls}\nvoid main() {{ atomic {{ {body} }} }}"
+        module = compile_source(src)
+        plat = platform(eb=50_000.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: {}
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size
+        )
+        assert verdict.ok

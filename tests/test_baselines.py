@@ -1,0 +1,288 @@
+"""Tests for the four baselines + All-NVM: placement shape, feasibility,
+runtime behavior and cross-technique correctness."""
+
+import pytest
+
+from repro.baselines import (
+    COMPILERS,
+    compile_alfred,
+    compile_allnvm,
+    compile_mementos,
+    compile_ratchet,
+    compile_rockclimb,
+)
+from repro.emulator import PowerManager, run_continuous, run_intermittent
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+from repro.ir import Checkpoint, CondCheckpoint, Load, MemorySpace, Store
+from tests.helpers import (
+    CALLS_SRC,
+    SUM_LOOP_SRC,
+    calls_inputs,
+    compile_calls,
+    compile_sum_loop,
+    platform,
+    run_technique,
+    sum_loop_inputs,
+)
+
+MODEL = msp430fr5969_model()
+
+
+def all_spaces(module):
+    return {
+        inst.space
+        for func in module.functions.values()
+        for block in func.blocks.values()
+        for inst in block
+        if isinstance(inst, (Load, Store))
+    }
+
+
+def checkpoints_of(module):
+    return [
+        inst
+        for func in module.functions.values()
+        for block in func.blocks.values()
+        for inst in block
+        if isinstance(inst, (Checkpoint, CondCheckpoint))
+    ]
+
+
+class TestRatchet:
+    def test_all_nvm_spaces(self):
+        compiled = compile_ratchet(compile_sum_loop(), platform())
+        assert all_spaces(compiled.module) == {MemorySpace.NVM}
+
+    def test_checkpoints_save_registers_only(self):
+        compiled = compile_ratchet(compile_sum_loop(), platform())
+        for ckpt in checkpoints_of(compiled.module):
+            assert ckpt.save_vars == ()
+            assert ckpt.restore_vars == ()
+
+    def test_war_dependency_broken(self):
+        # acc += ... is the canonical WAR (read then write): a checkpoint
+        # must sit between the loop's read of acc and its store.
+        src = """
+        u32 out;
+        void main() {
+            u32 acc = 0;
+            acc += 3;
+            out = acc;
+        }
+        """
+        compiled = compile_ratchet(compile_source(src), platform())
+        # entry ckpt + exit ckpt + at least one WAR break
+        assert compiled.checkpoints_inserted >= 3
+
+    def test_no_war_no_extra_checkpoints(self):
+        src = """
+        u32 out;
+        void main() {
+            out = 5;
+        }
+        """
+        compiled = compile_ratchet(compile_source(src), platform())
+        # Only the boot and exit checkpoints.
+        assert compiled.checkpoints_inserted == 2
+
+    def test_always_feasible(self):
+        for src in (SUM_LOOP_SRC, CALLS_SRC):
+            compiled = compile_ratchet(compile_source(src), platform())
+            assert compiled.feasible
+
+    def test_interprocedural_war(self):
+        src = """
+        u32 g; u32 out;
+        void bump() { g = g + 1; }
+        void main() {
+            u32 x = g;
+            bump();
+            out = x;
+        }
+        """
+        compiled = compile_ratchet(compile_source(src), platform())
+        # bump writes g which main read: a checkpoint must precede the call
+        # or sit inside bump before its store.
+        assert compiled.checkpoints_inserted >= 3
+
+
+class TestMementos:
+    def test_all_vm_spaces(self):
+        compiled = compile_mementos(compile_sum_loop(), platform())
+        assert all_spaces(compiled.module) == {MemorySpace.VM}
+
+    def test_latch_checkpoints(self):
+        compiled = compile_mementos(compile_sum_loop(), platform())
+        # entry + exit + one latch checkpoint for the single loop
+        assert compiled.checkpoints_inserted == 3
+
+    def test_infeasible_when_data_exceeds_vm(self):
+        compiled = compile_mementos(compile_sum_loop(), platform(vm_size=16))
+        assert not compiled.feasible
+        assert "exceeds VM" in compiled.infeasible_reason
+
+    def test_skip_policy_attached(self):
+        compiled = compile_mementos(compile_sum_loop(), platform())
+        assert compiled.policy.skip_threshold is not None
+        assert not compiled.policy.wait_for_full_recharge
+
+    def test_checkpoints_save_everything_nonconst(self):
+        compiled = compile_mementos(compile_sum_loop(), platform())
+        latch = [
+            c for c in checkpoints_of(compiled.module) if c.save_vars
+        ]
+        assert latch
+        for ckpt in latch:
+            assert "result" in ckpt.save_vars
+            assert "data" in ckpt.save_vars
+
+
+class TestAlfred:
+    def test_hybrid_spaces_all_vm_working(self):
+        compiled = compile_alfred(compile_sum_loop(), platform())
+        assert all_spaces(compiled.module) == {MemorySpace.VM}
+
+    def test_liveness_trimmed_saves(self):
+        compiled = compile_alfred(compile_sum_loop(), platform())
+        latches = [c for c in checkpoints_of(compiled.module)
+                   if c.alloc_after and c.save_vars]
+        assert latches
+        for ckpt in latches:
+            # 'data' is never written: anticipated saving skips it.
+            assert "data" not in ckpt.save_vars
+
+    def test_infeasible_same_as_mementos(self):
+        compiled = compile_alfred(compile_sum_loop(), platform(vm_size=16))
+        assert not compiled.feasible
+
+    def test_no_skip_policy(self):
+        compiled = compile_alfred(compile_sum_loop(), platform())
+        assert compiled.policy.skip_threshold is None
+
+    def test_caller_state_saved_at_callee_checkpoints(self):
+        module = compile_source(
+            """
+            u32 out;
+            u32 spin(u32 x) {
+                u32 acc = 0;
+                @maxiter(64)
+                while (x != 0) { acc += x & 7; x >>= 1; }
+                return acc;
+            }
+            void main() {
+                u32 seed = 12345;
+                u32 total = 0;
+                for (i32 i = 0; i < 4; i++) {
+                    seed = seed * 1103515245 + 12345;
+                    total += spin(seed);
+                }
+                out = total;
+            }
+            """
+        )
+        compiled = compile_alfred(module, platform())
+        spin_ckpts = [
+            inst
+            for block in compiled.module.functions["spin"].blocks.values()
+            for inst in block
+            if isinstance(inst, (Checkpoint, CondCheckpoint)) and inst.save_vars
+        ]
+        assert spin_ckpts
+        for ckpt in spin_ckpts:
+            # main's live locals must be part of spin's checkpoint state.
+            assert "main.seed" in ckpt.save_vars
+            assert "main.total" in ckpt.save_vars
+
+
+class TestRockclimb:
+    def test_all_nvm(self):
+        compiled, _ = run_technique(
+            "rockclimb", compile_sum_loop(), platform(), sum_loop_inputs(),
+            input_generator=lambda run: sum_loop_inputs(seed=run),
+        )
+        assert all_spaces(compiled.module) == {MemorySpace.NVM}
+
+    def test_loop_checkpoint_forced_even_with_huge_budget(self):
+        compiled, _ = run_technique(
+            "rockclimb",
+            compile_sum_loop(),
+            platform(eb=1_000_000.0),
+            sum_loop_inputs(),
+            input_generator=lambda run: sum_loop_inputs(seed=run),
+        )
+        conds = [
+            c
+            for c in checkpoints_of(compiled.module)
+            if isinstance(c, CondCheckpoint)
+        ]
+        assert conds
+        # Unrolling factor capped at 10.
+        assert all(c.every <= 10 for c in conds)
+
+    def test_wait_policy(self):
+        compiled, report = run_technique(
+            "rockclimb", compile_sum_loop(), platform(), sum_loop_inputs(),
+            input_generator=lambda run: sum_loop_inputs(seed=run),
+        )
+        assert compiled.policy.wait_for_full_recharge
+        assert report.completed and report.power_failures == 0
+
+
+class TestAllNvm:
+    def test_same_checkpointing_no_vm(self):
+        compiled, report = run_technique(
+            "allnvm", compile_sum_loop(), platform(), sum_loop_inputs(),
+            input_generator=lambda run: sum_loop_inputs(seed=run),
+        )
+        assert all_spaces(compiled.module) == {MemorySpace.NVM}
+        assert report.completed
+
+
+class TestCrossTechniqueCorrectness:
+    @pytest.mark.parametrize(
+        "technique", ["ratchet", "mementos", "rockclimb", "alfred",
+                      "schematic", "allnvm"]
+    )
+    def test_calls_program_all_techniques(self, technique):
+        module = compile_calls()
+        inputs = calls_inputs()
+        ref = run_continuous(module, MODEL, inputs=inputs)
+        compiled, report = run_technique(
+            technique,
+            module,
+            platform(eb=2500.0),
+            inputs,
+            input_generator=lambda run: calls_inputs(seed=run),
+        )
+        assert compiled.feasible
+        assert report.completed, report.failure_reason
+        assert report.outputs == ref.outputs
+
+    def test_schematic_cheapest(self):
+        module = compile_calls()
+        inputs = calls_inputs()
+        energies = {}
+        for technique in ("ratchet", "mementos", "rockclimb", "alfred",
+                          "schematic"):
+            _, report = run_technique(
+                technique,
+                module,
+                platform(eb=2500.0),
+                inputs,
+                input_generator=lambda run: calls_inputs(seed=run),
+            )
+            energies[technique] = report.energy.total
+        assert min(energies, key=energies.get) == "schematic"
+
+    def test_wait_techniques_no_reexecution(self):
+        module = compile_calls()
+        for technique in ("rockclimb", "schematic"):
+            _, report = run_technique(
+                technique,
+                module,
+                platform(eb=2500.0),
+                calls_inputs(),
+                input_generator=lambda run: calls_inputs(seed=run),
+            )
+            assert report.energy.reexecution == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the §VI adaptive-recompilation driver."""
+
+import pytest
+
+from repro.core.adaptive import run_with_adaptation
+from repro.core.placement import SchematicConfig
+from repro.emulator import run_continuous
+from repro.energy import msp430fr5969_model
+from tests.helpers import compile_sum_loop, platform, sum_loop_inputs
+
+MODEL = msp430fr5969_model()
+
+
+def gen(run):
+    return sum_loop_inputs(seed=run)
+
+
+class TestAdaptation:
+    def test_no_adaptation_needed_when_budget_holds(self):
+        module = compile_sum_loop()
+        result = run_with_adaptation(
+            module,
+            platform(eb=1_000.0),
+            actual_eb=1_000.0,
+            inputs=sum_loop_inputs(),
+            input_generator=gen,
+            config=SchematicConfig(profile_runs=1),
+        )
+        assert result.completed
+        assert result.recompilations == 0
+        assert result.assumed_ebs == [1_000.0]
+
+    def test_degraded_capacitor_triggers_updates(self):
+        # Firmware assumes a 5 uJ capacitor; the real (aged) one holds
+        # 200 nJ — too little for the two-checkpoint placement.
+        module = compile_sum_loop()
+        ref = run_continuous(module, MODEL, inputs=sum_loop_inputs())
+        result = run_with_adaptation(
+            module,
+            platform(eb=5_000.0),
+            actual_eb=200.0,
+            inputs=sum_loop_inputs(),
+            input_generator=gen,
+            config=SchematicConfig(profile_runs=1),
+            derating=0.5,
+        )
+        assert result.completed
+        assert result.recompilations >= 1
+        assert result.final_assumed_eb <= 400.0
+        assert result.final_report.outputs == ref.outputs
+
+    def test_assumed_budget_monotonically_decreases(self):
+        module = compile_sum_loop()
+        result = run_with_adaptation(
+            module,
+            platform(eb=5_000.0),
+            actual_eb=200.0,
+            inputs=sum_loop_inputs(),
+            input_generator=gen,
+            config=SchematicConfig(profile_runs=1),
+            derating=0.5,
+        )
+        assert result.completed
+        assert result.assumed_ebs == sorted(result.assumed_ebs, reverse=True)
+
+    def test_gives_up_on_hopeless_capacitor(self):
+        # 110 nJ cannot even fund a save/restore pair on this model.
+        module = compile_sum_loop()
+        result = run_with_adaptation(
+            module,
+            platform(eb=2_000.0),
+            actual_eb=110.0,
+            inputs=sum_loop_inputs(),
+            input_generator=gen,
+            config=SchematicConfig(profile_runs=1),
+            max_recompilations=6,
+        )
+        assert not result.completed
+        assert result.gave_up_reason
+
+    def test_invalid_derating_rejected(self):
+        with pytest.raises(ValueError):
+            run_with_adaptation(
+                compile_sum_loop(),
+                platform(eb=1_000.0),
+                actual_eb=500.0,
+                derating=1.5,
+            )

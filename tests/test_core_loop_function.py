@@ -1,0 +1,324 @@
+"""Tests for Algorithm 1 (loop analysis) and function-level composition,
+exercised through the full Schematic pipeline on targeted programs."""
+
+import pytest
+
+from repro.core import Schematic
+from repro.core.placement import SchematicConfig
+from repro.core.verify import verify_forward_progress
+from repro.emulator import PowerManager, run_continuous, run_intermittent
+from repro.emulator.runtime import CheckpointPolicy
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+from repro.ir import Checkpoint, CondCheckpoint
+from tests.helpers import platform
+
+MODEL = msp430fr5969_model()
+
+
+def compile_for(source, eb, gen=None, vm_size=2048, profile_runs=1):
+    module = compile_source(source)
+    plat = platform(eb=eb, vm_size=vm_size)
+    result = Schematic(plat, SchematicConfig(profile_runs=profile_runs)).compile(
+        module, input_generator=gen or (lambda run: {})
+    )
+    return module, plat, result
+
+
+def checkpoints_in(module, func_name=None):
+    funcs = (
+        [module.functions[func_name]] if func_name else module.functions.values()
+    )
+    return [
+        inst
+        for func in funcs
+        for block in func.blocks.values()
+        for inst in block
+        if isinstance(inst, (Checkpoint, CondCheckpoint))
+    ]
+
+
+LONG_LOOP = """
+u32 out;
+void main() {
+    u32 acc = 0;
+    for (i32 i = 0; i < 200; i++) {
+        acc = acc * 3 + (u32) i;
+    }
+    out = acc;
+}
+"""
+
+
+class TestAlgorithm1:
+    def test_numit_scales_with_budget(self):
+        """numit = floor((EB - save - restore) / E_loop): doubling the
+        budget roughly doubles the conditional-checkpoint period."""
+        periods = {}
+        for eb in (400.0, 800.0):
+            module, plat, result = compile_for(LONG_LOOP, eb)
+            conds = [
+                c
+                for c in checkpoints_in(result.module)
+                if isinstance(c, CondCheckpoint)
+            ]
+            assert conds, f"expected a conditional checkpoint at EB={eb}"
+            periods[eb] = conds[0].every
+        assert 1.5 <= periods[800.0] / periods[400.0] <= 2.6
+
+    def test_no_backedge_checkpoint_when_loop_fits(self):
+        module, plat, result = compile_for(LONG_LOOP, eb=1_000_000.0)
+        assert not any(
+            isinstance(c, CondCheckpoint)
+            for c in checkpoints_in(result.module)
+        )
+
+    def test_loop_runs_correctly_across_budgets(self):
+        reference = run_continuous(compile_source(LONG_LOOP), MODEL)
+        for eb in (300.0, 700.0, 5_000.0):
+            module, plat, result = compile_for(LONG_LOOP, eb)
+            verdict = verify_forward_progress(
+                result.module, module, MODEL, eb, plat.vm_size
+            )
+            assert verdict.ok, (eb, verdict)
+
+    def test_unbounded_loop_always_guarded(self):
+        src = """
+        u32 out; u32 n;
+        void main() {
+            u32 acc = 0;
+            u32 x = n;
+            @maxiter(4096)
+            while (x != 0) {
+                acc += x & 3;
+                x >>= 1;
+                acc = acc * 5 + 1;
+            }
+            out = acc;
+        }
+        """
+
+        def gen(run):
+            return {"n": [0xDEADBEEF ^ run]}
+
+        module = compile_source(src)
+        plat = platform(eb=500.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=2)).compile(
+            module, input_generator=gen
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size,
+            inputs={"n": [0x12345678]},
+        )
+        assert verdict.ok
+
+    def test_nested_loops(self):
+        src = """
+        u32 out;
+        void main() {
+            u32 acc = 0;
+            for (i32 i = 0; i < 12; i++) {
+                for (i32 j = 0; j < 12; j++) {
+                    acc += (u32) (i ^ j);
+                    acc = acc * 3 + 1;
+                }
+                acc ^= (u32) i;
+            }
+            out = acc;
+        }
+        """
+        module = compile_source(src)
+        for eb in (600.0, 3_000.0):
+            plat = platform(eb=eb)
+            result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+                module, input_generator=lambda run: {}
+            )
+            verdict = verify_forward_progress(
+                result.module, module, MODEL, eb, plat.vm_size
+            )
+            assert verdict.ok, eb
+
+
+class TestFunctionComposition:
+    def test_checkpoint_bearing_callee(self):
+        """A callee too big for one charge gets internal checkpoints; the
+        caller must still compose safely around the call."""
+        src = """
+        u32 out;
+        u32 grind(u32 seed) {
+            u32 acc = seed;
+            for (i32 i = 0; i < 150; i++) {
+                acc = acc * 1103515245 + 12345;
+            }
+            return acc;
+        }
+        void main() {
+            u32 total = 0;
+            total += grind(1);
+            total += grind(2);
+            out = total;
+        }
+        """
+        module = compile_source(src)
+        plat = platform(eb=700.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: {}
+        )
+        assert checkpoints_in(result.module, "grind")
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size
+        )
+        assert verdict.ok
+
+    def test_plain_callee_inlined_into_segments(self):
+        """A cheap callee must not force checkpoints around its call sites
+        (paper: a checkpoint-free callee is treated like a basic block)."""
+        src = """
+        u32 out;
+        u32 tiny(u32 x) { return x * 2 + 1; }
+        void main() {
+            u32 acc = 0;
+            acc += tiny(1);
+            acc += tiny(2);
+            out = acc;
+        }
+        """
+        module = compile_source(src)
+        plat = platform(eb=100_000.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: {}
+        )
+        # entry + exit only: the calls fit inside one segment.
+        assert result.checkpoints_inserted == 2
+
+    def test_shared_global_allocation_consistent(self):
+        """A global that a plain callee uses must have one placement across
+        caller and callee (allocation can only change at checkpoints)."""
+        src = """
+        u32 shared_acc;
+        u32 out;
+        void bump() {
+            for (i32 i = 0; i < 10; i++) { shared_acc += 3; }
+        }
+        void main() {
+            shared_acc = 1;
+            for (i32 r = 0; r < 8; r++) {
+                bump();
+                shared_acc ^= (u32) r;
+            }
+            out = shared_acc;
+        }
+        """
+        module = compile_source(src)
+        plat = platform(eb=100_000.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: {}
+        )
+        from repro.ir import Load, Store
+
+        spaces = {
+            inst.space
+            for func in result.module.functions.values()
+            for block in func.blocks.values()
+            for inst in block
+            if isinstance(inst, (Load, Store)) and inst.var.name == "shared_acc"
+        }
+        assert len(spaces) == 1, spaces
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size
+        )
+        assert verdict.ok
+
+    def test_multi_exit_function(self):
+        src = """
+        u32 out;
+        u32 classify(u32 x) {
+            if (x > 1000) { return 2; }
+            if (x > 10) { return 1; }
+            return 0;
+        }
+        void main() {
+            u32 acc = 0;
+            for (i32 i = 0; i < 30; i++) {
+                acc += classify((u32) i * 67);
+            }
+            out = acc;
+        }
+        """
+        module = compile_source(src)
+        plat = platform(eb=1_200.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=2)).compile(
+            module, input_generator=lambda run: {}
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size
+        )
+        assert verdict.ok
+
+
+class TestBreakAndColdPaths:
+    def test_break_out_of_guarded_loop(self):
+        src = """
+        u32 out; u32 needle; u32 haystack[64];
+        void main() {
+            u32 found = 64;
+            for (i32 i = 0; i < 64; i++) {
+                out = out * 3 + haystack[i];
+                if (haystack[i] == needle) {
+                    found = (u32) i;
+                    break;
+                }
+            }
+            out = found;
+        }
+        """
+        module = compile_source(src)
+
+        def gen(run):
+            import random
+
+            rng = random.Random(run)
+            values = [rng.randrange(0, 50) for _ in range(64)]
+            return {"haystack": values, "needle": [values[run % 64]]}
+
+        plat = platform(eb=700.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=3)).compile(
+            module, input_generator=gen
+        )
+        inputs = gen(7)
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size, inputs=inputs
+        )
+        assert verdict.ok
+
+    def test_cold_path_still_covered(self):
+        """A branch never taken during profiling must still be analyzed
+        (coverage paths) and behave correctly when finally taken."""
+        src = """
+        u32 out; u32 mode;
+        void main() {
+            u32 acc = 0;
+            for (i32 i = 0; i < 40; i++) {
+                if (mode == 777) {
+                    acc = acc * 7 + 13;   /* never profiled */
+                } else {
+                    acc += (u32) i;
+                }
+            }
+            out = acc;
+        }
+        """
+        module = compile_source(src)
+
+        def gen(run):
+            return {"mode": [run]}  # never 777 during profiling
+
+        plat = platform(eb=600.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=2)).compile(
+            module, input_generator=gen
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size,
+            inputs={"mode": [777]},
+        )
+        assert verdict.ok

@@ -1,0 +1,158 @@
+"""Regression tests for the loop-safety rules the placement fuzzer
+uncovered: checkpoint-free hot paths, latch-specific save sets, and
+boundary-save window margins."""
+
+import pytest
+
+from repro.core import Schematic, SchematicConfig
+from repro.core.verify import verify_forward_progress
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+from repro.ir import Checkpoint, CondCheckpoint
+from tests.helpers import platform
+
+MODEL = msp430fr5969_model()
+
+
+def checkpoints_of(module):
+    return [
+        inst
+        for func in module.functions.values()
+        for block in func.blocks.values()
+        for inst in block
+        if isinstance(inst, (Checkpoint, CondCheckpoint))
+    ]
+
+
+class TestCheckpointFreeHotPath:
+    SOURCE = """
+    u32 out; u32 mode;
+    u16 heavy[40];
+    void main() {
+        u32 acc = 0;
+        for (i32 r = 0; r < 50; r++) {
+            if (mode == 12345) {
+                /* cold arm: expensive enough to need internal splitting */
+                for (i32 i = 0; i < 120; i++) {
+                    heavy[i % 40] = (u16) acc;
+                    acc += (u32) heavy[(i + 3) % 40] * 7;
+                }
+            } else {
+                acc = acc * 3 + (u32) r;  /* hot checkpoint-free arm */
+            }
+        }
+        out = acc;
+    }
+    """
+
+    def _compile(self, eb=800.0):
+        module = compile_source(self.SOURCE)
+        plat = platform(eb=eb)
+        result = Schematic(plat, SchematicConfig(profile_runs=2)).compile(
+            module, input_generator=lambda run: {"mode": [0]}
+        )
+        return module, plat, result
+
+    def test_hot_path_iterations_are_guarded(self):
+        """Even though the cold arm contains internal checkpoints, the hot
+        arm is checkpoint-free — iterating it must hit a back-edge guard
+        before the budget can overrun."""
+        module, plat, result = self._compile()
+        for mode in (0, 12345):
+            verdict = verify_forward_progress(
+                result.module, module, MODEL, plat.eb, plat.vm_size,
+                inputs={"mode": [mode]},
+            )
+            assert verdict.ok, (mode, verdict)
+
+    def test_backedge_guard_present(self):
+        module, plat, result = self._compile()
+        conds = [
+            c for c in checkpoints_of(result.module)
+            if isinstance(c, CondCheckpoint)
+        ]
+        assert conds  # the outer loop needs its conditional guard
+
+    def test_guard_period_scales_with_budget(self):
+        periods = {}
+        for eb in (800.0, 1600.0):
+            module, plat, result = self._compile(eb=eb)
+            outer = [
+                c.every
+                for c in checkpoints_of(result.module)
+                if isinstance(c, CondCheckpoint)
+            ]
+            periods[eb] = max(outer)
+        assert periods[1600.0] > periods[800.0]
+
+
+class TestLatchSpecificSaves:
+    SOURCE = """
+    u32 out;
+    void main() {
+        u32 acc = 7;
+        @maxiter(400)
+        while (acc != 1) {
+            if ((acc & 1) != 0) { acc = acc * 3 + 1; } else { acc /= 2; }
+            out += 1;
+        }
+    }
+    """
+
+    def test_while_loop_counter_saved_at_backedge(self):
+        """A while loop exits through its *header*: the canonical region
+        exit is clean there, but the back-edge checkpoint still must save
+        the variables mutated each iteration."""
+        module = compile_source(self.SOURCE)
+        plat = platform(eb=400.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=2)).compile(
+            module, input_generator=lambda run: {}
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size,
+            max_instructions=3_000_000,
+        )
+        assert verdict.ok, verdict
+
+    def test_collatz_sequence_correct_under_tiny_budget(self):
+        module = compile_source(self.SOURCE)
+        from repro.emulator import run_continuous
+
+        ref = run_continuous(module, MODEL)
+        plat = platform(eb=300.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: {}
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size,
+            max_instructions=3_000_000,
+        )
+        assert verdict.ok
+        # Collatz(7) takes 16 steps.
+        assert ref.outputs["out"] == [16]
+
+
+class TestWindowMargins:
+    def test_no_liveness_trim_still_compiles_crc(self):
+        """The ablated (trim-off) variant stresses boundary-save margins:
+        the numit window must reserve the worst exit save, or placements
+        become infeasible by fractions of a nanojoule."""
+        from repro.experiments.common import EvaluationContext
+        from repro.experiments import ablations
+        from repro.baselines.common import compile_schematic
+
+        ctx = EvaluationContext(benchmarks=["crc"])
+        bench = ctx.benchmark("crc")
+        eb = ctx.eb_for_tbpf("crc", 10_000)
+        compiled = compile_schematic(
+            bench.module,
+            ctx.platform_proto.with_eb(eb),
+            profile=ctx.profile("crc"),
+            config=ablations.VARIANTS["no-liveness-trim"],
+        )
+        assert compiled.feasible
+        verdict = verify_forward_progress(
+            compiled.module, bench.module, MODEL, eb,
+            ctx.platform_proto.vm_size, inputs=bench.default_inputs(),
+        )
+        assert verdict.ok

@@ -1,0 +1,194 @@
+"""Unit tests for RegionAnalysis on hand-built regions: energy bounds,
+inheritance, consistency pass, exit canonicalization."""
+
+import pytest
+
+from repro.core.allocation import SegmentContext
+from repro.core.path_analysis import RegionAnalysis
+from repro.core.region import Atom, AtomKind, InsertPoint, RegionGraph
+from repro.core.summaries import CkptBearing
+from repro.energy import msp430fr5969_model
+from repro.errors import InfeasibleBudgetError
+from repro.ir import Function, I32, MemorySpace, Variable
+
+MODEL = msp430fr5969_model()
+SAVE0 = MODEL.save_energy(0)
+
+
+def build_region(shape, energies, accesses=None):
+    """Construct a RegionGraph from an adjacency map of small ints.
+
+    ``shape``: {uid: [succ uids]}; ``energies``: {uid: base energy};
+    ``accesses``: {uid: {var: reads}}.
+    """
+    from repro.ir import Ret
+
+    func = Function("synthetic")
+    for uid in shape:
+        block = func.add_block(f"b{uid}")
+        block.append(Ret(None))
+    region = RegionGraph("synthetic", func)
+    for uid in shape:
+        atom = Atom(
+            uid=uid, kind=AtomKind.SLICE, label=f"b{uid}",
+            base_energy=energies.get(uid, 10.0),
+        )
+        for var, reads in (accesses or {}).get(uid, {}).items():
+            atom.counts.add_read(var, reads)
+        region.add_atom(atom)
+    for uid, succs in shape.items():
+        for succ in succs:
+            region.add_edge(
+                uid, succ, [InsertPoint.on_edge(f"b{uid}", f"b{succ}")]
+            )
+    region.entry_uid = min(shape)
+    region.exit_uids = [uid for uid, succs in shape.items() if not succs]
+    return region
+
+
+def make_ctx(variables=None):
+    return SegmentContext(
+        model=MODEL,
+        vm_capacity=2048,
+        variables=variables or {"x": Variable("x", I32)},
+    )
+
+
+def analyze(region, paths, eb, ctx=None, live=None, exit_ckpt=False):
+    analysis = RegionAnalysis(
+        region,
+        ctx or make_ctx(),
+        eb,
+        live_at_edge=lambda s, d: set(live or ()),
+        exit_live=set(live or ()),
+        exit_need=SAVE0,
+        exit_is_checkpoint=exit_ckpt,
+    )
+    return analysis, analysis.analyze(paths)
+
+
+class TestLinearRegion:
+    def test_plain_when_everything_fits(self):
+        region = build_region({1: [2], 2: [3], 3: []}, {1: 50, 2: 50, 3: 50})
+        analysis, outcome = analyze(region, [(1, 2, 3)], eb=10_000.0)
+        assert outcome.plain
+        assert outcome.total_energy == pytest.approx(150.0)
+        assert outcome.e_to_first == pytest.approx(150.0 + SAVE0)
+
+    def test_checkpoint_splits_when_needed(self):
+        region = build_region({1: [2], 2: []}, {1: 300, 2: 300})
+        analysis, outcome = analyze(region, [(1, 2)], eb=500.0)
+        assert not outcome.plain
+        assert len(outcome.checkpoints) == 1
+        (ckpt,) = outcome.checkpoints
+        assert ckpt.edge == (1, 2)
+
+    def test_energy_bounds_after_analysis(self):
+        region = build_region({1: [2], 2: []}, {1: 300, 2: 300})
+        analysis, outcome = analyze(region, [(1, 2)], eb=500.0)
+        # After atom 1, the budget minus restore and atom energies remains.
+        assert analysis.eavail_after[1] <= 500.0 - 300.0
+        # Atom 2 must still afford itself plus the exit need.
+        assert analysis.eneed_before[2] >= 300.0
+
+    def test_infeasible_region_raises(self):
+        region = build_region({1: []}, {1: 2_000.0})
+        with pytest.raises(InfeasibleBudgetError):
+            analyze(region, [(1,)], eb=500.0)
+
+
+class TestDiamond:
+    def _diamond(self, energies):
+        return build_region(
+            {1: [2, 3], 2: [4], 3: [4], 4: []}, energies
+        )
+
+    def test_both_arms_analyzed_via_coverage(self):
+        region = self._diamond({1: 50, 2: 50, 3: 50, 4: 50})
+        # Only the hot path is given; coverage must pick up atom 3.
+        analysis, outcome = analyze(region, [(1, 2, 4)], eb=10_000.0)
+        assert 3 in analysis.analyzed
+        assert 3 in outcome.atom_alloc
+
+    def test_cold_arm_inherits_feasibly(self):
+        region = self._diamond({1: 200, 2: 200, 3: 350, 4: 200})
+        analysis, outcome = analyze(region, [(1, 2, 4)], eb=800.0)
+        # The worst chain (1 -> 3 -> 4) must respect EB via checkpoints.
+        worst = analysis._worst_since_checkpoint()
+        for value in worst.values():
+            assert value <= 800.0 + 1e-6
+
+    def test_residency_mismatch_gets_migration_checkpoint(self):
+        variables = {"hot": Variable("hot", I32)}
+        region = build_region(
+            {1: [2, 3], 2: [4], 3: [4], 4: []},
+            {1: 50, 2: 50, 3: 50, 4: 50},
+            accesses={2: {"hot": 400}},  # only the hot arm touches it
+        )
+        ctx = make_ctx(variables)
+        analysis, outcome = analyze(
+            region, [(1, 2, 4)], eb=700.0, ctx=ctx, live={"hot"}
+        )
+        # If atom 2 holds 'hot' in VM but atom 4 (analyzed on the same
+        # path) does too, then arm 3 -> 4 differs in residency and needs a
+        # migration checkpoint — or allocations agree and nothing is
+        # needed. Either way the invariant must hold on every edge:
+        for src, dst in region.edges():
+            edge = (src, dst)
+            if edge in analysis.enabled:
+                continue
+            assert analysis._vm_set(src) == analysis._vm_set(dst), edge
+
+
+class TestBarrierAtoms:
+    def test_barrier_bounds_checked(self):
+        region = build_region({1: [2], 2: [3], 3: []}, {1: 50, 3: 50})
+        barrier = region.atom(2)
+        barrier.kind = AtomKind.LOOP
+        barrier.ckpt = CkptBearing(
+            e_to_first=400.0, e_from_last=400.0, internal_energy=2_000.0
+        )
+        analysis, outcome = analyze(region, [(1, 2, 3)], eb=700.0)
+        assert not outcome.plain
+        # Both barrier edges are enabled.
+        assert (1, 2) in analysis.enabled
+        assert (2, 3) in analysis.enabled
+        # e_to_first of the region reaches only up to the first save.
+        assert outcome.e_to_first <= 700.0
+
+    def test_barrier_too_big_rejected(self):
+        region = build_region({1: [2], 2: []}, {1: 50})
+        barrier = region.atom(2)
+        barrier.kind = AtomKind.LOOP
+        barrier.ckpt = CkptBearing(
+            e_to_first=900.0, e_from_last=100.0, internal_energy=1_000.0
+        )
+        with pytest.raises(InfeasibleBudgetError):
+            analyze(region, [(1, 2)], eb=700.0)
+
+
+class TestExitCanonicalization:
+    def test_two_exits_share_vm_residency(self):
+        variables = {"hot": Variable("hot", I32)}
+        region = build_region(
+            {1: [2, 3], 2: [], 3: []},
+            {1: 40, 2: 40, 3: 40},
+            accesses={1: {"hot": 300}, 2: {"hot": 5}, 3: {}},
+        )
+        ctx = make_ctx(variables)
+        analysis, outcome = analyze(
+            region, [(1, 2), (1, 3)], eb=5_000.0, ctx=ctx, live={"hot"}
+        )
+        vm2 = analysis._vm_set(2)
+        vm3 = analysis._vm_set(3)
+        # The function imposes a single exit allocation (§III-B1): both
+        # exits agree (or a checkpoint migrates — none possible past exit).
+        assert vm2 == vm3
+
+    def test_mandatory_exit_checkpoint_for_entry_function(self):
+        region = build_region({1: []}, {1: 60})
+        analysis, outcome = analyze(
+            region, [(1,)], eb=5_000.0, exit_ckpt=True
+        )
+        exit_ckpts = [c for c in outcome.checkpoints if c.edge[1] == -1]
+        assert exit_ckpts

@@ -1,0 +1,227 @@
+"""Tests for region-graph construction (atoms, edges, insertion points)."""
+
+import pytest
+
+from repro.analysis import CFG, FunctionAccessSummaries, LoopNest
+from repro.analysis.callgraph import CallGraph
+from repro.core.region import AtomKind, CostEnv, RegionBuilder
+from repro.core.summaries import FunctionResult, SharedAlloc
+from repro.energy import msp430fr5969_model
+from repro.errors import InfeasibleBudgetError
+from repro.frontend import compile_source
+from repro.analysis.accesses import AccessCounts
+
+MODEL = msp430fr5969_model()
+
+
+def build_region(source: str, func_name: str = "main", eb: float = 5000.0,
+                 function_results=None, loop_results=None,
+                 kind: str = "function", loop_index: int = 0):
+    module = compile_source(source)
+    func = module.functions[func_name]
+    cfg = CFG(func)
+    nest = LoopNest(cfg)
+    env = CostEnv(
+        model=MODEL,
+        eb=eb,
+        summaries=FunctionAccessSummaries(module, CallGraph(module)),
+        function_results=function_results or {},
+        loop_results=loop_results or {},
+    )
+    builder = RegionBuilder(func, cfg, nest, env)
+    if kind == "function":
+        return module, builder.build_function_region()
+    loop = nest.bottom_up()[loop_index]
+    return module, builder.build_loop_region(loop)
+
+
+STRAIGHT = """
+u32 out;
+void main() {
+    u32 a = 1;
+    u32 b = a + 2;
+    out = b;
+}
+"""
+
+WITH_LOOP = """
+u32 out;
+void main() {
+    u32 acc = 0;
+    for (i32 i = 0; i < 8; i++) { acc += 2; }
+    out = acc;
+}
+"""
+
+WITH_CALL = """
+u32 out;
+u32 f(u32 x) { return x + 1; }
+void main() { out = f(41); }
+"""
+
+
+def plain_result(name: str) -> FunctionResult:
+    return FunctionResult(
+        name=name,
+        base_energy=10.0,
+        shared_counts=AccessCounts(),
+        shared=SharedAlloc(),
+    )
+
+
+class TestStraightLine:
+    def test_single_slice_atom(self):
+        module, region = build_region(STRAIGHT)
+        slices = [a for a in region.atoms.values() if a.kind is AtomKind.SLICE]
+        assert len(slices) == 1
+        assert region.entry_uid == slices[0].uid
+        assert region.exit_uids == [slices[0].uid]
+
+    def test_atom_costing(self):
+        module, region = build_region(STRAIGHT)
+        atom = region.atom(region.entry_uid)
+        assert atom.base_energy > 0
+        assert atom.counts.writes["main.a"] == 1
+        assert atom.counts.reads["main.a"] == 1
+        assert atom.counts.writes["out"] == 1
+
+    def test_energy_under_alloc(self):
+        from repro.ir import MemorySpace
+
+        module, region = build_region(STRAIGHT)
+        atom = region.atom(region.entry_uid)
+        nvm = atom.energy_under(MODEL, {})
+        vm = atom.energy_under(
+            MODEL,
+            {n: MemorySpace.VM for n in atom.counts.variables()},
+        )
+        assert vm < nvm
+        assert atom.worst_case_energy(MODEL) == pytest.approx(nvm)
+
+
+class TestLoopCollapse:
+    def test_loop_atom_in_function_region(self):
+        from repro.core.summaries import LoopResult
+
+        # First analyze the loop stub so the builder can collapse it.
+        module = compile_source(WITH_LOOP)
+        func = module.functions["main"]
+        cfg = CFG(func)
+        nest = LoopNest(cfg)
+        loop = nest.loops[0]
+        loop_results = {
+            loop.header: LoopResult(
+                header=loop.header,
+                maxiter=8,
+                iteration_energy=5.0,
+                numit=None,
+                total_energy=40.0,
+                shared=SharedAlloc(),
+            )
+        }
+        env = CostEnv(
+            model=MODEL, eb=5000.0,
+            summaries=FunctionAccessSummaries(module, CallGraph(module)),
+            function_results={}, loop_results=loop_results,
+        )
+        region = RegionBuilder(func, cfg, nest, env).build_function_region()
+        loops = [a for a in region.atoms.values() if a.kind is AtomKind.LOOP]
+        assert len(loops) == 1
+        assert loops[0].base_energy == 40.0
+        # Every loop-body block maps to the loop atom.
+        for label in loop.body:
+            assert region.loop_atom_of[label] == loops[0].uid
+
+    def test_loop_body_region_excludes_backedge(self):
+        module, region = build_region(WITH_LOOP, kind="loop")
+        # No edge may point back to the entry atom.
+        for src, dst in region.edges():
+            assert dst != region.entry_uid
+        # The latch's tail atom is an exit.
+        assert region.exit_uids
+
+
+class TestCallSplit:
+    def test_call_atom_created(self):
+        module, region = build_region(
+            WITH_CALL, function_results={"f": plain_result("f")}
+        )
+        calls = [a for a in region.atoms.values() if a.kind is AtomKind.CALL]
+        assert len(calls) == 1
+        assert calls[0].call.callee == "f"
+        # call overhead + callee base energy
+        assert calls[0].base_energy >= 10.0
+
+    def test_block_split_around_call(self):
+        module, region = build_region(
+            WITH_CALL, function_results={"f": plain_result("f")}
+        )
+        entry_label = module.functions["main"].entry.label
+        atoms = region.block_atoms[entry_label]
+        kinds = [region.atom(uid).kind for uid in atoms]
+        assert AtomKind.CALL in kinds
+        # slices on either side of the call within the same block
+        assert kinds.count(AtomKind.SLICE) >= 1
+
+    def test_intra_block_edge_has_inst_point(self):
+        module, region = build_region(
+            WITH_CALL, function_results={"f": plain_result("f")}
+        )
+        entry_label = module.functions["main"].entry.label
+        atoms = region.block_atoms[entry_label]
+        points = region.edge_points(atoms[0], atoms[1])
+        assert all(p.kind == "inst" for p in points)
+
+    def test_missing_callee_result_rejected(self):
+        from repro.errors import PlacementError
+
+        with pytest.raises(PlacementError, match="before its analysis"):
+            build_region(WITH_CALL)
+
+
+class TestOversizeSplitting:
+    def test_big_block_split_into_multiple_slices(self):
+        stores = "\n".join(f"    out{i} = {i};" for i in range(120))
+        decls = "\n".join(f"u32 out{i};" for i in range(120))
+        source = f"{decls}\nvoid main() {{\n{stores}\n}}"
+        module, region = build_region(source, eb=250.0)
+        slices = [a for a in region.atoms.values() if a.kind is AtomKind.SLICE]
+        assert len(slices) > 1
+        # Each slice individually fits the per-atom budget.
+        for atom in slices:
+            assert atom.worst_case_energy(MODEL) <= 250.0
+
+    def test_infeasible_budget_raises(self):
+        # EB below a single save+restore pair cannot host any atom.
+        with pytest.raises(Exception):
+            build_region(STRAIGHT, eb=50.0)
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        module, region = build_region(WITH_CALL,
+                                      function_results={"f": plain_result("f")})
+        order = region.topological()
+        position = {uid: i for i, uid in enumerate(order)}
+        for src, dst in region.edges():
+            assert position[src] < position[dst]
+
+    def test_branchy_region_edges(self):
+        from tests.helpers import BRANCHY_SRC
+        from repro.core.summaries import LoopResult
+
+        module = compile_source(BRANCHY_SRC)
+        func = module.functions["main"]
+        cfg = CFG(func)
+        nest = LoopNest(cfg)
+        loop = nest.loops[0]
+        env = CostEnv(
+            model=MODEL, eb=5000.0,
+            summaries=FunctionAccessSummaries(module, CallGraph(module)),
+            function_results={},
+            loop_results={},
+        )
+        region = RegionBuilder(func, cfg, nest, env).build_loop_region(loop)
+        # The loop body contains the if/else diamond: entry atom reaches
+        # two successors somewhere.
+        assert any(len(region.succs[uid]) == 2 for uid in region.atoms)

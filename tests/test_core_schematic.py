@@ -1,0 +1,279 @@
+"""End-to-end SCHEMATIC tests: compile many programs across budgets and
+verify correctness, forward progress and the paper's qualitative claims."""
+
+import pytest
+
+from repro.core import Schematic, SchematicResult, verify_forward_progress
+from repro.core.placement import SchematicConfig
+from repro.emulator import PowerManager, run_continuous, run_intermittent
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+from repro.ir import Checkpoint, CondCheckpoint, Load, MemorySpace, Store
+from tests.helpers import (
+    BRANCHY_SRC,
+    CALLS_SRC,
+    SUM_LOOP_SRC,
+    branchy_inputs,
+    calls_inputs,
+    compile_branchy,
+    compile_calls,
+    compile_sum_loop,
+    platform,
+    sum_loop_inputs,
+)
+
+MODEL = msp430fr5969_model()
+
+
+def gen_for(inputs_fn):
+    def gen(run):
+        return inputs_fn(seed=run + 10)
+
+    return gen
+
+
+def compile_and_verify(module, reference, inputs, input_gen, eb, vm_size=2048):
+    plat = platform(eb=eb, vm_size=vm_size)
+    result = Schematic(plat, SchematicConfig(profile_runs=2)).compile(
+        module, input_generator=input_gen
+    )
+    verdict = verify_forward_progress(
+        result.module, reference, plat.model, eb, vm_size, inputs=inputs
+    )
+    assert verdict.completed, verdict.failure_reason
+    assert verdict.outputs_match
+    assert verdict.power_failures == 0
+    return result
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("eb", [600.0, 1500.0, 10_000.0, 200_000.0])
+    def test_sum_loop_across_budgets(self, eb):
+        compile_and_verify(
+            compile_sum_loop(),
+            compile_sum_loop(),
+            sum_loop_inputs(),
+            gen_for(sum_loop_inputs),
+            eb,
+        )
+
+    @pytest.mark.parametrize("eb", [1200.0, 4000.0, 50_000.0])
+    def test_calls_across_budgets(self, eb):
+        compile_and_verify(
+            compile_calls(),
+            compile_calls(),
+            calls_inputs(),
+            gen_for(calls_inputs),
+            eb,
+        )
+
+    @pytest.mark.parametrize("eb", [800.0, 5000.0])
+    def test_branchy_across_budgets(self, eb):
+        compile_and_verify(
+            compile_branchy(),
+            compile_branchy(),
+            branchy_inputs(),
+            gen_for(branchy_inputs),
+            eb,
+        )
+
+    def test_original_module_unchanged(self):
+        module = compile_sum_loop()
+        before = module.instruction_count()
+        Schematic(platform(eb=1000.0), SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=gen_for(sum_loop_inputs)
+        )
+        assert module.instruction_count() == before
+        for func in module.functions.values():
+            for block in func.blocks.values():
+                for inst in block:
+                    if isinstance(inst, (Load, Store)):
+                        assert inst.space is MemorySpace.AUTO
+
+
+class TestTransformedShape:
+    def _compile(self, eb=1500.0) -> SchematicResult:
+        return Schematic(
+            platform(eb=eb), SchematicConfig(profile_runs=2)
+        ).compile(compile_sum_loop(), input_generator=gen_for(sum_loop_inputs))
+
+    def test_no_auto_spaces_survive(self):
+        result = self._compile()
+        for func in result.module.functions.values():
+            for block in func.blocks.values():
+                for inst in block:
+                    if isinstance(inst, (Load, Store)):
+                        assert inst.space is not MemorySpace.AUTO
+
+    def test_entry_checkpoint_present(self):
+        result = self._compile()
+        entry = result.module.entry_function.entry
+        assert isinstance(entry.instructions[0], Checkpoint)
+
+    def test_exit_checkpoint_before_return(self):
+        result = self._compile()
+        main = result.module.entry_function
+        for block in main.exit_blocks():
+            assert any(
+                isinstance(i, (Checkpoint, CondCheckpoint))
+                for i in block.instructions
+            )
+
+    def test_checkpoint_ids_unique_per_function(self):
+        result = self._compile()
+        for func in result.module.functions.values():
+            ids = [
+                inst.ckpt_id
+                for block in func.blocks.values()
+                for inst in block
+                if isinstance(inst, (Checkpoint, CondCheckpoint))
+            ]
+            assert len(ids) == len(set(ids))
+
+    def test_hot_scalars_in_vm(self):
+        result = self._compile()
+        spaces = {
+            (inst.var.name, inst.space)
+            for func in result.module.functions.values()
+            for block in func.blocks.values()
+            for inst in block
+            if isinstance(inst, (Load, Store))
+        }
+        vm_vars = {name for name, space in spaces if space is MemorySpace.VM}
+        assert "main.acc" in vm_vars
+        assert "main.i" in vm_vars
+
+    def test_conditional_checkpoint_in_tight_budget(self):
+        # With a small budget the 16-iteration loop cannot run entirely:
+        # a conditional checkpoint must guard the back edge.
+        result = Schematic(
+            platform(eb=250.0), SchematicConfig(profile_runs=1)
+        ).compile(compile_sum_loop(), input_generator=gen_for(sum_loop_inputs))
+        ckpts = [
+            inst
+            for func in result.module.functions.values()
+            for block in func.blocks.values()
+            for inst in block
+            if isinstance(inst, (Checkpoint, CondCheckpoint))
+        ]
+        assert len(ckpts) >= 3  # entry + exit + loop guard
+        assert any(isinstance(c, CondCheckpoint) for c in ckpts)
+
+    def test_infeasible_budget_reported(self):
+        from repro.errors import InfeasibleBudgetError
+
+        with pytest.raises(InfeasibleBudgetError):
+            Schematic(
+                platform(eb=120.0), SchematicConfig(profile_runs=1)
+            ).compile(
+                compile_sum_loop(), input_generator=gen_for(sum_loop_inputs)
+            )
+
+    def test_huge_budget_minimal_checkpoints(self):
+        result = self._compile(eb=1_000_000.0)
+        # Entry + exit only: everything fits in one charge.
+        assert result.checkpoints_inserted == 2
+
+
+class TestVMCapacityAdaptation:
+    def test_respects_tiny_vm(self):
+        module = compile_sum_loop()
+        plat = platform(eb=2000.0, vm_size=4)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=gen_for(sum_loop_inputs)
+        )
+        report = run_intermittent(
+            result.module,
+            MODEL,
+            __import__("repro.emulator.runtime", fromlist=["CheckpointPolicy"])
+            .CheckpointPolicy.wait_mode("schematic"),
+            PowerManager.energy_budget(plat.eb),
+            vm_size=plat.vm_size,
+            inputs=sum_loop_inputs(),
+        )
+        assert report.completed
+        assert report.peak_vm_bytes <= 4
+
+    def test_all_nvm_config_uses_no_vm(self):
+        module = compile_sum_loop()
+        result = Schematic(
+            platform(eb=2000.0),
+            SchematicConfig(profile_runs=1, all_nvm=True),
+        ).compile(module, input_generator=gen_for(sum_loop_inputs))
+        for func in result.module.functions.values():
+            for block in func.blocks.values():
+                for inst in block:
+                    if isinstance(inst, (Load, Store)):
+                        assert inst.space is MemorySpace.NVM
+
+    def test_vm_version_cheaper_than_allnvm(self):
+        module = compile_sum_loop()
+        inputs = sum_loop_inputs()
+        plat = platform(eb=2000.0)
+        policy_mod = __import__(
+            "repro.emulator.runtime", fromlist=["CheckpointPolicy"]
+        )
+        energies = {}
+        for all_nvm in (False, True):
+            result = Schematic(
+                plat, SchematicConfig(profile_runs=1, all_nvm=all_nvm)
+            ).compile(module, input_generator=gen_for(sum_loop_inputs))
+            report = run_intermittent(
+                result.module,
+                MODEL,
+                policy_mod.CheckpointPolicy.wait_mode("s"),
+                PowerManager.energy_budget(plat.eb),
+                vm_size=plat.vm_size,
+                inputs=inputs,
+            )
+            energies[all_nvm] = report.energy.total
+        assert energies[False] < energies[True]
+
+
+class TestPointerRule:
+    def test_ref_accessed_arrays_stay_nvm(self):
+        src = """
+        u32 out; i32 data[32];
+        void touch(i32 buf[]) {
+            for (i32 i = 0; i < 32; i++) { buf[i] += 1; }
+        }
+        void main() {
+            touch(data);
+            u32 acc = 0;
+            for (i32 i = 0; i < 32; i++) { acc += (u32) data[i]; }
+            out = acc;
+        }
+        """
+        module = compile_source(src)
+
+        def gen(run):
+            import random
+
+            rng = random.Random(run)
+            return {"data": [rng.randrange(0, 9) for _ in range(32)]}
+
+        result = Schematic(
+            platform(eb=4000.0), SchematicConfig(profile_runs=1)
+        ).compile(module, input_generator=gen)
+        for func in result.module.functions.values():
+            for block in func.blocks.values():
+                for inst in block:
+                    if isinstance(inst, (Load, Store)) and inst.var.name in (
+                        "data",
+                        "touch.buf",
+                    ):
+                        assert inst.space is MemorySpace.NVM
+
+
+class TestDeterminism:
+    def test_same_inputs_same_placement(self):
+        module = compile_sum_loop()
+        results = [
+            Schematic(
+                platform(eb=1500.0), SchematicConfig(profile_runs=2)
+            ).compile(module, input_generator=gen_for(sum_loop_inputs))
+            for _ in range(2)
+        ]
+        from repro.ir import print_module
+
+        assert print_module(results[0].module) == print_module(results[1].module)

@@ -1,0 +1,174 @@
+"""Tests for the transformation pass (edge splitting, space rewriting) and
+the dynamic forward-progress verifier."""
+
+import pytest
+
+from repro.core.transform import _CheckpointFactory, _split_edge
+from repro.core.verify import verify_forward_progress
+from repro.emulator import run_continuous
+from repro.energy import msp430fr5969_model
+from repro.errors import PlacementError
+from repro.frontend import compile_source
+from repro.ir import (
+    Branch,
+    Checkpoint,
+    CondCheckpoint,
+    Jump,
+    MemorySpace,
+    validate_module,
+)
+from tests.helpers import SUM_LOOP_SRC, platform, sum_loop_inputs
+
+MODEL = msp430fr5969_model()
+
+
+class TestCheckpointFactory:
+    def test_unique_ids(self):
+        factory = _CheckpointFactory()
+        a = factory.make((), (), {})
+        b = factory.make((), (), {})
+        assert a.ckpt_id != b.ckpt_id
+
+    def test_full_vs_conditional(self):
+        factory = _CheckpointFactory()
+        full = factory.make((), (), {}, every=1)
+        cond = factory.make((), (), {}, every=4)
+        assert isinstance(full, Checkpoint)
+        assert isinstance(cond, CondCheckpoint) and cond.every == 4
+
+    def test_sets_sorted(self):
+        factory = _CheckpointFactory()
+        ckpt = factory.make(("b", "a"), ("z", "y"), {})
+        assert ckpt.save_vars == ("a", "b")
+        assert ckpt.restore_vars == ("y", "z")
+
+    def test_skippable_flag(self):
+        factory = _CheckpointFactory()
+        assert factory.make((), (), {}).skippable
+        assert not factory.make((), (), {}, skippable=False).skippable
+
+
+class TestEdgeSplitting:
+    def _module(self):
+        return compile_source(
+            """
+            u32 out; u32 sel;
+            void main() {
+                if (sel != 0) { out = 1; } else { out = 2; }
+            }
+            """
+        )
+
+    def test_split_jump_edge(self):
+        module = self._module()
+        func = module.functions["main"]
+        then_label = next(l for l in func.blocks if l.startswith("then"))
+        join_label = func.blocks[then_label].successor_labels()[0]
+        ckpt = Checkpoint(99)
+        _split_edge(func, then_label, join_label, ckpt)
+        new_target = func.blocks[then_label].successor_labels()[0]
+        assert new_target != join_label
+        new_block = func.blocks[new_target]
+        assert new_block.instructions[0] is ckpt
+        assert isinstance(new_block.terminator, Jump)
+        validate_module(module)
+
+    def test_split_branch_edge(self):
+        module = self._module()
+        func = module.functions["main"]
+        entry = func.entry
+        term = entry.terminator
+        assert isinstance(term, Branch)
+        target = term.if_true
+        _split_edge(func, entry.label, target, Checkpoint(50))
+        assert term.if_true != target
+        validate_module(module)
+
+    def test_split_wrong_edge_rejected(self):
+        module = self._module()
+        func = module.functions["main"]
+        with pytest.raises(PlacementError):
+            _split_edge(func, func.entry.label, "nonexistent", Checkpoint(1))
+
+    def test_semantics_preserved_after_split(self):
+        module = self._module()
+        ref = run_continuous(module.clone(), MODEL, inputs={"sel": [1]})
+        func = module.functions["main"]
+        entry = func.entry
+        term = entry.terminator
+        ckpt = Checkpoint(7)
+        _split_edge(func, entry.label, term.if_true, ckpt)
+        for block in func.blocks.values():
+            for inst in block:
+                if hasattr(inst, "space") and inst.space is MemorySpace.AUTO:
+                    inst.space = MemorySpace.NVM
+        report = run_continuous(module, MODEL, inputs={"sel": [1]})
+        assert report.outputs == ref.outputs
+
+
+class TestVerifier:
+    def test_ok_on_correct_placement(self):
+        from repro.core import Schematic
+        from repro.core.placement import SchematicConfig
+
+        module = compile_source(SUM_LOOP_SRC)
+        plat = platform(eb=1_000.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: sum_loop_inputs(seed=run)
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size,
+            inputs=sum_loop_inputs(),
+        )
+        assert verdict.ok
+        assert verdict.power_failures == 0
+
+    def test_detects_undersized_budget(self):
+        """Compiling for a large budget but *running* on a small one must
+        be flagged: the guarantee is budget-specific."""
+        from repro.core import Schematic
+        from repro.core.placement import SchematicConfig
+
+        module = compile_source(SUM_LOOP_SRC)
+        plat = platform(eb=100_000.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: sum_loop_inputs(seed=run)
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, 150.0, plat.vm_size,
+            inputs=sum_loop_inputs(),
+        )
+        assert not verdict.ok
+
+    def test_detects_output_divergence(self):
+        """A deliberately corrupted transform (checkpoint dropping a dirty
+        VM variable) must be caught by the output comparison."""
+        from repro.core import Schematic
+        from repro.core.placement import SchematicConfig
+
+        module = compile_source(SUM_LOOP_SRC)
+        plat = platform(eb=250.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: sum_loop_inputs(seed=run)
+        )
+        # Corrupt: clear every checkpoint's save set.
+        broken = result.module.clone()
+        saw_saves = False
+        for func in broken.functions.values():
+            for block in func.blocks.values():
+                for inst in block:
+                    if isinstance(inst, (Checkpoint, CondCheckpoint)):
+                        if inst.save_vars:
+                            saw_saves = True
+                        inst.save_vars = ()
+        if not saw_saves:
+            pytest.skip("placement has no variable saves to corrupt")
+        # A never-saved VM loop counter resets at every checkpoint window,
+        # so the corrupted program may loop forever; the instruction budget
+        # bounds the run and reports it as not completed.
+        verdict = verify_forward_progress(
+            broken, module, MODEL, plat.eb, plat.vm_size,
+            inputs=sum_loop_inputs(),
+            max_instructions=2_000_000,
+        )
+        assert not verdict.ok

@@ -1,0 +1,262 @@
+"""Integration tests for intermittent execution: checkpoints, rollback,
+forward-progress detection, wait-mode semantics, skip heuristics."""
+
+import pytest
+
+from repro.emulator import (
+    CheckpointPolicy,
+    PowerManager,
+    run_continuous,
+    run_intermittent,
+)
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+from repro.ir import Checkpoint, MemorySpace
+from repro.baselines import compile_mementos, compile_ratchet
+from tests.helpers import (
+    SUM_LOOP_SRC,
+    compile_sum_loop,
+    platform,
+    sum_loop_inputs,
+)
+
+MODEL = msp430fr5969_model()
+
+
+class TestContinuousBasics:
+    def test_deterministic_outputs(self):
+        module = compile_sum_loop()
+        inputs = sum_loop_inputs()
+        a = run_continuous(module, MODEL, inputs=inputs)
+        b = run_continuous(module, MODEL, inputs=inputs)
+        assert a.outputs == b.outputs
+        assert a.active_cycles == b.active_cycles
+        assert a.energy.total == pytest.approx(b.energy.total)
+
+    def test_vm_default_space_cheaper(self):
+        module = compile_sum_loop()
+        inputs = sum_loop_inputs()
+        nvm = run_continuous(module, MODEL, inputs=inputs)
+        vm = run_continuous(
+            module, MODEL, default_space=MemorySpace.VM, inputs=inputs
+        )
+        assert vm.outputs == nvm.outputs
+        assert vm.energy.total < nvm.energy.total
+        assert vm.active_cycles < nvm.active_cycles
+
+    def test_instruction_budget_guard(self):
+        module = compile_source(
+            "u32 out; void main() { @maxiter(1000000) while (1) { out += 1; } }"
+        )
+        report = run_continuous(module, MODEL, max_instructions=10_000)
+        assert not report.completed
+        assert "budget" in report.failure_reason
+
+
+class TestRollbackMode:
+    def test_mementos_survives_failures(self):
+        plat = platform(eb=250.0)
+        module = compile_sum_loop()
+        inputs = sum_loop_inputs()
+        ref = run_continuous(module, MODEL, inputs=inputs)
+        compiled = compile_mementos(module, plat)
+        report = run_intermittent(
+            compiled.module,
+            MODEL,
+            compiled.policy,
+            PowerManager.energy_budget(plat.eb),
+            vm_size=plat.vm_size,
+            inputs=inputs,
+        )
+        assert report.completed
+        assert report.outputs == ref.outputs
+        assert report.power_failures > 0
+        assert report.energy.reexecution > 0
+
+    def test_ratchet_idempotent_reexecution(self):
+        plat = platform(eb=150.0)
+        module = compile_sum_loop()
+        inputs = sum_loop_inputs()
+        ref = run_continuous(module, MODEL, inputs=inputs)
+        compiled = compile_ratchet(module, plat)
+        report = run_intermittent(
+            compiled.module,
+            MODEL,
+            compiled.policy,
+            PowerManager.energy_budget(plat.eb),
+            vm_size=plat.vm_size,
+            inputs=inputs,
+        )
+        assert report.completed
+        assert report.outputs == ref.outputs
+
+    def test_forward_progress_violation_detected(self):
+        # A program with no checkpoints at all and a budget smaller than
+        # its total energy can never finish: it must be reported as stuck,
+        # not loop forever.
+        module = compile_sum_loop()
+        ref = run_continuous(module, MODEL, inputs=sum_loop_inputs())
+        tiny = ref.energy.total / 10
+        for func in module.functions.values():
+            pass  # no checkpoints inserted on purpose
+        report = run_intermittent(
+            module.clone(),
+            MODEL,
+            CheckpointPolicy.rollback_mode("bare"),
+            PowerManager.energy_budget(max(tiny, 120.0)),
+            inputs=sum_loop_inputs(),
+        )
+        assert not report.completed
+        assert report.failure_reason == "no forward progress"
+
+    def test_failure_count_reported(self):
+        module = compile_sum_loop()
+        plat = platform(eb=250.0)
+        compiled = compile_mementos(module, plat)
+        report = run_intermittent(
+            compiled.module,
+            MODEL,
+            compiled.policy,
+            PowerManager.energy_budget(plat.eb),
+            vm_size=plat.vm_size,
+            inputs=sum_loop_inputs(),
+        )
+        assert report.power_failures >= 1
+
+
+class TestWaitMode:
+    def _schematic_report(self, eb: float):
+        from tests.helpers import run_technique
+
+        module = compile_sum_loop()
+        plat = platform(eb=eb)
+        inputs = sum_loop_inputs()
+
+        def gen(run):
+            return sum_loop_inputs(seed=run)
+
+        compiled, report = run_technique(
+            "schematic", module, plat, inputs, input_generator=gen
+        )
+        return report
+
+    def test_wait_mode_never_fails(self):
+        report = self._schematic_report(1500.0)
+        assert report.completed
+        assert report.power_failures == 0
+        assert report.energy.reexecution == 0.0
+
+    def test_checkpoints_saved_in_wait_mode(self):
+        report = self._schematic_report(1000.0)
+        assert report.checkpoints_saved >= 1
+        assert report.checkpoints_restored >= report.checkpoints_saved
+
+    def test_larger_budget_fewer_saves(self):
+        small = self._schematic_report(800.0)
+        large = self._schematic_report(50_000.0)
+        assert large.checkpoints_saved <= small.checkpoints_saved
+        assert large.energy.total <= small.energy.total
+
+
+class TestSkipHeuristic:
+    def test_skippable_checkpoints_skipped_when_energy_high(self):
+        module = compile_sum_loop()
+        plat = platform(eb=1_000_000.0)  # never low on energy
+        compiled = compile_mementos(module, plat)
+        report = run_intermittent(
+            compiled.module,
+            MODEL,
+            compiled.policy,
+            PowerManager.energy_budget(plat.eb),
+            vm_size=plat.vm_size,
+            inputs=sum_loop_inputs(),
+        )
+        assert report.completed
+        assert report.checkpoints_skipped > 0
+        # Only the non-skippable boot/exit checkpoints actually saved.
+        assert report.checkpoints_saved <= 2
+
+
+class TestConditionalCheckpoints:
+    def test_cond_checkpoint_fires_every_k(self):
+        from repro.ir import CondCheckpoint, IRBuilder, Module, Opcode, Const, I32
+
+        module = compile_source(
+            """
+            u32 out;
+            void main() {
+                u32 acc = 0;
+                for (i32 i = 0; i < 10; i++) { acc += 1; }
+                out = acc;
+            }
+            """
+        )
+        # Insert a conditional checkpoint (every=3) at the top of the loop
+        # body by hand.
+        func = module.functions["main"]
+        body = next(b for l, b in func.blocks.items() if "for_body" in l)
+        body.instructions.insert(0, CondCheckpoint(ckpt_id=1, every=3))
+        for block in func.blocks.values():
+            for inst in block:
+                if hasattr(inst, "space") and inst.space is MemorySpace.AUTO:
+                    inst.space = MemorySpace.NVM
+        report = run_intermittent(
+            module,
+            MODEL,
+            CheckpointPolicy.wait_mode("test"),
+            PowerManager.energy_budget(100_000.0),
+        )
+        assert report.completed
+        # 10 body executions / every 3 => fires at iterations 3, 6, 9.
+        assert report.checkpoints_saved == 3
+        assert report.outputs["out"] == [10]
+
+
+class TestTinyBudgetStuck:
+    def test_mementos_stuck_when_checkpoint_traffic_exceeds_budget(self):
+        # At EB=150 nJ the save+restore of MEMENTOS's full-memory
+        # checkpoint does not fit the budget: no forward progress.
+        plat = platform(eb=150.0)
+        module = compile_sum_loop()
+        compiled = compile_mementos(module, plat)
+        report = run_intermittent(
+            compiled.module,
+            MODEL,
+            compiled.policy,
+            PowerManager.energy_budget(plat.eb),
+            vm_size=plat.vm_size,
+            inputs=sum_loop_inputs(),
+        )
+        assert not report.completed
+        assert report.failure_reason == "no forward progress"
+
+
+class TestSnapshotConsistency:
+    def test_rollback_restores_exact_state(self):
+        """Drive a program that would produce wrong results if rollback
+        mixed old frames with new data: a running product where any lost or
+        duplicated factor changes the output."""
+        src = """
+        u32 out; u32 steps;
+        void main() {
+            u32 acc = 1;
+            @maxiter(64)
+            for (i32 i = 0; i < 40; i++) {
+                acc = acc * 3 + 1;
+            }
+            out = acc;
+        }
+        """
+        module = compile_source(src)
+        ref = run_continuous(module, MODEL)
+        plat = platform(eb=250.0)
+        compiled = compile_mementos(module, plat)
+        report = run_intermittent(
+            compiled.module,
+            MODEL,
+            compiled.policy,
+            PowerManager.energy_budget(plat.eb),
+            vm_size=plat.vm_size,
+        )
+        assert report.completed
+        assert report.outputs == ref.outputs

@@ -1,0 +1,172 @@
+"""Tests for allocation *migration* at checkpoints (roll-back mode) and
+the interplay of save sets with residency — hand-built IR modules."""
+
+import pytest
+
+from repro.emulator import CheckpointPolicy, PowerManager, run_intermittent
+from repro.energy import msp430fr5969_model
+from repro.ir import (
+    Checkpoint,
+    Const,
+    I32,
+    IRBuilder,
+    MemorySpace,
+    Module,
+    Opcode,
+    validate_module,
+)
+
+MODEL = msp430fr5969_model()
+
+
+def migration_module() -> Module:
+    """main: phase 1 works on @a in VM; a mid-function checkpoint migrates
+    to phase 2 where @a is NVM and @b is VM (the paper's motivating
+    example: sum's best placement changes between program phases)."""
+    module = Module("migration")
+    module.add_global(__import__("repro.ir", fromlist=["Variable"]).Variable("a", I32))
+    module.add_global(__import__("repro.ir", fromlist=["Variable"]).Variable("b", I32))
+    builder = IRBuilder(module)
+    builder.start_function("main")
+
+    # Boot checkpoint: a lives in VM for phase 1.
+    builder.block.append(
+        Checkpoint(
+            ckpt_id=1,
+            save_vars=(),
+            restore_vars=("a",),
+            alloc_after={"a": MemorySpace.VM},
+            skippable=False,
+        )
+    )
+    a = module.globals["a"]
+    b = module.globals["b"]
+    r1 = builder.emit_load(a, space=MemorySpace.VM)
+    r2 = builder.emit_binop(Opcode.ADD, r1, Const(5, I32))
+    builder.emit_store(a, r2, space=MemorySpace.VM)
+
+    # Migration checkpoint: a -> NVM (saved), b -> VM.
+    builder.block.append(
+        Checkpoint(
+            ckpt_id=2,
+            save_vars=("a",),
+            restore_vars=("b",),
+            alloc_after={"a": MemorySpace.NVM, "b": MemorySpace.VM},
+            skippable=False,
+        )
+    )
+    r3 = builder.emit_load(a, space=MemorySpace.NVM)
+    r4 = builder.emit_load(b, space=MemorySpace.VM)
+    r5 = builder.emit_binop(Opcode.MUL, r3, r4)
+    builder.emit_store(b, r5, space=MemorySpace.VM)
+
+    # Exit checkpoint flushes b.
+    builder.block.append(
+        Checkpoint(
+            ckpt_id=3,
+            save_vars=("b",),
+            restore_vars=(),
+            alloc_after={},
+            skippable=False,
+        )
+    )
+    builder.emit_ret()
+    return validate_module(module)
+
+
+class TestMigrationRollbackMode:
+    def test_values_follow_the_migration(self):
+        module = migration_module()
+        report = run_intermittent(
+            module,
+            MODEL,
+            CheckpointPolicy.rollback_mode("test"),
+            PowerManager.energy_budget(100_000.0),
+            inputs={"a": [10], "b": [3]},
+        )
+        assert report.completed
+        # phase 1: a = 15 (VM); migration saves it; phase 2: b = 15*3.
+        assert report.outputs["a"] == [15]
+        assert report.outputs["b"] == [45]
+
+    def test_migration_billed_as_restore_traffic(self):
+        module = migration_module()
+        report = run_intermittent(
+            module,
+            MODEL,
+            CheckpointPolicy.rollback_mode("test"),
+            PowerManager.energy_budget(100_000.0),
+            inputs={"a": [10], "b": [3]},
+        )
+        # Three saves (boot has none to save but still counts), and the
+        # migration loaded b into VM.
+        assert report.checkpoints_saved == 3
+        assert report.energy.restore > 0
+
+    def test_wait_mode_same_results(self):
+        module = migration_module()
+        report = run_intermittent(
+            module,
+            MODEL,
+            CheckpointPolicy.wait_mode("test"),
+            PowerManager.energy_budget(100_000.0),
+            inputs={"a": [10], "b": [3]},
+        )
+        assert report.completed
+        assert report.outputs["a"] == [15]
+        assert report.outputs["b"] == [45]
+
+    def test_rollback_after_migration_restores_phase2_state(self):
+        """Fail during phase 2: the snapshot is the migration checkpoint,
+        so a must come back as 15 (already saved) and b as its NVM value."""
+        module = migration_module()
+        # Budget chosen so phase 2 (mul + stores) overruns once.
+        report = run_intermittent(
+            module,
+            MODEL,
+            CheckpointPolicy.rollback_mode("test"),
+            PowerManager.energy_budget(150.0),
+            inputs={"a": [10], "b": [3]},
+        )
+        assert report.completed
+        assert report.outputs["a"] == [15]
+        assert report.outputs["b"] == [45]
+        assert report.power_failures >= 1
+
+
+class TestSummarySubstitution:
+    def test_ckpt_substitution_maps_names(self):
+        from repro.core.region import _substitute_ckpt, _substitute_shared
+        from repro.core.summaries import CkptBearing, SharedAlloc
+
+        ckpt = CkptBearing(
+            e_to_first=1.0,
+            e_from_last=2.0,
+            internal_energy=3.0,
+            entry_forced={"f.buf": MemorySpace.NVM},
+            entry_vm=("f.tmp",),
+            entry_restore=("f.tmp",),
+            exit_dirty=("f.buf",),
+            exit_states={"latch": ("f.tmp",)},
+        )
+        mapped = _substitute_ckpt(ckpt, {"f.buf": "caller_array"})
+        assert "caller_array" in mapped.entry_forced
+        assert mapped.exit_dirty == ("caller_array",)
+        assert mapped.exit_states == {"latch": ("f.tmp",)}
+
+        shared = SharedAlloc(
+            forced={"f.buf": MemorySpace.NVM},
+            vm_names=("f.buf",),
+            restore_names=("f.buf",),
+            dirty_names=("f.buf",),
+        )
+        mapped = _substitute_shared(shared, {"f.buf": "caller_array"})
+        assert mapped.forced == {"caller_array": MemorySpace.NVM}
+        assert mapped.vm_names == ("caller_array",)
+
+    def test_empty_mapping_is_identity(self):
+        from repro.core.region import _substitute_shared
+        from repro.core.summaries import SharedAlloc
+
+        shared = SharedAlloc(forced={"g": MemorySpace.VM})
+        assert _substitute_shared(shared, {}) is shared

@@ -1,0 +1,166 @@
+"""Tests for the periodic-cycles failure mode, execution reports and the
+IR printer output."""
+
+import pytest
+
+from repro.baselines import compile_mementos, compile_ratchet
+from repro.emulator import (
+    CheckpointPolicy,
+    PowerManager,
+    PowerMode,
+    run_continuous,
+    run_intermittent,
+)
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+from repro.ir import print_function, print_module
+from tests.helpers import compile_sum_loop, platform, sum_loop_inputs
+
+MODEL = msp430fr5969_model()
+
+
+class TestPeriodicMode:
+    def test_failures_every_tbpf_cycles(self):
+        module = compile_sum_loop()
+        inputs = sum_loop_inputs()
+        ref = run_continuous(module, MODEL, inputs=inputs)
+        compiled = compile_ratchet(module, platform())
+        tbpf = 500
+        report = run_intermittent(
+            compiled.module,
+            MODEL,
+            compiled.policy,
+            PowerManager.periodic(tbpf=tbpf),
+            vm_size=2048,
+            inputs=inputs,
+        )
+        assert report.completed
+        assert report.outputs == ref.outputs
+        # Active cycles grow with re-execution; at least cycles/tbpf
+        # failures must have happened.
+        assert report.power_failures >= ref.active_cycles // tbpf
+
+    def test_periodic_and_energy_budget_agree_qualitatively(self):
+        """Per §IV-C the two failure models are linked by average power:
+        both must let mementos finish with comparable failure counts."""
+        module = compile_sum_loop()
+        inputs = sum_loop_inputs()
+        ref = run_continuous(module, MODEL, inputs=inputs)
+        avg_power = ref.energy.total / ref.active_cycles
+        tbpf = 700
+        eb = avg_power * tbpf
+
+        compiled = compile_mementos(module, platform(eb=eb))
+        by_energy = run_intermittent(
+            compiled.module, MODEL, compiled.policy,
+            PowerManager.energy_budget(eb), vm_size=2048, inputs=inputs,
+        )
+        by_cycles = run_intermittent(
+            compiled.module, MODEL, compiled.policy,
+            PowerManager.periodic(tbpf=tbpf, eb=eb), vm_size=2048,
+            inputs=inputs,
+        )
+        assert by_energy.completed and by_cycles.completed
+        assert by_energy.outputs == by_cycles.outputs == ref.outputs
+
+    def test_mode_enum(self):
+        assert PowerManager.continuous().mode is PowerMode.CONTINUOUS
+        assert PowerManager.periodic(100).mode is PowerMode.PERIODIC_CYCLES
+        assert (
+            PowerManager.energy_budget(5.0).mode is PowerMode.ENERGY_BUDGET
+        )
+
+
+class TestExecutionReport:
+    def test_summary_mentions_key_fields(self):
+        module = compile_sum_loop()
+        report = run_continuous(module, MODEL, inputs=sum_loop_inputs())
+        text = report.summary()
+        assert "completed" in text
+        assert "uJ" in text
+        assert "cycles" in text
+
+    def test_failed_summary(self):
+        module = compile_sum_loop()
+        report = run_intermittent(
+            module.clone(),
+            MODEL,
+            CheckpointPolicy.rollback_mode("bare"),
+            PowerManager.energy_budget(120.0),
+            inputs=sum_loop_inputs(),
+        )
+        assert "FAILED" in report.summary()
+
+    def test_matches_outputs_helper(self):
+        module = compile_sum_loop()
+        a = run_continuous(module, MODEL, inputs=sum_loop_inputs(seed=1))
+        b = run_continuous(module, MODEL, inputs=sum_loop_inputs(seed=1))
+        c = run_continuous(module, MODEL, inputs=sum_loop_inputs(seed=2))
+        assert a.matches_outputs(b)
+        assert not a.matches_outputs(c)
+
+    def test_total_energy_uj(self):
+        module = compile_sum_loop()
+        report = run_continuous(module, MODEL, inputs=sum_loop_inputs())
+        assert report.total_energy_uj == pytest.approx(
+            report.energy.total / 1000.0
+        )
+
+
+class TestPrinter:
+    def test_module_dump_roundtrip_structure(self):
+        from tests.helpers import CALLS_SRC
+
+        module = compile_source(CALLS_SRC)
+        text = print_module(module)
+        # Every function and block label appears.
+        for name, func in module.functions.items():
+            assert f"func @{name}(" in text
+            for label in func.blocks:
+                assert f".{label}:" in text
+        for name in module.globals:
+            assert f"@{name}" in text
+
+    def test_const_flag_shown(self):
+        module = compile_source(
+            "const u8 t[2] = {1, 2}; void main() { u32 x = (u32) t[0]; }"
+        )
+        assert "[const]" in print_module(module)
+
+    def test_function_dump_contains_params(self):
+        module = compile_source(
+            "u32 f(u32 a, i32 buf[]) { return a; } void main() { }"
+        )
+        text = print_function(module.functions["f"])
+        assert "a:u32" in text
+        assert "&buf:i32" in text
+
+    def test_checkpoints_printed(self):
+        from repro.core import Schematic, SchematicConfig
+        from tests.helpers import sum_loop_inputs
+
+        result = Schematic(
+            platform(eb=250.0), SchematicConfig(profile_runs=1)
+        ).compile(
+            compile_sum_loop(),
+            input_generator=lambda run: sum_loop_inputs(seed=run),
+        )
+        text = print_module(result.module)
+        assert "checkpoint #" in text
+        assert "load.vm" in text or "store.vm" in text
+
+
+class TestFormatMatrix:
+    def test_alignment_and_content(self):
+        from repro.experiments.common import format_matrix
+
+        text = format_matrix(
+            "demo",
+            ["row1", "row2"],
+            ["colA", "colB"],
+            lambda r, c: f"{r[-1]}{c[-1]}",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "colA" in lines[1] and "colB" in lines[1]
+        assert "1A" in lines[2] and "2B" in lines[3]

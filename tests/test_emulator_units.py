@@ -1,0 +1,153 @@
+"""Unit tests for the emulator's memory, meter and power components."""
+
+import pytest
+
+from repro.emulator import EnergyMeter, MemoryState, PowerManager, PowerMode
+from repro.errors import EmulationError, VMCapacityError
+from repro.frontend import compile_source
+from repro.ir import MemorySpace
+
+
+def memory(vm_size: int = 1024) -> MemoryState:
+    module = compile_source(
+        """
+        u32 g = 7;
+        i32 arr[4] = {1, 2, 3, 4};
+        const u8 t[2] = {9, 8};
+        void main() { g = g; }
+        """
+    )
+    return MemoryState(module, vm_size)
+
+
+class TestMemoryState:
+    def test_initial_values_from_init(self):
+        mem = memory()
+        assert mem.read("g", 0, MemorySpace.NVM) == 7
+        assert mem.read("arr", 2, MemorySpace.NVM) == 3
+        assert mem.read("t", 1, MemorySpace.NVM) == 8
+
+    def test_vm_access_requires_residency(self):
+        mem = memory()
+        with pytest.raises(EmulationError, match="not VM-resident"):
+            mem.read("g", 0, MemorySpace.VM)
+
+    def test_load_into_vm_copies_values(self):
+        mem = memory()
+        mem.load_into_vm("arr")
+        assert mem.read("arr", 0, MemorySpace.VM) == 1
+        mem.write("arr", 0, 99, MemorySpace.VM)
+        # NVM home untouched until saved.
+        assert mem.read("arr", 0, MemorySpace.NVM) == 1
+        mem.save_to_nvm("arr")
+        assert mem.read("arr", 0, MemorySpace.NVM) == 99
+
+    def test_capacity_enforced(self):
+        mem = memory(vm_size=8)
+        mem.load_into_vm("g")  # 4 bytes
+        with pytest.raises(VMCapacityError):
+            mem.load_into_vm("arr")  # 16 bytes would overflow
+
+    def test_clear_vm_loses_volatile(self):
+        mem = memory()
+        mem.load_into_vm("g")
+        mem.write("g", 0, 42, MemorySpace.VM)
+        mem.clear_vm()
+        assert mem.vm_residents() == []
+        assert mem.read("g", 0, MemorySpace.NVM) == 7
+
+    def test_out_of_bounds(self):
+        mem = memory()
+        with pytest.raises(EmulationError, match="out-of-bounds"):
+            mem.read("arr", 4, MemorySpace.NVM)
+        with pytest.raises(EmulationError, match="out-of-bounds"):
+            mem.write("arr", -1, 0, MemorySpace.NVM)
+
+    def test_save_requires_residency(self):
+        mem = memory()
+        with pytest.raises(EmulationError):
+            mem.save_to_nvm("g")
+
+    def test_read_variable_prefers_vm(self):
+        mem = memory()
+        mem.load_into_vm("g")
+        mem.write("g", 0, 11, MemorySpace.VM)
+        assert mem.read_variable("g") == [11]
+        mem.drop_from_vm("g")
+        assert mem.read_variable("g") == [7]
+
+
+class TestEnergyMeter:
+    def test_commit_moves_pending_to_computation(self):
+        meter = EnergyMeter()
+        meter.charge_compute(10.0)
+        assert meter.breakdown.computation == 0.0
+        meter.commit()
+        assert meter.breakdown.computation == 10.0
+
+    def test_rollback_moves_pending_to_reexecution(self):
+        meter = EnergyMeter()
+        meter.charge_compute(10.0)
+        meter.rollback()
+        assert meter.breakdown.reexecution == 10.0
+        assert meter.breakdown.computation == 0.0
+
+    def test_access_split(self):
+        meter = EnergyMeter()
+        meter.charge_compute(5.0, access_energy=2.0, access_is_vm=True, has_access=True)
+        meter.charge_compute(5.0, access_energy=2.0, access_is_vm=False, has_access=True)
+        meter.commit()
+        assert meter.breakdown.vm_access == 2.0
+        assert meter.breakdown.nvm_access == 2.0
+        assert meter.breakdown.cpu == 6.0
+        assert meter.vm_accesses == 1 and meter.nvm_accesses == 1
+
+    def test_save_restore_committed_immediately(self):
+        meter = EnergyMeter()
+        meter.charge_save(3.0)
+        meter.charge_restore(4.0)
+        assert meter.breakdown.save == 3.0
+        assert meter.breakdown.restore == 4.0
+        assert meter.saves == 1 and meter.restores == 1
+
+    def test_total(self):
+        meter = EnergyMeter()
+        meter.charge_compute(1.0)
+        meter.commit()
+        meter.charge_save(2.0)
+        meter.charge_restore(3.0)
+        meter.charge_compute(4.0)
+        meter.rollback()
+        assert meter.breakdown.total == pytest.approx(10.0)
+        assert meter.breakdown.intermittency_management == pytest.approx(9.0)
+
+
+class TestPowerManager:
+    def test_continuous_never_fails(self):
+        power = PowerManager.continuous()
+        for _ in range(1000):
+            assert not power.consume(1e9, 1000)
+
+    def test_energy_budget_failure(self):
+        power = PowerManager.energy_budget(100.0)
+        assert not power.consume(60.0, 1)
+        assert power.consume(60.0, 1)  # 120 > 100
+        assert power.failures == 1
+
+    def test_recharge_resets(self):
+        power = PowerManager.energy_budget(100.0)
+        power.consume(90.0, 1)
+        power.recharge_full()
+        assert not power.consume(90.0, 1)
+        assert power.recharges == 1
+
+    def test_periodic_cycles(self):
+        power = PowerManager.periodic(tbpf=100)
+        assert not power.consume(0.0, 99)
+        assert power.consume(0.0, 1)
+
+    def test_remaining_fraction(self):
+        power = PowerManager.energy_budget(200.0)
+        power.consume(50.0, 1)
+        assert power.remaining_fraction == pytest.approx(0.75)
+        assert power.remaining == pytest.approx(150.0)

@@ -1,0 +1,122 @@
+"""Tests for the energy model and platform description."""
+
+import pytest
+
+from repro.energy import EnergyModel, Platform, msp430fr5969_model, msp430fr5969_platform
+from repro.errors import EnergyModelError
+from repro.ir import (
+    BinOp,
+    Branch,
+    Call,
+    Checkpoint,
+    Const,
+    I32,
+    Jump,
+    Load,
+    MemorySpace,
+    Opcode,
+    Register,
+    Ret,
+    Store,
+    Variable,
+)
+
+MODEL = msp430fr5969_model()
+R = Register("r", I32)
+VAR = Variable("v", I32)
+
+
+class TestAccessCosts:
+    def test_nvm_ratio_matches_datasheet_claim(self):
+        # Paper §I: NVM accesses cost up to 2.47x a VM access.
+        assert MODEL.nvm_access_energy == pytest.approx(
+            MODEL.vm_access_energy * 2.47
+        )
+
+    def test_vm_cheaper_than_nvm_per_access(self):
+        vm = MODEL.access_cost_in_space(MemorySpace.VM)
+        nvm = MODEL.access_cost_in_space(MemorySpace.NVM)
+        assert vm < nvm
+
+    def test_read_gain_positive(self):
+        assert MODEL.read_gain > 0
+        assert MODEL.write_gain == MODEL.read_gain
+
+    def test_auto_access_rejected(self):
+        with pytest.raises(EnergyModelError):
+            MODEL.access_energy(MemorySpace.AUTO)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(EnergyModelError):
+            EnergyModel(nvm_access_ratio=0.5)
+
+
+class TestInstructionCosts:
+    def test_alu_cheaper_than_mul_cheaper_than_div(self):
+        add = BinOp(Opcode.ADD, R, Const(1, I32), Const(2, I32))
+        mul = BinOp(Opcode.MUL, R, Const(1, I32), Const(2, I32))
+        div = BinOp(Opcode.DIV, R, Const(1, I32), Const(2, I32))
+        assert (
+            MODEL.instruction_energy(add)
+            < MODEL.instruction_energy(mul)
+            < MODEL.instruction_energy(div)
+        )
+
+    def test_load_includes_access_energy(self):
+        vm_load = Load(R, VAR, space=MemorySpace.VM)
+        nvm_load = Load(R, VAR, space=MemorySpace.NVM)
+        assert MODEL.instruction_energy(vm_load) < MODEL.instruction_energy(
+            nvm_load
+        )
+
+    def test_store_symmetric_with_load(self):
+        load = Load(R, VAR, space=MemorySpace.VM)
+        store = Store(VAR, None, Const(0, I32), space=MemorySpace.VM)
+        assert MODEL.instruction_cycles(load) == MODEL.instruction_cycles(store)
+
+    def test_control_flow_costs(self):
+        assert MODEL.instruction_cycles(Jump("x")) == MODEL.jump_cycles
+        assert MODEL.instruction_cycles(Branch(R, "a", "b")) == MODEL.branch_cycles
+        assert MODEL.instruction_cycles(Call(None, "f", [])) == MODEL.call_cycles
+        assert MODEL.instruction_cycles(Ret()) == MODEL.ret_cycles
+
+    def test_checkpoint_instruction_free_here(self):
+        # The runtime policy charges checkpoints, not the instruction model.
+        assert MODEL.instruction_cycles(Checkpoint(1)) == 0
+
+
+class TestCheckpointCosts:
+    def test_save_grows_with_payload(self):
+        assert MODEL.save_energy(0) < MODEL.save_energy(100) < MODEL.save_energy(1000)
+
+    def test_save_restore_symmetric(self):
+        for payload in (0, 64, 512):
+            assert MODEL.save_energy(payload) == MODEL.restore_energy(payload)
+
+    def test_register_file_always_included(self):
+        # Even an empty checkpoint moves the register file.
+        assert MODEL.save_energy(0) > MODEL.checkpoint_fixed_energy
+
+    def test_variable_cost_has_no_fixed_part(self):
+        # Eq. 2 per-variable costs exclude the per-checkpoint fixed cost.
+        assert MODEL.variable_save_energy(4) < MODEL.save_energy(4)
+
+
+class TestPlatform:
+    def test_default_platform(self):
+        plat = msp430fr5969_platform()
+        assert plat.vm_size == 2048
+        assert plat.nvm_size == 65536
+
+    def test_with_eb(self):
+        plat = msp430fr5969_platform(eb=5000.0)
+        assert plat.with_eb(123456.0).eb == 123456.0
+        assert plat.eb == 5000.0  # original untouched
+
+    def test_eb_too_small_rejected(self):
+        with pytest.raises(EnergyModelError):
+            msp430fr5969_platform(eb=1.0)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(EnergyModelError):
+            Platform(model=MODEL, vm_size=-1)

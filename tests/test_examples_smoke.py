@@ -1,0 +1,50 @@
+"""Smoke tests: the runnable examples must execute end to end.
+
+Only the fast examples run here (the full set is exercised manually /
+in the benchmark harness); each is imported fresh and its ``main()``
+invoked with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "compiling with SCHEMATIC" in out
+        assert "outputs match continuous run: True" in out
+        assert "forward progress + no anomalies: True" in out
+
+    def test_custom_platform(self, capsys):
+        out = run_example("custom_platform", capsys)
+        assert "fram-like" in out
+        assert "flash-like" in out
+        assert "completed=True" in out
+
+    def test_capacitor_sizing(self, capsys):
+        out = run_example("capacitor_sizing", capsys)
+        assert "overhead" in out
+        # The overhead column decreases down the table.
+        lines = [l for l in out.splitlines() if l.strip().endswith("%")]
+        overheads = [float(l.split()[-1].rstrip("%")) for l in lines]
+        assert overheads == sorted(overheads, reverse=True)

@@ -1,0 +1,49 @@
+"""Tests for the ASCII stacked-bar chart helpers."""
+
+from repro.experiments.charts import stacked_bar, stacked_bar_chart
+
+
+class TestStackedBar:
+    def test_glyph_order_matches_legend(self):
+        parts = {"computation": 30.0, "save": 20.0, "restore": 10.0,
+                 "reexecution": 5.0}
+        bar = stacked_bar(parts, scale=5.0, width=60)
+        assert bar == "#" * 6 + "S" * 4 + "r" * 2 + "x"
+
+    def test_bar_respects_width(self):
+        parts = {"computation": 1000.0}
+        assert len(stacked_bar(parts, scale=1.0, width=10)) == 10
+
+    def test_zero_scale(self):
+        assert stacked_bar({"computation": 1.0}, scale=0.0, width=10) == ""
+
+
+class TestChart:
+    def test_rows_rendered_and_scaled(self):
+        rows = [
+            ("big", {"computation": 1000.0, "save": 1000.0}),
+            ("small", {"computation": 100.0}),
+            ("dead", None),
+        ]
+        text = stacked_bar_chart(rows, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("legend:")
+        big_line = next(l for l in lines if l.startswith("big"))
+        small_line = next(l for l in lines if l.startswith("small"))
+        assert big_line.count("#") > small_line.count("#")
+        # The largest bar fills (about) the full width.
+        assert big_line.count("#") + big_line.count("S") >= 38
+        assert "(did not complete)" in text
+
+    def test_empty_chart(self):
+        assert "nothing to chart" in stacked_bar_chart([("a", None)])
+
+    def test_figure8_chart_smoke(self):
+        from repro.experiments.common import EvaluationContext
+        from repro.experiments import figure8_capacitor_size
+
+        ctx = EvaluationContext(benchmarks=["randmath"])
+        result = figure8_capacitor_size.run(ctx, benchmark="randmath")
+        chart = result.render_chart()
+        assert "schematic@100000" in chart
+        assert "#" in chart

@@ -1,0 +1,201 @@
+"""Second MiniC conformance batch: promotions, casts, edge shapes."""
+
+import pytest
+
+from repro.emulator import run_continuous
+from repro.energy import msp430fr5969_model
+from repro.errors import EmulationError
+from repro.frontend import compile_source
+
+MODEL = msp430fr5969_model()
+
+
+def out_value(source, inputs=None, var="out"):
+    module = compile_source(source)
+    report = run_continuous(module, MODEL, inputs=inputs or {})
+    assert report.completed, report.failure_reason
+    return report.outputs[var][0]
+
+
+class TestPromotions:
+    def test_u8_plus_u8_stays_u8(self):
+        # MiniC has no C-style promotion to int: same-width operands keep
+        # their width, so u8 + u8 wraps at 8 bits. Widen explicitly (or via
+        # a wider operand) when the full sum is needed.
+        src = "u32 out; u8 a; u8 b; void main() { out = a + b; }"
+        assert out_value(src, {"a": [200], "b": [200]}) == 144
+
+    def test_widening_via_cast_keeps_sum(self):
+        src = "u32 out; u8 a; u8 b; void main() { out = (u32) a + (u32) b; }"
+        assert out_value(src, {"a": [200], "b": [200]}) == 400
+
+    def test_widening_via_literal_operand(self):
+        # Literals are i32, so u8 + literal computes at 32 bits.
+        src = "u32 out; u8 a; void main() { out = a + 200; }"
+        assert out_value(src, {"a": [200]}) == 400
+
+    def test_i16_sign_extension(self):
+        src = "i32 out; i16 a; void main() { out = a; }"
+        assert out_value(src, {"a": [-5]}) == -5
+
+    def test_u16_wraparound(self):
+        src = "u32 out; u16 a; void main() { u16 t = a + 1; out = t; }"
+        assert out_value(src, {"a": [65535]}) == 0
+
+    def test_signed_unsigned_mix(self):
+        # i32 + u32 -> u32 (unsigned wins ties): -1 becomes 0xffffffff.
+        src = "u32 out; i32 a; u32 b; void main() { out = a + b; }"
+        assert out_value(src, {"a": [-1], "b": [0]}) == 0xFFFFFFFF
+
+    def test_cast_narrows_then_widens(self):
+        src = "u32 out; u32 a; void main() { out = (u32) (u8) a; }"
+        assert out_value(src, {"a": [0x1234]}) == 0x34
+
+    def test_cast_to_signed(self):
+        src = "i32 out; u32 a; void main() { out = (i8) a; }"
+        assert out_value(src, {"a": [0xFF]}) == -1
+
+
+class TestShapes:
+    def test_empty_main(self):
+        module = compile_source("u32 out; void main() { }")
+        report = run_continuous(module, MODEL)
+        assert report.completed
+
+    def test_deep_if_chain(self):
+        chain = "out = 0;\n"
+        for i in range(20):
+            chain += f"if (sel == {i}) {{ out = {i * 10}; }}\n"
+        src = f"u32 out; u32 sel; void main() {{ {chain} }}"
+        assert out_value(src, {"sel": [13]}) == 130
+
+    def test_deep_call_chain(self):
+        funcs = "u32 f0(u32 x) { return x + 1; }\n"
+        for i in range(1, 12):
+            funcs += f"u32 f{i}(u32 x) {{ return f{i - 1}(x) + 1; }}\n"
+        src = funcs + "u32 out; void main() { out = f11(0); }"
+        assert out_value(src) == 12
+
+    def test_multiple_returns(self):
+        src = """
+        u32 out; u32 sel;
+        u32 pick(u32 s) {
+            if (s == 0) { return 100; }
+            if (s == 1) { return 200; }
+            return 300;
+        }
+        void main() { out = pick(sel); }
+        """
+        assert out_value(src, {"sel": [0]}) == 100
+        assert out_value(src, {"sel": [1]}) == 200
+        assert out_value(src, {"sel": [7]}) == 300
+
+    def test_arrays_of_every_type(self):
+        src = """
+        u32 out;
+        u8 a8[2]; i8 b8[2]; u16 a16[2]; i16 b16[2]; u32 a32[2]; i32 b32[2];
+        void main() {
+            a8[0] = 255; b8[0] = -1; a16[0] = 65535; b16[0] = -2;
+            a32[0] = 0xffffffff; b32[0] = -3;
+            out = (u32) a8[0] + (u32) a16[0]
+                + (u32) (i32) b8[0] + (u32) (i32) b16[0] + (u32) b32[0]
+                + a32[0];
+        }
+        """
+        expected = (255 + 65535 - 1 - 2 - 3 + 0xFFFFFFFF) & 0xFFFFFFFF
+        assert out_value(src) == expected
+
+    def test_incdec_on_array_elements(self):
+        src = """
+        u32 out; u32 counts[3];
+        void main() {
+            counts[1]++;
+            counts[1]++;
+            counts[2]--;
+            out = counts[1] + (counts[2] >> 28);
+        }
+        """
+        # counts[2] wraps to 0xffffffff; >> 28 gives 0xf.
+        assert out_value(src) == 2 + 0xF
+
+    def test_compound_assign_on_array(self):
+        src = """
+        u32 out; u32 buf[4];
+        void main() {
+            buf[2] = 5;
+            buf[2] *= 3;
+            buf[2] <<= 2;
+            buf[2] |= 1;
+            out = buf[2];
+        }
+        """
+        assert out_value(src) == ((5 * 3) << 2) | 1
+
+    def test_hex_literals(self):
+        src = "u32 out; void main() { out = 0xdead << 16 | 0xBEEF; }"
+        assert out_value(src) == 0xDEADBEEF
+
+    def test_while_with_compound_condition(self):
+        src = """
+        u32 out; u32 n;
+        void main() {
+            u32 i = 0;
+            @maxiter(100)
+            while (i < n && i < 10) { i += 1; }
+            out = i;
+        }
+        """
+        assert out_value(src, {"n": [25]}) == 10
+        assert out_value(src, {"n": [4]}) == 4
+
+    def test_for_without_init(self):
+        src = """
+        u32 out;
+        void main() {
+            i32 i = 3;
+            @maxiter(10)
+            for (; i < 7; i++) { out += 1; }
+        }
+        """
+        assert out_value(src) == 4
+
+    def test_nested_break_only_exits_inner(self):
+        src = """
+        u32 out;
+        void main() {
+            u32 total = 0;
+            for (i32 i = 0; i < 4; i++) {
+                for (i32 j = 0; j < 10; j++) {
+                    if (j == 2) { break; }
+                    total += 1;
+                }
+            }
+            out = total;
+        }
+        """
+        assert out_value(src) == 8
+
+    def test_global_scalar_initializer(self):
+        src = "u32 out; u32 seeded = 41; void main() { out = seeded + 1; }"
+        assert out_value(src) == 42
+
+    def test_negative_global_initializer(self):
+        src = "i32 out; i16 bias = -100; void main() { out = bias * 2; }"
+        assert out_value(src) == -200
+
+
+class TestRuntimeGuards:
+    def test_unknown_input_rejected(self):
+        module = compile_source("u32 out; void main() { out = 1; }")
+        with pytest.raises(EmulationError, match="unknown global"):
+            run_continuous(module, MODEL, inputs={"ghost": [1]})
+
+    def test_wrong_input_length_rejected(self):
+        module = compile_source("u32 out; u8 buf[4]; void main() { }")
+        with pytest.raises(EmulationError, match="values"):
+            run_continuous(module, MODEL, inputs={"buf": [1, 2]})
+
+    def test_input_values_wrapped_to_type(self):
+        module = compile_source("u32 out; u8 x; void main() { out = x; }")
+        report = run_continuous(module, MODEL, inputs={"x": [300]})
+        assert report.outputs["out"] == [44]

@@ -1,0 +1,276 @@
+"""End-to-end semantics: compile MiniC, run on the interpreter, compare to
+the obvious Python computation. This is the language's conformance suite.
+"""
+
+import pytest
+
+from repro.emulator import run_continuous
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+
+MODEL = msp430fr5969_model()
+
+
+def run_main(source: str, inputs=None):
+    module = compile_source(source)
+    report = run_continuous(module, MODEL, inputs=inputs or {})
+    assert report.completed, report.failure_reason
+    return report.outputs
+
+
+def out_value(source: str, inputs=None) -> int:
+    return run_main(source, inputs)["out"][0]
+
+
+class TestArithmetic:
+    def test_add_mul(self):
+        assert out_value("u32 out; void main() { out = 2 + 3 * 4; }") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert out_value("i32 out; void main() { out = -7 / 2; }") == -3
+        assert out_value("i32 out; void main() { out = 7 / -2; }") == -3
+
+    def test_remainder_sign_follows_dividend(self):
+        assert out_value("i32 out; void main() { out = -7 % 2; }") == -1
+        assert out_value("i32 out; void main() { out = 7 % -2; }") == 1
+
+    def test_unsigned_wraparound(self):
+        assert (
+            out_value("u32 out; void main() { out = 0xffffffff + 1; }") == 0
+        )
+
+    def test_signed_wraparound(self):
+        assert (
+            out_value("i32 out; void main() { out = 0x7fffffff + 1; }")
+            == -(1 << 31)
+        )
+
+    def test_u8_store_truncates(self):
+        outputs = run_main("u8 out; void main() { out = (u8) 300; }")
+        assert outputs["out"] == [44]
+
+    def test_shift_left(self):
+        assert out_value("u32 out; void main() { out = 1 << 10; }") == 1024
+
+    def test_arithmetic_shift_right(self):
+        assert out_value("i32 out; void main() { out = -8 >> 1; }") == -4
+
+    def test_logical_shift_right_unsigned(self):
+        assert (
+            out_value("u32 out; void main() { out = 0x80000000 >> 31; }") == 1
+        )
+
+    def test_bitwise_ops(self):
+        assert out_value("u32 out; void main() { out = 0xf0 & 0x3c; }") == 0x30
+        assert out_value("u32 out; void main() { out = 0xf0 | 0x0f; }") == 0xFF
+        assert out_value("u32 out; void main() { out = 0xff ^ 0x0f; }") == 0xF0
+
+    def test_unary_ops(self):
+        assert out_value("i32 out; void main() { out = -(3 + 4); }") == -7
+        assert out_value("i32 out; void main() { out = ~0; }") == -1
+        assert out_value("u32 out; void main() { out = !5; }") == 0
+        assert out_value("u32 out; void main() { out = !0; }") == 1
+
+
+class TestComparisons:
+    def test_signed_comparison(self):
+        assert out_value("u32 out; i32 a; void main() { out = a - 1 < a; }",
+                         {"a": [0]}) == 1
+
+    def test_unsigned_comparison_wraps(self):
+        # 0u - 1u = 0xffffffff, which is > 0 unsigned.
+        src = "u32 out; u32 a; void main() { out = a - 1 > a; }"
+        assert out_value(src, {"a": [0]}) == 1
+
+    def test_eq_ne(self):
+        assert out_value("u32 out; void main() { out = 3 == 3; }") == 1
+        assert out_value("u32 out; void main() { out = 3 != 3; }") == 0
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """
+        u32 out; u32 sel;
+        void main() {
+            if (sel > 5) { out = 1; } else { out = 2; }
+        }
+        """
+        assert out_value(src, {"sel": [9]}) == 1
+        assert out_value(src, {"sel": [1]}) == 2
+
+    def test_while_loop(self):
+        src = """
+        u32 out;
+        void main() {
+            u32 x = 10;
+            u32 acc = 0;
+            @maxiter(10)
+            while (x != 0) { acc += x; x -= 1; }
+            out = acc;
+        }
+        """
+        assert out_value(src) == 55
+
+    def test_nested_for(self):
+        src = """
+        u32 out;
+        void main() {
+            u32 acc = 0;
+            for (i32 i = 0; i < 4; i++) {
+                for (i32 j = 0; j < 3; j++) {
+                    acc += (u32) (i * 3 + j);
+                }
+            }
+            out = acc;
+        }
+        """
+        assert out_value(src) == sum(i * 3 + j for i in range(4) for j in range(3))
+
+    def test_break(self):
+        src = """
+        u32 out;
+        void main() {
+            u32 acc = 0;
+            for (i32 i = 0; i < 100; i++) {
+                if (i == 5) { break; }
+                acc += 1;
+            }
+            out = acc;
+        }
+        """
+        assert out_value(src) == 5
+
+    def test_continue(self):
+        src = """
+        u32 out;
+        void main() {
+            u32 acc = 0;
+            for (i32 i = 0; i < 10; i++) {
+                if ((i & 1) != 0) { continue; }
+                acc += 1;
+            }
+            out = acc;
+        }
+        """
+        assert out_value(src) == 5
+
+    def test_short_circuit_and_skips_rhs(self):
+        # If && did not short-circuit, buf[9999] would trap out of bounds.
+        src = """
+        u32 out; u32 zero; i32 buf[4];
+        void main() {
+            i32 idx = 9999;
+            if (zero != 0 && buf[idx] > 0) { out = 1; } else { out = 2; }
+        }
+        """
+        assert out_value(src, {"zero": [0], "buf": [0, 0, 0, 0]}) == 2
+
+    def test_short_circuit_or_skips_rhs(self):
+        src = """
+        u32 out; u32 one; i32 buf[4];
+        void main() {
+            i32 idx = 9999;
+            if (one != 0 || buf[idx] > 0) { out = 1; } else { out = 2; }
+        }
+        """
+        assert out_value(src, {"one": [1], "buf": [0, 0, 0, 0]}) == 1
+
+    def test_logical_result_is_boolean(self):
+        src = "u32 out; u32 a; void main() { out = (a && 7); }"
+        assert out_value(src, {"a": [3]}) == 1
+
+
+class TestFunctions:
+    def test_scalar_args_by_value(self):
+        src = """
+        u32 out;
+        u32 bump(u32 x) { x += 1; return x; }
+        void main() {
+            u32 v = 5;
+            out = bump(v) + v;  /* 6 + 5 */
+        }
+        """
+        assert out_value(src) == 11
+
+    def test_array_by_reference(self):
+        src = """
+        u32 out; i32 data[4];
+        void fill(i32 buf[], i32 v) {
+            for (i32 i = 0; i < 4; i++) { buf[i] = v + i; }
+        }
+        void main() {
+            fill(data, 10);
+            out = (u32) (data[0] + data[3]);
+        }
+        """
+        assert out_value(src) == 23
+
+    def test_nested_calls(self):
+        src = """
+        u32 out;
+        u32 twice(u32 x) { return x * 2; }
+        u32 quad(u32 x) { return twice(twice(x)); }
+        void main() { out = quad(5); }
+        """
+        assert out_value(src) == 20
+
+    def test_ref_param_passed_through(self):
+        src = """
+        u32 out; i32 data[3];
+        void inner(i32 b[]) { b[1] = 42; }
+        void outer(i32 b[]) { inner(b); }
+        void main() { outer(data); out = (u32) data[1]; }
+        """
+        assert out_value(src) == 42
+
+    def test_recursion_rejected_at_analysis(self):
+        from repro.analysis import CallGraph
+        from repro.errors import RecursionUnsupportedError
+
+        module = compile_source(
+            """
+            u32 f(u32 n) {
+                if (n == 0) { return 1; }
+                return n * f(n - 1);
+            }
+            void main() { u32 x = f(3); }
+            """
+        )
+        with pytest.raises(RecursionUnsupportedError):
+            CallGraph(module)
+
+
+class TestArrays:
+    def test_local_array_init(self):
+        src = """
+        u32 out;
+        void main() {
+            u16 t[4] = {10, 20, 30, 40};
+            out = (u32) t[2];
+        }
+        """
+        assert out_value(src) == 30
+
+    def test_global_array_init_values(self):
+        src = """
+        const i16 t[3] = {-1, 0, 5};
+        i32 out;
+        void main() { out = (i32) t[0] + (i32) t[2]; }
+        """
+        assert out_value(src) == 4
+
+    def test_out_of_bounds_read_traps(self):
+        from repro.errors import EmulationError
+
+        src = "u32 out; i32 buf[2]; void main() { out = (u32) buf[5]; }"
+        module = compile_source(src)
+        with pytest.raises(EmulationError, match="out-of-bounds"):
+            run_continuous(module, MODEL)
+
+    def test_division_by_zero_traps(self):
+        from repro.errors import EmulationError
+
+        src = "u32 out; u32 z; void main() { out = 4 / z; }"
+        module = compile_source(src)
+        with pytest.raises(EmulationError, match="division"):
+            run_continuous(module, MODEL, inputs={"z": [0]})

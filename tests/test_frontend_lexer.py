@@ -1,0 +1,92 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestTokenKinds:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier_vs_keyword(self):
+        tokens = tokenize("u32 foo")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_all_type_keywords(self):
+        for name in ("u8", "i8", "u16", "i16", "u32", "i32", "void"):
+            assert tokenize(name)[0].kind is TokenKind.KEYWORD
+
+    def test_decimal_literal(self):
+        token = tokenize("12345")[0]
+        assert token.kind is TokenKind.INT and token.value == 12345
+
+    def test_hex_literal(self):
+        assert tokenize("0xff")[0].value == 255
+        assert tokenize("0XAB")[0].value == 171
+
+    def test_hex_without_digits_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_number_followed_by_letter_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_annotation(self):
+        token = tokenize("@maxiter")[0]
+        assert token.kind is TokenKind.ANNOTATION
+
+    def test_unknown_annotation_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("@frobnicate")
+
+
+class TestPunctuation:
+    def test_compound_operators_longest_match(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("a >>= b") == ["a", ">>=", "b"]
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a < b") == ["a", "<", "b"]
+
+    def test_logical_operators(self):
+        assert texts("a && b || c") == ["a", "&&", "b", "||", "c"]
+
+    def test_increment_decrement(self):
+        assert texts("i++ j--") == ["i", "++", "j", "--"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3

@@ -1,0 +1,191 @@
+"""Tests for MiniC -> IR lowering: semantics errors, structure, scoping,
+trip-count inference."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import compile_source
+from repro.ir import Load, MemorySpace, Store, validate_module
+
+
+class TestSemanticErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError, match="undefined variable"):
+            compile_source("void main() { x = 1; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            compile_source("void main() { f(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError, match="arguments"):
+            compile_source(
+                "u32 f(u32 a) { return a; } void main() { f(1, 2); }"
+            )
+
+    def test_void_function_as_value(self):
+        with pytest.raises(SemanticError, match="void"):
+            compile_source("void f() { } void main() { u32 x = f(); }")
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(SemanticError, match="array"):
+            compile_source("i32 buf[4]; void main() { u32 x = (u32) buf; }")
+
+    def test_indexing_scalar(self):
+        with pytest.raises(SemanticError, match="indexing scalar"):
+            compile_source("i32 x; void main() { u32 y = (u32) x[0]; }")
+
+    def test_assign_to_const(self):
+        with pytest.raises(SemanticError, match="const"):
+            compile_source(
+                "const u8 t[2] = {1, 2}; void main() { t[0] = 3; }"
+            )
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            compile_source("void main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            compile_source("void main() { continue; }")
+
+    def test_redeclaration_in_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            compile_source("void main() { u32 x; u32 x; }")
+
+    def test_shadowing_global_rejected(self):
+        with pytest.raises(SemanticError, match="shadows"):
+            compile_source("u32 g; void main() { u32 g; }")
+
+    def test_scalar_passed_to_array_param(self):
+        with pytest.raises(SemanticError):
+            compile_source(
+                "void f(i32 buf[]) { } i32 x; void main() { f(x); }"
+            )
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            compile_source("void f() { } void f() { }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(SemanticError):
+            compile_source("void main() { return 3; }")
+
+
+class TestBlockScoping:
+    def test_same_name_in_sibling_loops(self):
+        module = compile_source(
+            """
+            u32 out;
+            void main() {
+                u32 acc = 0;
+                for (i32 i = 0; i < 3; i++) { acc += (u32) i; }
+                for (i32 i = 0; i < 5; i++) { acc += (u32) i * 2; }
+                out = acc;
+            }
+            """
+        )
+        names = set(module.functions["main"].variables)
+        assert "i" in names and "i__1" in names
+
+    def test_inner_scope_shadows_outer_local(self):
+        module = compile_source(
+            """
+            u32 out;
+            void main() {
+                u32 x = 1;
+                {
+                    u32 x = 2;
+                    out = x;
+                }
+                out += x;
+            }
+            """
+        )
+        from repro.emulator import run_continuous
+        from repro.energy import msp430fr5969_model
+
+        report = run_continuous(module, msp430fr5969_model())
+        assert report.outputs["out"] == [3]
+
+
+class TestStructure:
+    def test_every_lowered_module_validates(self):
+        from tests.helpers import BRANCHY_SRC, CALLS_SRC, SUM_LOOP_SRC
+
+        for src in (SUM_LOOP_SRC, CALLS_SRC, BRANCHY_SRC):
+            validate_module(compile_source(src))
+
+    def test_accesses_start_auto(self):
+        module = compile_source("u32 g; void main() { g = 1; }")
+        stores = [
+            inst
+            for block in module.functions["main"].blocks.values()
+            for inst in block
+            if isinstance(inst, Store)
+        ]
+        assert stores and all(s.space is MemorySpace.AUTO for s in stores)
+
+    def test_ref_param_pinned_to_nvm(self):
+        module = compile_source(
+            """
+            i32 data[8];
+            void f(i32 buf[]) { buf[0] = 1; }
+            void main() { f(data); }
+            """
+        )
+        formal = module.functions["f"].variables["buf"]
+        assert formal.is_ref and formal.pinned_nvm
+        # The actual array is pinned too (paper §IV-A pointer rule).
+        assert module.globals["data"].pinned_nvm
+
+    def test_scalar_param_prologue_store(self):
+        module = compile_source(
+            "u32 f(u32 a) { return a + 1; } void main() { u32 r = f(2); }"
+        )
+        entry = module.functions["f"].entry
+        first = entry.instructions[0]
+        assert isinstance(first, Store)
+        assert first.var.name == "f.a"
+
+    def test_implicit_void_return_added(self):
+        module = compile_source("void main() { u32 x = 1; }")
+        assert module.functions["main"].entry.is_terminated
+
+
+class TestTripCountInference:
+    def _maxiter(self, loop_src: str):
+        module = compile_source(f"u32 out; void main() {{ {loop_src} }}")
+        return list(module.functions["main"].loop_maxiter.values())
+
+    def test_simple_upward_loop(self):
+        assert self._maxiter("for (i32 i = 0; i < 10; i++) { out += 1; }") == [10]
+
+    def test_le_bound(self):
+        assert self._maxiter("for (i32 i = 0; i <= 10; i++) { out += 1; }") == [11]
+
+    def test_nonunit_step(self):
+        assert self._maxiter(
+            "for (i32 i = 0; i < 10; i += 3) { out += 1; }"
+        ) == [4]
+
+    def test_downward_loop(self):
+        assert self._maxiter("for (i32 i = 9; i >= 0; i--) { out += 1; }") == [10]
+
+    def test_counter_mutated_in_body_disables_inference(self):
+        assert self._maxiter(
+            "for (i32 i = 0; i < 10; i++) { i += 1; }"
+        ) == []
+
+    def test_annotation_overrides(self):
+        assert self._maxiter(
+            "@maxiter(3) for (i32 i = 0; i < 10; i++) { out += 1; }"
+        ) == [3]
+
+    def test_while_without_annotation_has_no_bound(self):
+        assert self._maxiter("u32 x = out; while (x != 0) { x >>= 1; }") == []
+
+    def test_while_with_annotation(self):
+        assert self._maxiter(
+            "u32 x = out; @maxiter(32) while (x != 0) { x >>= 1; }"
+        ) == [32]

@@ -1,0 +1,192 @@
+"""Unit tests for the MiniC parser (AST shapes and diagnostics)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse
+from repro.frontend import ast_nodes as ast
+
+
+class TestTopLevel:
+    def test_global_scalar(self):
+        program = parse("u32 counter;")
+        (decl,) = program.globals
+        assert decl.name == "counter" and decl.count == 1
+        assert decl.init is None
+
+    def test_global_scalar_with_init(self):
+        (decl,) = parse("i16 x = -5;").globals
+        assert decl.init == [-5]
+
+    def test_global_array(self):
+        (decl,) = parse("u8 buf[10];").globals
+        assert decl.count == 10
+
+    def test_global_array_with_init(self):
+        (decl,) = parse("u8 t[3] = {1, 2, 3};").globals
+        assert decl.init == [1, 2, 3]
+
+    def test_array_splat_initializer(self):
+        (decl,) = parse("u8 t[4] = {7};").globals
+        assert decl.init == [7, 7, 7, 7]
+
+    def test_array_initializer_length_mismatch(self):
+        with pytest.raises(ParseError):
+            parse("u8 t[3] = {1, 2};")
+
+    def test_const_requires_initializer(self):
+        with pytest.raises(ParseError):
+            parse("const u8 t[3];")
+
+    def test_const_array(self):
+        (decl,) = parse("const u16 t[2] = {1, 2};").globals
+        assert decl.is_const
+
+    def test_const_size_expression_folded(self):
+        (decl,) = parse("u8 t[4 * 8];").globals
+        assert decl.count == 32
+
+    def test_function_with_params(self):
+        program = parse("u32 f(u32 a, i32 buf[]) { return a; }")
+        (func,) = program.functions
+        assert func.params[0].name == "a" and not func.params[0].is_array
+        assert func.params[1].is_array
+
+    def test_void_function(self):
+        (func,) = parse("void f() { }").functions
+        assert func.return_type is None
+
+
+class TestStatements:
+    def _body(self, stmts: str):
+        return parse(f"void main() {{ {stmts} }}").functions[0].body
+
+    def test_var_decl_with_init(self):
+        (stmt,) = self._body("u32 x = 4;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert isinstance(stmt.initializer, ast.IntLiteral)
+
+    def test_local_array_with_init(self):
+        (stmt,) = self._body("u8 t[2] = {1, 2};")
+        assert stmt.array_init == [1, 2]
+
+    def test_assignment_ops(self):
+        for op_text, op in [
+            ("+=", "+"), ("-=", "-"), ("*=", "*"), ("/=", "/"),
+            ("%=", "%"), ("&=", "&"), ("|=", "|"), ("^=", "^"),
+            ("<<=", "<<"), (">>=", ">>"), ("=", ""),
+        ]:
+            (stmt,) = self._body(f"x {op_text} 1;")
+            assert isinstance(stmt, ast.Assign)
+            assert stmt.op == op
+
+    def test_array_assignment(self):
+        (stmt,) = self._body("a[3] = 1;")
+        assert isinstance(stmt.index, ast.IntLiteral)
+
+    def test_incdec(self):
+        inc, dec = self._body("i++; j--;")
+        assert isinstance(inc, ast.IncDec) and inc.op == "+"
+        assert dec.op == "-"
+
+    def test_if_else(self):
+        (stmt,) = self._body("if (x) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_braces(self):
+        (stmt,) = self._body("if (x) y = 1;")
+        assert len(stmt.then_body) == 1
+
+    def test_while_with_maxiter(self):
+        (stmt,) = self._body("@maxiter(8) while (x) { x -= 1; }")
+        assert isinstance(stmt, ast.While)
+        assert stmt.maxiter == 8
+
+    def test_maxiter_requires_loop(self):
+        with pytest.raises(ParseError, match="maxiter"):
+            self._body("@maxiter(8) x = 1;")
+
+    def test_for_full(self):
+        (stmt,) = self._body("for (i32 i = 0; i < 4; i++) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert isinstance(stmt.step, ast.IncDec)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = self._body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue_return(self):
+        stmts = self._body("for (;;) { break; } return;")
+        assert isinstance(stmts[1], ast.Return)
+
+    def test_call_statement(self):
+        (stmt,) = self._body("f(1, 2);")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.CallExpr)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            self._body("x = 1")
+
+
+class TestExpressions:
+    def _expr(self, text: str):
+        (stmt,) = parse(f"void main() {{ x = {text}; }}").functions[0].body
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_precedence_shift_under_compare(self):
+        expr = self._expr("a << 2 < b")
+        assert expr.op == "<"
+        assert expr.lhs.op == "<<"
+
+    def test_precedence_bitor_loosest(self):
+        expr = self._expr("a | b & c")
+        assert expr.op == "|"
+        assert expr.rhs.op == "&"
+
+    def test_parentheses(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_logical_short_circuit_nodes(self):
+        expr = self._expr("a && b || c")
+        assert isinstance(expr, ast.LogicalExpr) and expr.op == "||"
+        assert isinstance(expr.lhs, ast.LogicalExpr) and expr.lhs.op == "&&"
+
+    def test_unary_chain(self):
+        expr = self._expr("-~!a")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_cast(self):
+        expr = self._expr("(u8) x")
+        assert isinstance(expr, ast.CastExpr)
+        assert expr.type_name == "u8"
+
+    def test_cast_binds_tighter_than_binop(self):
+        expr = self._expr("(u8) x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.lhs, ast.CastExpr)
+
+    def test_call_in_expression(self):
+        expr = self._expr("f(a) + 1")
+        assert isinstance(expr.lhs, ast.CallExpr)
+
+    def test_index_expression(self):
+        expr = self._expr("buf[i + 1]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert expr.index.op == "+"
+
+    def test_left_associativity(self):
+        expr = self._expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.lhs.op == "-"

@@ -1,0 +1,195 @@
+"""Tests for the IR optimization passes (folding, threading, DCE)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator import run_continuous
+from repro.energy import msp430fr5969_model
+from repro.frontend import compile_source
+from repro.ir import Branch, Jump, Move, validate_module
+from repro.ir.passes import (
+    fold_constants,
+    optimize_module,
+    remove_unreachable_blocks,
+    thread_jumps,
+)
+
+MODEL = msp430fr5969_model()
+
+
+def outputs_of(module, inputs=None):
+    return run_continuous(module, MODEL, inputs=inputs or {}).outputs
+
+
+class TestConstantFolding:
+    def test_arithmetic_chain_folds(self):
+        module = compile_source(
+            "u32 out; void main() { out = (2 + 3) * 4 - 6; }"
+        )
+        folded = fold_constants(module.functions["main"])
+        assert folded > 0
+        validate_module(module)
+        assert outputs_of(module)["out"] == [14]
+
+    def test_branch_on_constant_becomes_jump(self):
+        module = compile_source(
+            "u32 out; void main() { if (1 < 2) { out = 7; } else { out = 9; } }"
+        )
+        func = module.functions["main"]
+        fold_constants(func)
+        assert not any(
+            isinstance(inst, Branch)
+            for block in func.blocks.values()
+            for inst in block
+        )
+        remove_unreachable_blocks(func)
+        validate_module(module)
+        assert outputs_of(module)["out"] == [7]
+
+    def test_division_by_zero_not_folded(self):
+        module = compile_source("u32 out; void main() { out = 1 / 0; }")
+        fold_constants(module.functions["main"])
+        # The trap must be preserved, not folded into garbage.
+        from repro.errors import EmulationError
+
+        with pytest.raises(EmulationError, match="division"):
+            outputs_of(module)
+
+    def test_environment_resets_across_blocks(self):
+        # The short-circuit result register is written in two blocks; the
+        # block-local environment must not fold reads of it.
+        module = compile_source(
+            "u32 out; u32 a; void main() { out = (a && 1) + 1; }"
+        )
+        optimize_module(module)
+        validate_module(module)
+        assert outputs_of(module, {"a": [0]})["out"] == [1]
+        assert outputs_of(module, {"a": [5]})["out"] == [2]
+
+    def test_loads_are_barriers(self):
+        # g is not a constant even though a constant was stored first: the
+        # passes never reason about memory.
+        module = compile_source(
+            "u32 g; u32 out; void main() { g = 4; out = g + 1; }"
+        )
+        optimize_module(module)
+        assert outputs_of(module)["out"] == [5]
+
+
+class TestJumpThreading:
+    def test_forwarding_block_bypassed(self):
+        module = compile_source(
+            """
+            u32 out; u32 sel;
+            void main() {
+                if (sel != 0) { out = 1; }
+                out += 2;
+            }
+            """
+        )
+        func = module.functions["main"]
+        before = len(func.blocks)
+        optimize_module(module)
+        validate_module(module)
+        assert len(func.blocks) <= before
+        assert outputs_of(module, {"sel": [1]})["out"] == [3]
+        assert outputs_of(module, {"sel": [0]})["out"] == [2]
+
+    def test_loop_back_edges_survive(self):
+        module = compile_source(
+            """
+            u32 out;
+            void main() {
+                u32 acc = 0;
+                for (i32 i = 0; i < 5; i++) { acc += 2; }
+                out = acc;
+            }
+            """
+        )
+        optimize_module(module)
+        validate_module(module)
+        assert outputs_of(module)["out"] == [10]
+
+
+class TestPipeline:
+    def test_idempotent(self):
+        module = compile_source(
+            "u32 out; void main() { if (2 > 1) { out = 1 + 2 + 3; } }"
+        )
+        optimize_module(module)
+        from repro.ir import print_module
+
+        first = print_module(module)
+        stats = optimize_module(module)
+        assert print_module(module) == first
+        assert stats == {"folded": 0, "threaded": 0, "removed_blocks": 0}
+
+    def test_atomic_ranges_preserved(self):
+        module = compile_source(
+            """
+            u32 a; u32 b;
+            void main() {
+                atomic { a = 1; b = a + 1; }
+            }
+            """
+        )
+        optimize_module(module)
+        validate_module(module)
+        assert module.functions["main"].atomic_ranges
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**16), st.integers(0, 3))
+    def test_semantics_preserved_randomly(self, seed, shape):
+        """Property: optimization never changes observable outputs."""
+        rng = random.Random(seed)
+        consts = [rng.randrange(0, 100) for _ in range(4)]
+        sources = [
+            f"""
+            u32 out; u32 x;
+            void main() {{
+                u32 a = {consts[0]} * 3 + {consts[1]};
+                if (a > {consts[2]} * 2) {{ a -= x; }} else {{ a ^= x; }}
+                for (i32 i = 0; i < {consts[3] % 7 + 1}; i++) {{
+                    a = a * 3 + (u32) i;
+                }}
+                out = a;
+            }}
+            """,
+            f"""
+            u32 out; u32 x;
+            void main() {{
+                u32 v = ({consts[0]} << 2) | {consts[1]};
+                u32 w = v & (x | {consts[2]});
+                if (w == v || w > {consts[3]}) {{ out = w; }}
+                else {{ out = v - w; }}
+            }}
+            """,
+        ]
+        source = sources[shape % len(sources)]
+        inputs = {"x": [rng.randrange(0, 1 << 31)]}
+        plain = compile_source(source)
+        optimized = compile_source(source)
+        optimize_module(optimized)
+        validate_module(optimized)
+        assert outputs_of(plain, inputs) == outputs_of(optimized, inputs)
+
+    def test_optimized_module_compiles_with_schematic(self):
+        from repro.core import Schematic
+        from repro.core.placement import SchematicConfig
+        from repro.core.verify import verify_forward_progress
+        from tests.helpers import SUM_LOOP_SRC, platform, sum_loop_inputs
+
+        module = compile_source(SUM_LOOP_SRC)
+        optimize_module(module)
+        plat = platform(eb=900.0)
+        result = Schematic(plat, SchematicConfig(profile_runs=1)).compile(
+            module, input_generator=lambda run: sum_loop_inputs(seed=run)
+        )
+        verdict = verify_forward_progress(
+            result.module, module, MODEL, plat.eb, plat.vm_size,
+            inputs=sum_loop_inputs(),
+        )
+        assert verdict.ok

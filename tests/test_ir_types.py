@@ -1,0 +1,92 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir import I8, I16, I32, U8, U16, U32, IntType, common_type
+from repro.ir.types import type_from_name
+
+
+class TestIntType:
+    def test_sizes(self):
+        assert I8.size_bytes == 1
+        assert U16.size_bytes == 2
+        assert I32.size_bytes == 4
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(24, True)
+
+    def test_signed_ranges(self):
+        assert I8.min_value == -128 and I8.max_value == 127
+        assert I16.min_value == -32768 and I16.max_value == 32767
+        assert I32.min_value == -(1 << 31) and I32.max_value == (1 << 31) - 1
+
+    def test_unsigned_ranges(self):
+        assert U8.min_value == 0 and U8.max_value == 255
+        assert U16.max_value == 65535
+        assert U32.max_value == (1 << 32) - 1
+
+    def test_contains(self):
+        assert I8.contains(-128) and I8.contains(127)
+        assert not I8.contains(128) and not I8.contains(-129)
+        assert U32.contains(0) and not U32.contains(-1)
+
+    def test_str(self):
+        assert str(I32) == "i32"
+        assert str(U8) == "u8"
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        for value in (-128, -1, 0, 1, 127):
+            assert I8.wrap(value) == value
+
+    def test_wrap_unsigned_overflow(self):
+        assert U8.wrap(256) == 0
+        assert U8.wrap(257) == 1
+        assert U8.wrap(-1) == 255
+        assert U32.wrap(1 << 32) == 0
+
+    def test_wrap_signed_overflow(self):
+        assert I8.wrap(128) == -128
+        assert I8.wrap(129) == -127
+        assert I8.wrap(-129) == 127
+        assert I16.wrap(0x8000) == -32768
+        assert I32.wrap((1 << 31)) == -(1 << 31)
+
+    def test_wrap_idempotent(self):
+        for t in (I8, U8, I16, U16, I32, U32):
+            for raw in (-300, -1, 0, 77, 255, 70000, 1 << 33):
+                once = t.wrap(raw)
+                assert t.wrap(once) == once
+                assert t.contains(once)
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(I32, I32) == I32
+        assert common_type(U8, U8) == U8
+
+    def test_wider_wins(self):
+        assert common_type(I8, I32) == I32
+        assert common_type(U16, I32) == I32
+        assert common_type(I16, U32) == U32
+
+    def test_equal_width_unsigned_wins(self):
+        assert common_type(I32, U32) == U32
+        assert common_type(U8, I8) == U8
+
+    def test_commutative(self):
+        for a in (I8, U8, I16, U16, I32, U32):
+            for b in (I8, U8, I16, U16, I32, U32):
+                assert common_type(a, b) == common_type(b, a)
+
+
+class TestTypeFromName:
+    def test_all_names(self):
+        for t in (I8, U8, I16, U16, I32, U32):
+            assert type_from_name(str(t)) == t
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            type_from_name("i64")

@@ -1,0 +1,156 @@
+"""Unit tests for the IR validator."""
+
+import pytest
+
+from repro.errors import IRValidationError
+from repro.frontend import compile_source
+from repro.ir import (
+    Branch,
+    Call,
+    Const,
+    I32,
+    IRBuilder,
+    Jump,
+    Load,
+    Module,
+    Register,
+    Ret,
+    Store,
+    Variable,
+    validate_module,
+)
+
+
+def minimal_module() -> Module:
+    module = Module("m")
+    builder = IRBuilder(module)
+    builder.start_function("main")
+    builder.emit_ret()
+    return module
+
+
+class TestValidateModule:
+    def test_minimal_passes(self):
+        validate_module(minimal_module())
+
+    def test_missing_entry_function(self):
+        module = Module("m", entry="nope")
+        with pytest.raises(IRValidationError, match="entry"):
+            validate_module(module)
+
+    def test_entry_with_params_rejected(self):
+        from repro.ir import Param
+
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main", [Param("x", I32)])
+        func.add_variable(Variable("main.x", I32), bare_name="x")
+        builder.emit_ret()
+        with pytest.raises(IRValidationError, match="entry function"):
+            validate_module(module)
+
+    def test_unterminated_block(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        builder.start_function("main")
+        # no terminator
+        with pytest.raises(IRValidationError, match="terminator"):
+            validate_module(module)
+
+    def test_unknown_jump_target(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        func.entry.append(Jump("missing"))
+        with pytest.raises(IRValidationError, match="unknown target"):
+            validate_module(module)
+
+    def test_undefined_register_use(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        func.entry.append(Ret(None))
+        ghost = Register("ghost", I32)
+        func.entry.instructions.insert(0, Store(Variable("x", I32), None, ghost))
+        func.add_variable(Variable("x", I32), bare_name="x")
+        # fix the store's variable to be the registered one
+        func.entry.instructions[0] = Store(func.variables["x"], None, ghost)
+        with pytest.raises(IRValidationError, match="undefined register"):
+            validate_module(module)
+
+    def test_unknown_variable(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        stray = Variable("stray", I32)
+        func.entry.append(Store(stray, None, Const(1, I32)))
+        builder.emit_ret()
+        with pytest.raises(IRValidationError, match="unknown variable"):
+            validate_module(module)
+
+    def test_call_arity_mismatch(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        from repro.ir import Param
+
+        callee = builder.start_function("callee", [Param("a", I32)], I32)
+        callee.add_variable(Variable("callee.a", I32), bare_name="a")
+        builder.emit_store(callee.variables["a"], callee.arg_registers()[0])
+        builder.emit_ret(Const(0, I32))
+        builder.start_function("main")
+        builder.block.append(Call(None, "callee", []))
+        builder.emit_ret()
+        with pytest.raises(IRValidationError, match="args"):
+            validate_module(module)
+
+    def test_call_unknown_function(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        builder.start_function("main")
+        builder.block.append(Call(None, "ghost", []))
+        builder.emit_ret()
+        with pytest.raises(IRValidationError, match="unknown function"):
+            validate_module(module)
+
+    def test_void_return_with_value(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        builder.start_function("main")
+        builder.block.append(Ret(Const(1, I32)))
+        with pytest.raises(IRValidationError, match="void"):
+            validate_module(module)
+
+    def test_missing_return_value(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        builder.start_function("f", return_type=I32)
+        builder.block.append(Ret(None))
+        builder.start_function("main")
+        builder.emit_ret()
+        with pytest.raises(IRValidationError, match="missing return value"):
+            validate_module(module)
+
+    def test_unreachable_block(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        builder.emit_ret()
+        orphan = func.add_block("orphan")
+        orphan.append(Ret(None))
+        with pytest.raises(IRValidationError, match="unreachable"):
+            validate_module(module)
+
+    def test_terminator_mid_block(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        func.entry.instructions.append(Ret(None))
+        func.entry.instructions.append(Ret(None))
+        with pytest.raises(IRValidationError):
+            validate_module(module)
+
+    def test_frontend_output_validates(self):
+        from tests.helpers import CALLS_SRC
+
+        module = compile_source(CALLS_SRC, "calls")
+        validate_module(module)

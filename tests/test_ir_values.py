@@ -1,0 +1,72 @@
+"""Unit tests for repro.ir.values."""
+
+import pytest
+
+from repro.ir import Const, I32, MemorySpace, Register, U8, Variable, VarRef
+
+
+class TestConst:
+    def test_fits(self):
+        assert Const(255, U8).value == 255
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Const(256, U8)
+        with pytest.raises(ValueError):
+            Const(-1, U8)
+
+    def test_str(self):
+        assert str(Const(7, I32)) == "7:i32"
+
+
+class TestRegister:
+    def test_equality_by_name_and_type(self):
+        assert Register("t1", I32) == Register("t1", I32)
+        assert Register("t1", I32) != Register("t2", I32)
+
+    def test_hashable(self):
+        assert len({Register("a", I32), Register("a", I32)}) == 1
+
+
+class TestVariable:
+    def test_scalar(self):
+        var = Variable("x", I32)
+        assert not var.is_array
+        assert var.size_bytes == 4
+
+    def test_array_size(self):
+        var = Variable("buf", U8, count=100)
+        assert var.is_array
+        assert var.size_bytes == 100
+
+    def test_init_length_checked(self):
+        with pytest.raises(ValueError):
+            Variable("t", U8, count=4, init=[1, 2, 3])
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("bad", I32, count=0)
+
+    def test_hash_by_name(self):
+        a = Variable("v", I32)
+        b = Variable("v", U8, count=2)
+        assert hash(a) == hash(b)
+
+    def test_str_includes_flags(self):
+        var = Variable("arr", I32, count=4)
+        assert "[4]" in str(var)
+
+
+class TestVarRef:
+    def test_wraps_variable(self):
+        var = Variable("arr", I32, count=8)
+        ref = VarRef(var)
+        assert ref.variable is var
+        assert str(ref) == "&arr"
+
+
+class TestMemorySpace:
+    def test_values(self):
+        assert str(MemorySpace.VM) == "vm"
+        assert str(MemorySpace.NVM) == "nvm"
+        assert str(MemorySpace.AUTO) == "auto"

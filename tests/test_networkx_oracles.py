@@ -1,0 +1,117 @@
+"""Cross-validation of our analyses against networkx implementations."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis import CFG, DominatorTree, LoopNest
+from repro.frontend import compile_source
+from repro.programs import get_benchmark
+from tests.helpers import BRANCHY_SRC, CALLS_SRC, SUM_LOOP_SRC
+
+
+def idoms_without_entry(idom, entry):
+    return {k: v for k, v in idom.items() if k != entry}
+
+
+def nx_graph_of(cfg: CFG) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(cfg.labels)
+    for src in cfg.labels:
+        for dst in cfg.succs[src]:
+            graph.add_edge(src, dst)
+    return graph
+
+
+ALL_SOURCES = [SUM_LOOP_SRC, CALLS_SRC, BRANCHY_SRC]
+
+
+class TestDominatorsAgainstNetworkx:
+    @pytest.mark.parametrize("source", ALL_SOURCES, ids=["sum", "calls", "branchy"])
+    def test_idoms_match(self, source):
+        module = compile_source(source)
+        for func in module.functions.values():
+            cfg = CFG(func)
+            dom = DominatorTree(cfg)
+            expected = nx.immediate_dominators(nx_graph_of(cfg), cfg.entry)
+            assert idoms_without_entry(dom.idom, cfg.entry) == (
+                idoms_without_entry(dict(expected), cfg.entry)
+            ), func.name
+
+    def test_idoms_match_on_benchmarks(self):
+        for name in ("crc", "dijkstra", "fft"):
+            module = get_benchmark(name).module
+            for func in module.functions.values():
+                cfg = CFG(func)
+                dom = DominatorTree(cfg)
+                expected = nx.immediate_dominators(nx_graph_of(cfg), cfg.entry)
+                assert idoms_without_entry(dom.idom, cfg.entry) == (
+                    idoms_without_entry(dict(expected), cfg.entry)
+                ), (name, func.name)
+
+    def test_dominates_query_matches_reachability_definition(self):
+        module = compile_source(BRANCHY_SRC)
+        func = module.functions["main"]
+        cfg = CFG(func)
+        dom = DominatorTree(cfg)
+        graph = nx_graph_of(cfg)
+        # a dominates b iff removing a disconnects b from the entry.
+        for a in cfg.labels:
+            for b in cfg.labels:
+                if a == b or a == cfg.entry:
+                    continue
+                pruned = graph.copy()
+                pruned.remove_node(a)
+                reachable = (
+                    b in pruned
+                    and nx.has_path(pruned, cfg.entry, b)
+                )
+                assert dom.dominates(a, b) == (not reachable), (a, b)
+
+
+class TestLoopsAgainstNetworkx:
+    def test_loop_bodies_are_cycles(self):
+        module = compile_source(CALLS_SRC)
+        for func in module.functions.values():
+            cfg = CFG(func)
+            nest = LoopNest(cfg)
+            graph = nx_graph_of(cfg)
+            sccs = [c for c in nx.strongly_connected_components(graph) if len(c) > 1]
+            # Every natural loop body is contained in one non-trivial SCC,
+            # and every SCC hosts at least one detected loop header.
+            for loop in nest.loops:
+                assert any(loop.body <= scc or loop.body == scc for scc in sccs), (
+                    func.name, loop.header,
+                )
+            headers = {l.header for l in nest.loops}
+            for scc in sccs:
+                assert headers & scc, (func.name, scc)
+
+
+class TestDijkstraAgainstNetworkx:
+    def test_benchmark_distances_match(self):
+        from repro.emulator import run_continuous
+        from repro.energy import msp430fr5969_model
+        from repro.programs.dijkstra import INFINITY, SOURCES, V
+
+        bench = get_benchmark("dijkstra")
+        inputs = bench.default_inputs()
+        report = run_continuous(
+            bench.module, msp430fr5969_model(), inputs=inputs
+        )
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(V))
+        adj = inputs["adjmat"]
+        for i in range(V):
+            for j in range(V):
+                w = adj[i * V + j]
+                if w > 0:
+                    graph.add_edge(i, j, weight=w)
+        source = ((SOURCES - 1) * 13) % V
+        lengths = nx.single_source_dijkstra_path_length(
+            graph, source, weight="weight"
+        )
+        for node in range(V):
+            expected = lengths.get(node, INFINITY)
+            assert report.outputs["dist"][node] == expected, node
