@@ -2,10 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-full experiments experiments-quick export examples clean
+.PHONY: test sweep fuzz bench bench-full experiments experiments-quick export examples clean
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Deep fault-injection suite: exhaustive boundary sweeps and the
+# differential grid (deselected from plain `make test` by the
+# `-m "not sweep"` default in pyproject.toml).
+sweep:
+	$(PYTHON) -m pytest tests/ -m sweep
+
+fuzz:
+	$(PYTHON) -m repro.testkit fuzz
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -7,17 +7,30 @@ This module re-checks it *dynamically*: run the transformed program in the
 emulator under the energy budget and confirm it terminates, never violates
 the budget between checkpoints, and produces the same outputs as a
 continuously powered reference run (i.e. no memory anomalies, §II-B).
+
+Two layers:
+
+- :func:`run_against_reference` is the general crash-consistency oracle —
+  any transformed module, any :class:`~repro.emulator.power.PowerManager`
+  (energy budget, periodic, scheduled fault injection, stochastic), with
+  the continuous-power run as the ground truth. The fault-injection
+  testkit (:mod:`repro.testkit`) drives thousands of these.
+- :func:`verify_forward_progress` specializes it to the paper's §II-B
+  statement: wait mode under the compile-time energy budget must complete
+  with *zero* power failures and matching outputs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.emulator.interpreter import run_continuous, run_intermittent
 from repro.emulator.power import PowerManager
+from repro.emulator.report import ExecutionReport
 from repro.emulator.runtime import CheckpointPolicy
 from repro.energy.model import EnergyModel
+from repro.errors import EmulationError
 from repro.ir.module import Module
 
 
@@ -29,10 +42,77 @@ class VerificationResult:
     outputs_match: bool
     power_failures: int
     failure_reason: str = ""
+    #: The emulation aborted with an internal error (e.g. a VM access to a
+    #: non-resident variable after a bad transformation) — always a bug.
+    crashed: bool = False
+    #: Timeline offsets of the failures experienced (replayable via
+    #: ``PowerManager.scheduled``).
+    failure_offsets: List[int] = field(default_factory=list)
+    #: The full intermittent-run report, for post-mortems.
+    report: Optional[ExecutionReport] = None
 
     @property
     def ok(self) -> bool:
         return self.completed and self.outputs_match and self.power_failures == 0
+
+    @property
+    def crash_consistent(self) -> bool:
+        """The weaker oracle used under injected faults: *if* the run
+        completed, its outputs (the final NVM state of every non-const
+        global) must equal the reference — power failures themselves are
+        expected, they are the point of the injection."""
+        return self.completed and self.outputs_match
+
+
+def run_against_reference(
+    transformed: Module,
+    reference: Module,
+    model: EnergyModel,
+    policy: CheckpointPolicy,
+    power: PowerManager,
+    vm_size: int,
+    inputs: Optional[Dict[str, List[int]]] = None,
+    max_instructions: int = 100_000_000,
+    reference_report: Optional[ExecutionReport] = None,
+) -> VerificationResult:
+    """Run ``transformed`` under ``power`` and compare the final NVM state
+    against the continuously powered ``reference`` module.
+
+    ``reference_report`` caches the ground-truth run across many injected
+    schedules of the same program/inputs (the testkit sweep reruns the
+    transformed module hundreds of times against one reference).
+    """
+    if reference_report is None:
+        reference_report = run_continuous(
+            reference, model, inputs=inputs, max_instructions=max_instructions
+        )
+    try:
+        report = run_intermittent(
+            transformed,
+            model,
+            policy,
+            power,
+            vm_size=vm_size,
+            inputs=inputs,
+            max_instructions=max_instructions,
+        )
+    except EmulationError as exc:
+        return VerificationResult(
+            completed=False,
+            outputs_match=False,
+            power_failures=power.failures,
+            failure_reason=f"emulation error: {exc}",
+            failure_offsets=list(power.failure_log),
+            crashed=True,
+        )
+    return VerificationResult(
+        completed=report.completed,
+        outputs_match=report.outputs == reference_report.outputs,
+        power_failures=report.power_failures,
+        failure_reason=report.failure_reason,
+        failure_offsets=list(report.failure_offsets),
+        report=report,
+    )
 
 
 def verify_forward_progress(
@@ -53,21 +133,13 @@ def verify_forward_progress(
     capacitor is refilled at each checkpoint. Any failure observed here is
     a placement bug (or an intentionally undersized budget in tests).
     """
-    ref_report = run_continuous(
-        reference, model, inputs=inputs, max_instructions=max_instructions
-    )
-    report = run_intermittent(
+    return run_against_reference(
         transformed,
+        reference,
         model,
         CheckpointPolicy.wait_mode(technique),
         PowerManager.energy_budget(eb),
         vm_size=vm_size,
         inputs=inputs,
         max_instructions=max_instructions,
-    )
-    return VerificationResult(
-        completed=report.completed,
-        outputs_match=report.outputs == ref_report.outputs,
-        power_failures=report.power_failures,
-        failure_reason=report.failure_reason,
     )

@@ -94,6 +94,12 @@ class InterpreterConfig:
     max_instructions: int = 200_000_000
     #: Called as trace(function_name, block_label) on every block entry.
     trace: Optional[Callable[[str, str], None]] = None
+    #: Called as step_hook(site_label, cycles) immediately before each
+    #: atomic energy-consuming step — instructions, checkpoint saves,
+    #: restores and voltage checks. Together with a recording
+    #: :class:`~repro.emulator.power.PowerManager` this enumerates every
+    #: fault-injectable boundary of a run (the testkit's sweep engine).
+    step_hook: Optional[Callable[[str, int], None]] = None
     #: Inputs written into the NVM image before execution: name -> values.
     inputs: Dict[str, List[int]] = field(default_factory=dict)
     #: Enforce the VM capacity limit at run time.
@@ -260,6 +266,8 @@ class Interpreter:
             nvm_accesses=self.meter.nvm_accesses,
             outputs=outputs,
             peak_vm_bytes=self.peak_vm_bytes,
+            power_mode=self.power.mode.value,
+            failure_offsets=list(self.power.failure_log),
         )
 
     def _execute(self) -> Tuple[bool, str]:
@@ -270,6 +278,7 @@ class Interpreter:
         charge = self.meter.charge_compute
         max_instructions = self.config.max_instructions
         compute_cost = self._cost
+        step_hook = self.config.step_hook
 
         while frames:
             if self.instructions_executed >= max_instructions:
@@ -288,6 +297,11 @@ class Interpreter:
             if cost is None:
                 cost = compute_cost(inst)
             cycles, energy, access_energy, is_vm, has_access = cost
+            if step_hook is not None:
+                step_hook(
+                    f"{frame.function.name}:{frame.block}:{frame.index}",
+                    cycles,
+                )
             if consume(energy, cycles):
                 if not self._handle_power_failure():
                     return False, "no forward progress"
@@ -453,11 +467,14 @@ class Interpreter:
         """Execute a (conditional) checkpoint. Returns a (completed, reason)
         pair to abort the run, or None to continue."""
         model = self.model
+        step_hook = self.config.step_hook
 
         if isinstance(inst, CondCheckpoint):
             counter_key = f"__ckpt{inst.ckpt_id}"
             count = frame.registers.get(counter_key, 0) + 1
             check_energy = COND_CHECK_CYCLES * model.energy_per_cycle
+            if step_hook is not None:
+                step_hook(f"ckpt{inst.ckpt_id}:itercheck", COND_CHECK_CYCLES)
             if self.power.consume(check_energy, COND_CHECK_CYCLES):
                 if not self._handle_power_failure():
                     return False, "no forward progress"
@@ -475,6 +492,8 @@ class Interpreter:
             inst, "skippable", True
         ):
             check_energy = self.policy.check_energy
+            if step_hook is not None:
+                step_hook(f"ckpt{inst.ckpt_id}:voltcheck", COND_CHECK_CYCLES)
             if self.power.consume(check_energy, COND_CHECK_CYCLES):
                 if not self._handle_power_failure():
                     return False, "no forward progress"
@@ -494,6 +513,8 @@ class Interpreter:
         payload = sum(self.memory.size_of(name) for name in inst.save_vars)
         save_energy = model.save_energy(payload)
         save_cycles = model.save_cycles(payload)
+        if step_hook is not None:
+            step_hook(f"ckpt{inst.ckpt_id}:save", save_cycles)
         if self.power.consume(save_energy, save_cycles):
             self.meter.charge_save(save_energy)  # energy was spent anyway
             if not self._handle_power_failure():
@@ -568,6 +589,8 @@ class Interpreter:
             restore_energy = model.restore_energy(payload)
             restore_cycles = model.restore_cycles(payload)
             self.meter.charge_restore(restore_energy)
+            if self.config.step_hook is not None:
+                self.config.step_hook("migrate", restore_cycles)
             if self.power.consume(restore_energy, restore_cycles):
                 return self._handle_power_failure()
             self.active_cycles += restore_cycles
@@ -592,6 +615,8 @@ class Interpreter:
         restore_energy = model.restore_energy(payload)
         restore_cycles = model.restore_cycles(payload)
         self.meter.charge_restore(restore_energy)
+        if self.config.step_hook is not None:
+            self.config.step_hook("restore", restore_cycles)
         if self.power.consume(restore_energy, restore_cycles):
             return self._handle_power_failure()
         self.active_cycles += restore_cycles
@@ -617,6 +642,10 @@ class Interpreter:
             self.frames[:] = [_Frame(entry, entry.entry.label)]
             restore_energy = self.model.restore_energy(0)
             self.meter.charge_restore(restore_energy)
+            if self.config.step_hook is not None:
+                self.config.step_hook(
+                    "boot-restore", self.model.restore_cycles(0)
+                )
             self.power.consume(restore_energy, self.model.restore_cycles(0))
             if self.config.trace is not None:
                 self.config.trace(entry.name, entry.entry.label)
@@ -677,12 +706,14 @@ def run_intermittent(
     vm_size: int = 1 << 30,
     inputs: Optional[Dict[str, List[int]]] = None,
     max_instructions: int = 200_000_000,
+    step_hook: Optional[Callable[[str, int], None]] = None,
 ) -> ExecutionReport:
     """Run a transformed module under intermittent power."""
     config = InterpreterConfig(
         inputs=dict(inputs or {}),
         max_instructions=max_instructions,
         vm_size=vm_size,
+        step_hook=step_hook,
     )
     interp = Interpreter(module, model, policy, power, config)
     return interp.run()

@@ -1,6 +1,6 @@
 """Power-failure injection: the capacitor and its discharge.
 
-Two modes reproduce the paper's methodology:
+Four failure-injecting modes (plus ``CONTINUOUS``, which never fails):
 
 - ``ENERGY_BUDGET``: the capacitor holds ``EB`` nJ; a power failure occurs
   the moment cumulative consumption since the last full recharge exceeds
@@ -8,6 +8,29 @@ Two modes reproduce the paper's methodology:
 - ``PERIODIC_CYCLES``: a failure every ``TBPF`` *active* cycles, the
   SCEPTIC emulator's "time between power failures" knob (§IV-A). §IV-C
   links the two: EB is set to the average energy consumed per TBPF window.
+- ``SCHEDULED``: failures at an explicit, sorted list of absolute
+  active-cycle offsets (the *timeline*, which keeps counting across
+  recharges). This is the fault-injection mode of the testkit: a schedule
+  of one offset kills exactly one chosen instruction boundary, a schedule
+  of two models a failure followed by an immediate second failure during
+  recovery, and a schedule replayed from a recorded
+  :attr:`PowerManager.failure_log` reproduces any other mode's run
+  deterministically.
+- ``STOCHASTIC``: seeded geometric inter-failure times (in active cycles),
+  modeling RF energy harvesting where each charge cycle buys an
+  unpredictable amount of work. Fully deterministic given ``seed``.
+
+Boundary semantics (uniform across all modes)
+---------------------------------------------
+
+The budget — ``EB`` nJ, ``TBPF`` cycles, a scheduled offset, or a drawn
+stochastic window — is **inclusive**: the system may consume *exactly* the
+budget and survive; the failure strikes on the first unit *beyond* it.
+This matches the static guarantee, which admits placements whose
+worst-case inter-checkpoint consumption equals ``EB``
+(:meth:`repro.core.path_analysis.RegionAnalysis`): a segment costing
+exactly the budget must complete. All comparisons in :meth:`consume` are
+therefore strict (``>``), never ``>=``.
 
 Sleeping at a checkpoint (wait-for-full-recharge techniques) resets the
 capacitor; failures during sleep are harmless (the paper: "Should a power
@@ -17,62 +40,157 @@ failure occur during a standby period, the system goes back to sleep").
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 
 class PowerMode(enum.Enum):
     CONTINUOUS = "continuous"  # never fails (reference/profiling runs)
     ENERGY_BUDGET = "energy-budget"
     PERIODIC_CYCLES = "periodic-cycles"
+    SCHEDULED = "scheduled"
+    STOCHASTIC = "stochastic"
 
 
 @dataclass
 class PowerManager:
-    """Tracks capacitor charge (or the TBPF countdown) during emulation."""
+    """Tracks capacitor charge (or the TBPF countdown) during emulation.
+
+    Attributes:
+        timeline: total active cycles consumed since boot, *monotonic
+            across recharges* — the time axis scheduled failures live on.
+        failure_log: for every injected failure, the timeline value at the
+            start of the step that failed. Feeding this list back into
+            :meth:`scheduled` replays the same failure points (execution
+            being deterministic), which is what the testkit's
+            counterexample shrinker relies on.
+        record: when set to a list, :meth:`consume` appends the pre-step
+            timeline of every call — the instruction-boundary offsets a
+            scheduled failure can target.
+    """
 
     mode: PowerMode = PowerMode.CONTINUOUS
     eb: float = float("inf")  # nJ, ENERGY_BUDGET mode
     tbpf: int = 0  # active cycles, PERIODIC_CYCLES mode
+    schedule: Sequence[int] = ()  # timeline offsets, SCHEDULED mode
+    mean_cycles: float = 0.0  # mean inter-failure window, STOCHASTIC mode
+    seed: int = 0  # STOCHASTIC mode PRNG seed
     consumed_since_recharge: float = 0.0
     cycles_since_recharge: int = 0
     failures: int = 0
     recharges: int = 0
+    timeline: int = 0
+    failure_log: List[int] = field(default_factory=list)
+    record: Optional[List[int]] = None
+    _schedule_pos: int = 0
+    _window_anchor: int = 0  # timeline at the last recharge (SCHEDULED)
+    _window: int = 0  # current stochastic inter-failure window
+    _rng: Optional[random.Random] = None
+
+    def __post_init__(self) -> None:
+        self.schedule = sorted(int(o) for o in self.schedule)
+        if self.mode is PowerMode.STOCHASTIC:
+            if not self.mean_cycles or self.mean_cycles <= 0:
+                raise ValueError("STOCHASTIC mode needs mean_cycles > 0")
+            self._rng = random.Random(self.seed)
+            self._window = self._draw_window()
+
+    def _draw_window(self) -> int:
+        """Geometric inter-failure time with mean ``mean_cycles`` — each
+        active cycle independently kills the supply with probability
+        1/mean (the memoryless model of an RF harvesting front end)."""
+        assert self._rng is not None
+        u = self._rng.random()
+        # Inverse-CDF sampling of Geometric(p), support {1, 2, ...}.
+        p = 1.0 / self.mean_cycles
+        if p >= 1.0:
+            return 1
+        return max(1, int(math.log(1.0 - u) / math.log(1.0 - p)) + 1)
+
+    def _fail(self, cycles: int) -> bool:
+        self.failures += 1
+        self.failure_log.append(self.timeline - cycles)
+        return True
 
     def consume(self, energy: float, cycles: int) -> bool:
-        """Account one instruction; returns True if power failed *during*
-        it (the instruction's effects are still applied — failure strikes at
-        the boundary, which is conservative for roll-back techniques and
-        irrelevant for wait-mode ones)."""
+        """Account one atomic energy-consuming step (an instruction, a
+        checkpoint save, a restore, a voltage check); returns True if the
+        power failed *during* it. The failing step does not commit its
+        effects — the failure strikes at the step boundary, which is
+        conservative for roll-back techniques and irrelevant for wait-mode
+        ones. See the module docstring for the (inclusive) boundary
+        semantics."""
+        if self.record is not None:
+            self.record.append(self.timeline)
         self.consumed_since_recharge += energy
         self.cycles_since_recharge += cycles
+        self.timeline += cycles
         if self.mode is PowerMode.ENERGY_BUDGET:
             if self.consumed_since_recharge > self.eb:
-                self.failures += 1
-                return True
+                return self._fail(cycles)
         elif self.mode is PowerMode.PERIODIC_CYCLES:
-            if self.tbpf > 0 and self.cycles_since_recharge >= self.tbpf:
-                self.failures += 1
-                return True
+            if self.tbpf > 0 and self.cycles_since_recharge > self.tbpf:
+                return self._fail(cycles)
+        elif self.mode is PowerMode.SCHEDULED:
+            if (
+                self._schedule_pos < len(self.schedule)
+                and self.timeline > self.schedule[self._schedule_pos]
+            ):
+                # One failure per step; offsets already passed fire on the
+                # next step (an immediate failure during recovery).
+                self._schedule_pos += 1
+                return self._fail(cycles)
+        elif self.mode is PowerMode.STOCHASTIC:
+            if self.cycles_since_recharge > self._window:
+                return self._fail(cycles)
         return False
+
+    @property
+    def next_scheduled(self) -> Optional[int]:
+        """The next pending scheduled offset, None when exhausted."""
+        if self._schedule_pos < len(self.schedule):
+            return self.schedule[self._schedule_pos]
+        return None
 
     @property
     def remaining(self) -> float:
         """Remaining capacitor energy (what MEMENTOS's voltage measurement
-        observes). In PERIODIC_CYCLES mode the remaining window is converted
-        to a fraction of ``eb`` when ``eb`` is finite."""
+        observes). In the cycle-denominated modes the remaining window is
+        converted to a fraction of ``eb`` when ``eb`` is finite."""
         if self.mode is PowerMode.ENERGY_BUDGET:
             return max(self.eb - self.consumed_since_recharge, 0.0)
-        if self.mode is PowerMode.PERIODIC_CYCLES and self.tbpf > 0:
-            frac = max(1.0 - self.cycles_since_recharge / self.tbpf, 0.0)
-            return frac * (self.eb if self.eb != float("inf") else 1.0)
-        return float("inf")
+        if self.mode in (PowerMode.CONTINUOUS,) or (
+            self.mode is PowerMode.PERIODIC_CYCLES and self.tbpf <= 0
+        ):
+            return float("inf")
+        return self.remaining_fraction * (
+            self.eb if self.eb != float("inf") else 1.0
+        )
 
     @property
     def remaining_fraction(self) -> float:
+        """Fraction of the current charge window still unspent, in [0, 1].
+
+        For ``SCHEDULED`` the window runs from the last recharge to the
+        next scheduled offset, for ``STOCHASTIC`` it is the drawn
+        inter-failure time — so a MEMENTOS-style voltage check sees the
+        charge genuinely draining toward the injected failure."""
         if self.mode is PowerMode.ENERGY_BUDGET and self.eb > 0:
+            if self.eb == float("inf"):
+                return 1.0
             return max(1.0 - self.consumed_since_recharge / self.eb, 0.0)
         if self.mode is PowerMode.PERIODIC_CYCLES and self.tbpf > 0:
             return max(1.0 - self.cycles_since_recharge / self.tbpf, 0.0)
+        if self.mode is PowerMode.SCHEDULED:
+            nxt = self.next_scheduled
+            if nxt is None:
+                return 1.0
+            window = max(nxt - self._window_anchor, 1)
+            return max((nxt - self.timeline) / window, 0.0)
+        if self.mode is PowerMode.STOCHASTIC and self._window > 0:
+            return max(1.0 - self.cycles_since_recharge / self._window, 0.0)
         return 1.0
 
     def recharge_full(self) -> None:
@@ -81,6 +199,9 @@ class PowerManager:
         self.consumed_since_recharge = 0.0
         self.cycles_since_recharge = 0
         self.recharges += 1
+        self._window_anchor = self.timeline
+        if self.mode is PowerMode.STOCHASTIC:
+            self._window = self._draw_window()
 
     @classmethod
     def continuous(cls) -> "PowerManager":
@@ -93,3 +214,31 @@ class PowerManager:
     @classmethod
     def periodic(cls, tbpf: int, eb: float = float("inf")) -> "PowerManager":
         return cls(mode=PowerMode.PERIODIC_CYCLES, tbpf=tbpf, eb=eb)
+
+    @classmethod
+    def scheduled(
+        cls, offsets: Sequence[int], eb: float = float("inf")
+    ) -> "PowerManager":
+        """Fail at each timeline offset in ``offsets`` (active cycles since
+        boot). An empty schedule never fails — useful as a recording run
+        (set :attr:`record`) that enumerates every injectable boundary."""
+        return cls(mode=PowerMode.SCHEDULED, schedule=tuple(offsets), eb=eb)
+
+    @classmethod
+    def stochastic(
+        cls, mean_cycles: float, seed: int = 0, eb: float = float("inf")
+    ) -> "PowerManager":
+        """Seeded geometric inter-failure times with the given mean."""
+        return cls(
+            mode=PowerMode.STOCHASTIC,
+            mean_cycles=mean_cycles,
+            seed=seed,
+            eb=eb,
+        )
+
+    @classmethod
+    def recording(cls) -> "PowerManager":
+        """A never-failing manager that logs every step boundary."""
+        power = cls(mode=PowerMode.SCHEDULED, schedule=())
+        power.record = []
+        return power

@@ -26,6 +26,12 @@ class ExecutionReport:
         vm_accesses / nvm_accesses: committed memory-access counts.
         outputs: final values of every non-const global variable.
         peak_vm_bytes: maximum VM occupancy observed.
+        power_mode: the :class:`~repro.emulator.power.PowerMode` value of
+            the run's power manager.
+        failure_offsets: pre-step timeline offsets (active cycles since
+            boot) of each power failure — feeding them into
+            ``PowerManager.scheduled`` replays this run's failures
+            deterministically (the testkit's shrinker relies on it).
     """
 
     technique: str
@@ -42,6 +48,8 @@ class ExecutionReport:
     nvm_accesses: int = 0
     outputs: Dict[str, List[int]] = field(default_factory=dict)
     peak_vm_bytes: int = 0
+    power_mode: str = ""
+    failure_offsets: List[int] = field(default_factory=list)
 
     @property
     def total_energy_uj(self) -> float:

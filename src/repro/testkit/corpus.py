@@ -1,0 +1,180 @@
+"""Programs and compilers the testkit sweeps over.
+
+Two sources of programs, behind one name space:
+
+- a built-in corpus of small MiniC stress programs whose *dynamic*
+  boundary counts are tiny enough for exhaustive (every dynamic step,
+  single- and double-failure) sweeps;
+- the eight MiBench2 benchmarks (:mod:`repro.programs`), where the sweep
+  defaults to every *static* instruction boundary (first dynamic
+  occurrence of each transformed-module instruction).
+
+Both are :class:`repro.programs.base.Benchmark` instances, so they carry
+their own evaluation inputs and profiling input generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines import COMPILERS, CompiledTechnique
+from repro.core.tracing import Profile
+from repro.energy.platform import Platform
+from repro.ir.module import Module
+from repro.programs import BENCHMARK_NAMES, get_benchmark
+from repro.programs.base import Benchmark
+
+#: Techniques whose runtime sleeps for a full recharge at each checkpoint —
+#: the ones the §II-B forward-progress guarantee (zero failures under the
+#: compile-time energy budget) applies to.
+WAIT_MODE_TECHNIQUES = frozenset({"schematic", "rockclimb", "allnvm"})
+
+#: Wait-mode techniques that keep *every* variable in NVM and never roll
+#: back. Their crash consistency rests entirely on the recharge contract
+#: (failures only ever strike when the budget is exhausted, i.e. at a
+#: checkpoint); a power schedule that kills them mid-segment re-executes
+#: NVM writes non-transparently, so WAR anomalies under such schedules are
+#: a documented property, not a placement bug. SCHEMATIC is wait-mode too
+#: but holds up in practice: its hot read-write scalars live in VM and are
+#: restored from the snapshot on every reboot.
+ALL_NVM_TECHNIQUES = frozenset({"rockclimb", "allnvm"})
+
+_SUMLOOP = """
+u32 result;
+i32 data[16];
+void main() {
+    u32 acc = 0;
+    for (i32 i = 0; i < 16; i++) {
+        acc += (u32) data[i] * 3;
+    }
+    result = acc;
+}
+"""
+
+# A non-idempotent global updated every iteration: the canonical
+# write-after-read pattern that turns a mid-segment re-execution into a
+# memory anomaly when a transformation gets checkpointing wrong.
+_WARLOOP = """
+u32 total;
+u32 rounds;
+i32 data[12];
+void main() {
+    for (i32 i = 0; i < 12; i++) {
+        total = total + (u32) data[i];
+        rounds = rounds + 1;
+        if ((total & 3) == 0) {
+            total = total ^ 5;
+        }
+    }
+}
+"""
+
+_BRANCHY = """
+u32 result;
+u32 selector;
+i32 data[12];
+void main() {
+    u32 acc = 0;
+    for (i32 i = 0; i < 12; i++) {
+        if ((selector & 1) != 0) {
+            acc += (u32) data[i] * 5;
+        } else {
+            acc ^= (u32) data[i];
+        }
+        if (acc > 10000) {
+            acc %= 997;
+        }
+    }
+    result = acc;
+}
+"""
+
+_CALLS = """
+u32 result;
+i32 data[8];
+
+u32 weight(u32 x) {
+    u32 w = 0;
+    @maxiter(32)
+    while (x != 0) {
+        w += x & 1;
+        x >>= 1;
+    }
+    return w;
+}
+
+void main() {
+    u32 acc = 0;
+    for (i32 i = 0; i < 8; i++) {
+        acc += weight((u32) data[i] + (u32) i);
+    }
+    result = acc;
+}
+"""
+
+#: The built-in corpus, keyed by name. All programs are small on purpose:
+#: an exhaustive dynamic sweep multiplies the run length by the boundary
+#: count.
+CORPUS: Dict[str, Benchmark] = {
+    "sumloop": Benchmark(
+        name="sumloop",
+        source=_SUMLOOP,
+        input_vars={"data": 100},
+        output_vars=["result"],
+    ),
+    "warloop": Benchmark(
+        name="warloop",
+        source=_WARLOOP,
+        input_vars={"data": 50},
+        output_vars=["total", "rounds"],
+    ),
+    "branchy": Benchmark(
+        name="branchy",
+        source=_BRANCHY,
+        input_vars={"data": 200, "selector": 2},
+        output_vars=["result"],
+    ),
+    "calls": Benchmark(
+        name="calls",
+        source=_CALLS,
+        input_vars={"data": 50},
+        output_vars=["result"],
+    ),
+}
+
+
+def available_programs() -> List[str]:
+    """Corpus names followed by the benchmark names."""
+    return list(CORPUS) + list(BENCHMARK_NAMES)
+
+
+def load_program(name: str) -> Benchmark:
+    """Resolve a program name against the corpus, then the benchmarks."""
+    if name in CORPUS:
+        return CORPUS[name]
+    if name in BENCHMARK_NAMES:
+        return get_benchmark(name)
+    raise KeyError(
+        f"unknown program {name!r}; choose from {available_programs()}"
+    )
+
+
+def compile_for(
+    technique: str,
+    module: Module,
+    platform: Platform,
+    input_generator=None,
+    profile: Optional[Profile] = None,
+) -> CompiledTechnique:
+    """Compile ``module`` with one technique through the uniform API."""
+    if technique not in COMPILERS:
+        raise KeyError(
+            f"unknown technique {technique!r}; "
+            f"choose from {sorted(COMPILERS)}"
+        )
+    compiler = COMPILERS[technique]
+    if technique in ("schematic", "rockclimb", "allnvm"):
+        return compiler(
+            module, platform, profile=profile, input_generator=input_generator
+        )
+    return compiler(module, platform)

@@ -1,0 +1,269 @@
+"""Cross-technique differential oracle over the technique x power-mode x
+TBPF grid.
+
+Every cell runs one (program, technique, TBPF, power-mode) combination and
+judges it against the continuous-power reference; on top of that, for each
+(program, TBPF, power-mode) group the *completed* techniques are compared
+against each other — six independent implementations of the same program
+must agree bit-for-bit on every output variable, so any disagreement
+convicts at least one of them even without trusting the reference.
+
+Power modes per TBPF value (EB derived as in paper §IV-C — the average
+energy the reference consumes per TBPF active cycles):
+
+- ``energy``  — capacitor of EB nJ, failure when overdrawn;
+- ``periodic``— failure every TBPF active cycles;
+- ``stochastic`` — geometric inter-failure times with mean TBPF cycles
+  (seeded, deterministic), modeling RF harvesting.
+
+Expectations follow Table III: wait-mode techniques (SCHEMATIC, ROCKCLIMB,
+All-NVM) must complete under ``energy`` and ``periodic``; roll-back
+baselines may starve (``stuck`` is an expected outcome, e.g. MEMENTOS at
+TBPF=1k); nobody may ever complete with wrong outputs. Stochastic windows
+can undercut any placement's budget, so there only crash consistency is
+required — except for the all-NVM wait-mode runtimes (ROCKCLIMB, All-NVM),
+whose mid-segment re-execution under stochastic kills is outside their
+recharge contract: their anomalies there are recorded as
+``anomaly-outside-contract`` and excluded from the agreement check.
+Violations are shrunk to a minimal ``SCHEDULED`` failure list when the
+failing run replays deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import CompiledTechnique
+from repro.core.verify import run_against_reference
+from repro.emulator import PowerManager, run_continuous
+from repro.emulator.report import ExecutionReport
+from repro.energy import msp430fr5969_platform
+from repro.programs import BENCHMARK_NAMES
+from repro.testkit.corpus import (
+    ALL_NVM_TECHNIQUES,
+    WAIT_MODE_TECHNIQUES,
+    compile_for,
+    load_program,
+)
+from repro.testkit.oracle import (
+    OUTCOME_ANOMALY,
+    OUTCOME_CONTRACT,
+    OUTCOME_OK,
+    OracleVerdict,
+    check_schedule,
+    classify,
+)
+from repro.testkit.shrink import shrink_schedule
+
+#: Paper §IV-C values.
+DEFAULT_TBPF = (1_000, 10_000, 100_000)
+DEFAULT_TECHNIQUES = (
+    "ratchet", "mementos", "rockclimb", "alfred", "schematic", "allnvm",
+)
+DEFAULT_MODES = ("energy", "periodic", "stochastic")
+
+
+@dataclass
+class DiffResult:
+    programs: List[str]
+    techniques: List[str]
+    tbpf_values: List[int]
+    modes: List[str]
+    verdicts: List[OracleVerdict] = field(default_factory=list)
+    #: Cross-technique disagreements: human-readable descriptions.
+    disagreements: List[str] = field(default_factory=list)
+    runs: int = 0
+
+    @property
+    def violations(self) -> List[OracleVerdict]:
+        return [v for v in self.verdicts if v.violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.disagreements
+
+    def render(self) -> str:
+        counts: Dict[str, int] = {}
+        for v in self.verdicts:
+            counts[v.outcome] = counts.get(v.outcome, 0) + 1
+        lines = [
+            "differential oracle: "
+            f"{len(self.programs)} programs x {len(self.techniques)} "
+            f"techniques x TBPF {self.tbpf_values} x modes {self.modes}",
+            f"  {len(self.verdicts)} cells, {self.runs} oracle runs",
+        ]
+        for outcome, count in sorted(counts.items()):
+            lines.append(f"  {outcome}: {count}")
+        if self.disagreements:
+            lines.append(
+                f"  CROSS-TECHNIQUE DISAGREEMENTS ({len(self.disagreements)}):"
+            )
+            lines.extend(f"    {d}" for d in self.disagreements)
+        if self.violations:
+            lines.append(f"  VIOLATIONS ({len(self.violations)}):")
+            lines.extend(f"    {v.describe()}" for v in self.violations)
+        else:
+            lines.append("  zero oracle violations")
+        return "\n".join(lines)
+
+
+def _power_for(mode: str, tbpf: int, eb: float, seed: int) -> PowerManager:
+    if mode == "energy":
+        return PowerManager.energy_budget(eb)
+    if mode == "periodic":
+        return PowerManager.periodic(tbpf=tbpf, eb=eb)
+    if mode == "stochastic":
+        return PowerManager.stochastic(mean_cycles=tbpf, seed=seed, eb=eb)
+    raise ValueError(f"unknown power mode {mode!r}")
+
+
+def run_differential(
+    programs: Optional[Sequence[str]] = None,
+    techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+    tbpf_values: Sequence[int] = DEFAULT_TBPF,
+    modes: Sequence[str] = DEFAULT_MODES,
+    seed: int = 0,
+    max_instructions: int = 50_000_000,
+    shrink: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> DiffResult:
+    """Run the full grid; see the module docstring for the oracle."""
+    programs = list(programs if programs is not None else BENCHMARK_NAMES)
+    result = DiffResult(
+        programs=programs,
+        techniques=list(techniques),
+        tbpf_values=list(tbpf_values),
+        modes=list(modes),
+    )
+    platform_proto = msp430fr5969_platform()
+
+    for program in programs:
+        bench = load_program(program)
+        inputs = bench.default_inputs()
+        reference = run_continuous(
+            bench.module, platform_proto.model, inputs=inputs,
+            max_instructions=max_instructions,
+        )
+        avg_power = reference.energy.total / max(reference.active_cycles, 1)
+        for tbpf in tbpf_values:
+            eb = avg_power * tbpf
+            plat = platform_proto.with_eb(eb)
+            compiled: Dict[str, CompiledTechnique] = {}
+            for technique in techniques:
+                compiled[technique] = compile_for(
+                    technique, bench.module, plat,
+                    input_generator=bench.input_generator(),
+                )
+            for mode in modes:
+                group: Dict[str, ExecutionReport] = {}
+                for technique in techniques:
+                    comp = compiled[technique]
+                    desc = f"{mode} tbpf={tbpf} eb={eb:.0f}"
+                    if progress is not None:
+                        progress(f"{program}/{technique} {desc}")
+                    if not comp.feasible:
+                        result.verdicts.append(OracleVerdict(
+                            program=program, technique=technique,
+                            power=desc, outcome="infeasible",
+                            detail=comp.infeasible_reason,
+                        ))
+                        continue
+                    power = _power_for(mode, tbpf, eb, seed)
+                    run = run_against_reference(
+                        comp.module, bench.module, plat.model, comp.policy,
+                        power, vm_size=plat.vm_size, inputs=inputs,
+                        max_instructions=max_instructions,
+                        reference_report=reference,
+                    )
+                    result.runs += 1
+                    guarantee = (
+                        technique in WAIT_MODE_TECHNIQUES
+                        and mode in ("energy", "periodic")
+                    )
+                    outcome = classify(run, guarantee=guarantee)
+                    # Stochastic schedules kill all-NVM wait-mode runtimes
+                    # mid-segment, outside their recharge contract: WAR
+                    # anomalies there are documented behaviour, recorded
+                    # as their own outcome and kept out of the agreement
+                    # group (their outputs carry no information).
+                    waived = (
+                        outcome == OUTCOME_ANOMALY
+                        and mode == "stochastic"
+                        and technique in ALL_NVM_TECHNIQUES
+                    )
+                    if waived:
+                        outcome = OUTCOME_CONTRACT
+                    verdict = OracleVerdict(
+                        program=program, technique=technique, power=desc,
+                        outcome=outcome,
+                        schedule=tuple(run.failure_offsets),
+                        detail=run.failure_reason,
+                        power_failures=run.power_failures,
+                    )
+                    if verdict.violation and shrink:
+                        verdict.shrunk, verdict.detail = _shrink_replay(
+                            comp, reference, plat, inputs,
+                            max_instructions, verdict, result,
+                        )
+                    result.verdicts.append(verdict)
+                    if run.completed and run.report is not None and not waived:
+                        group[technique] = run.report
+                _check_agreement(
+                    result, program, bench.output_vars,
+                    f"{mode} tbpf={tbpf}", group,
+                )
+    return result
+
+
+def _check_agreement(
+    result: DiffResult,
+    program: str,
+    output_vars: Sequence[str],
+    desc: str,
+    group: Dict[str, ExecutionReport],
+) -> None:
+    """All completed techniques must agree on every output variable."""
+    by_value: Dict[Tuple, List[str]] = {}
+    for technique, report in group.items():
+        key = tuple(
+            (name, tuple(report.outputs.get(name, ())))
+            for name in (output_vars or sorted(report.outputs))
+        )
+        by_value.setdefault(key, []).append(technique)
+    if len(by_value) > 1:
+        camps = " vs ".join(
+            "{" + ", ".join(sorted(ts)) + "}" for ts in by_value.values()
+        )
+        result.disagreements.append(
+            f"{program} under {desc}: completed techniques disagree: {camps}"
+        )
+
+
+def _shrink_replay(
+    comp, reference, plat, inputs, max_instructions,
+    verdict: OracleVerdict, result: DiffResult,
+) -> Tuple[Tuple[int, ...], str]:
+    """Replay the failing run's failure offsets as an explicit schedule
+    and shrink. Runtimes that consult the remaining charge (MEMENTOS's
+    voltage check) may diverge under replay; in that case the original
+    offsets are reported unshrunk."""
+    schedule = verdict.schedule
+    if not schedule:
+        return (), verdict.detail
+
+    def still_fails(candidate: Tuple[int, ...]) -> bool:
+        run = check_schedule(
+            comp, reference, plat.model, candidate,
+            plat.vm_size, inputs, max_instructions,
+        )
+        return classify(run, guarantee=True) == verdict.outcome
+
+    result.runs += 1
+    if not still_fails(schedule):
+        return (), (
+            verdict.detail + " [not replayable as a fixed schedule]"
+        ).strip()
+    shrunk, runs = shrink_schedule(schedule, still_fails)
+    result.runs += runs
+    return shrunk, verdict.detail

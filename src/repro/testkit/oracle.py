@@ -1,0 +1,121 @@
+"""The crash-consistency oracle shared by sweep, diff and fuzz.
+
+One emulated run is judged against the continuous-power reference:
+
+- ``ok``: the run completed and its final NVM state (every non-const
+  global) equals the reference — no memory anomaly.
+- ``anomaly``: the run completed with *different* outputs. Always a bug in
+  the transformation or runtime: intermittence must never change results.
+- ``progress-violation``: the run did not complete although the power
+  schedule guarantees eventual completion (a finite injected schedule, or
+  an energy budget the placement was compiled for). A wait-mode technique
+  getting stuck here is a placement bug.
+- ``stuck``: the run did not complete under a schedule that does *not*
+  promise completion (e.g. stochastic harvesting with windows below the
+  placement's budget, or a roll-back baseline whose checkpoint spacing
+  ignores the platform energy — the paper's Table III crosses).
+- ``infeasible``: the technique statically refused the program
+  (all-VM techniques on over-VM data, Table I).
+- ``crash``: the emulation aborted with an internal error (e.g. a VM
+  access with no residency after a broken transformation).
+- ``anomaly-outside-contract``: an anomaly from an all-NVM wait-mode
+  runtime under a schedule its hardware contract excludes — recorded,
+  never counted.
+
+``anomaly``, ``progress-violation`` and ``crash`` are violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines import CompiledTechnique
+from repro.core.verify import VerificationResult, run_against_reference
+from repro.emulator.power import PowerManager
+from repro.emulator.report import ExecutionReport
+from repro.energy.model import EnergyModel
+
+OUTCOME_OK = "ok"
+OUTCOME_ANOMALY = "anomaly"
+OUTCOME_PROGRESS = "progress-violation"
+OUTCOME_STUCK = "stuck"
+OUTCOME_INFEASIBLE = "infeasible"
+OUTCOME_CRASH = "crash"
+#: An anomaly produced outside the technique's hardware contract — an
+#: all-NVM wait-mode runtime killed mid-segment by a stochastic schedule
+#: (see :data:`repro.testkit.corpus.ALL_NVM_TECHNIQUES`). Recorded but not
+#: counted as a violation.
+OUTCOME_CONTRACT = "anomaly-outside-contract"
+
+
+@dataclass
+class OracleVerdict:
+    """One cell of a sweep/diff/fuzz campaign."""
+
+    program: str
+    technique: str
+    power: str  # human-readable power-schedule description
+    outcome: str
+    #: The injected schedule (timeline offsets) when one was used.
+    schedule: Tuple[int, ...] = ()
+    #: Minimal failing schedule after shrinking (violations only).
+    shrunk: Tuple[int, ...] = ()
+    detail: str = ""
+    power_failures: int = 0
+
+    @property
+    def violation(self) -> bool:
+        return self.outcome in (
+            OUTCOME_ANOMALY, OUTCOME_PROGRESS, OUTCOME_CRASH,
+        )
+
+    def describe(self) -> str:
+        text = (
+            f"{self.program}/{self.technique} under {self.power}: "
+            f"{self.outcome}"
+        )
+        if self.detail:
+            text += f" ({self.detail})"
+        if self.violation and self.shrunk:
+            text += f"; minimal failing schedule {list(self.shrunk)}"
+        return text
+
+
+def classify(result: VerificationResult, guarantee: bool) -> str:
+    """Map a :class:`VerificationResult` to an oracle outcome.
+
+    ``guarantee``: the power schedule promises eventual completion, so a
+    non-terminating run is a violation rather than expected starvation."""
+    if result.crashed:
+        return OUTCOME_CRASH
+    if result.completed:
+        return OUTCOME_OK if result.outputs_match else OUTCOME_ANOMALY
+    return OUTCOME_PROGRESS if guarantee else OUTCOME_STUCK
+
+
+def check_schedule(
+    compiled: CompiledTechnique,
+    reference_report: ExecutionReport,
+    model: EnergyModel,
+    offsets: Tuple[int, ...],
+    vm_size: int,
+    inputs: Optional[Dict[str, List[int]]] = None,
+    max_instructions: int = 100_000_000,
+) -> VerificationResult:
+    """Run the compiled program with failures injected at ``offsets``.
+
+    A finite schedule leaves the supply continuous after the last failure,
+    so completion is always guaranteed (``classify(..., guarantee=True)``).
+    """
+    return run_against_reference(
+        compiled.module,
+        compiled.module,  # unused: reference_report short-circuits the run
+        model,
+        compiled.policy,
+        PowerManager.scheduled(offsets),
+        vm_size=vm_size,
+        inputs=inputs,
+        max_instructions=max_instructions,
+        reference_report=reference_report,
+    )

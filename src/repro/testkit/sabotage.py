@@ -1,0 +1,108 @@
+"""Deliberately broken placements, used to prove the oracle has teeth.
+
+A testkit that only ever reports "zero violations" is indistinguishable
+from one that checks nothing. :func:`strip_checkpoint` removes one
+checkpoint from a transformed module — re-creating exactly the class of
+bug the oracles exist for: an inter-checkpoint segment whose worst-case
+energy exceeds the budget (forward-progress violation under the energy
+budget) and/or a non-idempotent re-execution window (memory anomaly under
+injected faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.ir.instructions import Checkpoint, CondCheckpoint, Ret
+from repro.ir.module import Module
+
+
+@dataclass
+class CheckpointSite:
+    """Location of one checkpoint instruction in a module."""
+
+    function: str
+    block: str
+    index: int
+    ckpt_id: int
+    is_boot: bool  # first instruction of the entry function
+    is_exit: bool  # immediately before a return
+
+
+def find_checkpoints(module: Module) -> List[CheckpointSite]:
+    """All checkpoint instructions, in deterministic module order."""
+    sites: List[CheckpointSite] = []
+    entry = module.entry_function
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            for index, inst in enumerate(block.instructions):
+                if not isinstance(inst, (Checkpoint, CondCheckpoint)):
+                    continue
+                nxt = (
+                    block.instructions[index + 1]
+                    if index + 1 < len(block.instructions)
+                    else None
+                )
+                sites.append(
+                    CheckpointSite(
+                        function=func.name,
+                        block=block.label,
+                        index=index,
+                        ckpt_id=inst.ckpt_id,
+                        is_boot=(
+                            func.name == entry.name
+                            and block.label == entry.entry.label
+                            and index == 0
+                        ),
+                        is_exit=isinstance(nxt, Ret),
+                    )
+                )
+    return sites
+
+
+def _strip_at(module: Module, site: CheckpointSite) -> Module:
+    broken = module.clone()
+    block = broken.functions[site.function].blocks[site.block]
+    del block.instructions[site.index]
+    return broken
+
+
+def strip_checkpoint(
+    module: Module,
+    ckpt_id: Optional[int] = None,
+    validate: Optional[Callable[[Module], bool]] = None,
+) -> Tuple[Module, CheckpointSite]:
+    """Return a clone of ``module`` with one checkpoint removed.
+
+    ``ckpt_id`` selects the victim; by default the first checkpoint that
+    is neither the boot checkpoint (whose removal just changes the restart
+    point) nor an exit checkpoint (whose flush the emulator backstops) —
+    i.e. a load-bearing mid-program placement. Raises ``ValueError`` when
+    no checkpoint qualifies.
+
+    Some checkpoints do double duty: a SCHEMATIC ``alloc_after`` migration
+    rides on a checkpoint, so removing it leaves later VM accesses with no
+    residency and the program crashes even on continuous power — a bug the
+    oracle flags trivially, but not the subtle kind the sweep exists for.
+    ``validate`` filters for the interesting victims: candidates are tried
+    in order and the first whose broken module still passes ``validate``
+    (e.g. runs cleanly under continuous power) is chosen, falling back to
+    the first candidate when none passes.
+    """
+    sites = find_checkpoints(module)
+    if ckpt_id is not None:
+        matches = [s for s in sites if s.ckpt_id == ckpt_id]
+        if not matches:
+            raise ValueError(f"no checkpoint with id {ckpt_id}")
+        return _strip_at(module, matches[0]), matches[0]
+    candidates = [s for s in sites if not s.is_boot and not s.is_exit]
+    candidates += [s for s in sites if not s.is_boot and s.is_exit]
+    if not candidates:
+        raise ValueError("module has no removable checkpoint")
+    if validate is not None:
+        for site in candidates:
+            broken = _strip_at(module, site)
+            if validate(broken):
+                return broken, site
+    return _strip_at(module, candidates[0]), candidates[0]

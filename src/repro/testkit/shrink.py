@@ -1,0 +1,73 @@
+"""Counterexample shrinking for failing power schedules.
+
+A failing run is characterized by the list of timeline offsets its power
+failures struck at (``ExecutionReport.failure_offsets``); replaying that
+list through ``PowerManager.scheduled`` reproduces the run exactly
+(execution is deterministic). Shrinking then minimizes the schedule in two
+passes:
+
+1. **greedy deletion** — repeatedly drop any offset whose removal keeps
+   the violation (a ddmin-style pass; most failures need only one or two
+   of the original failure points);
+2. **per-offset binary search** — bisect each surviving offset toward the
+   smallest value that still fails. Failure behaviour is not globally
+   monotone in the offset, so this is a best-effort descent: every
+   accepted midpoint is re-verified, and the last *confirmed-failing*
+   value wins.
+
+The predicate is an arbitrary callable, so the same shrinker serves the
+sweep (single/double injections), the differential grid (replayed periodic
+failures) and the stochastic fuzzer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+
+def shrink_schedule(
+    schedule: Sequence[int],
+    still_fails: Callable[[Tuple[int, ...]], bool],
+    max_runs: int = 200,
+) -> Tuple[Tuple[int, ...], int]:
+    """Minimize a failing schedule; returns ``(shrunk, runs_used)``.
+
+    ``still_fails`` must return True when the candidate schedule still
+    exhibits the original violation. The input schedule is assumed
+    failing; it is returned unchanged if no smaller schedule fails within
+    the ``max_runs`` verification budget.
+    """
+    best: List[int] = sorted(int(o) for o in schedule)
+    runs = 0
+
+    def attempt(candidate: List[int]) -> bool:
+        nonlocal runs
+        runs += 1
+        return still_fails(tuple(candidate))
+
+    # Pass 1: greedy deletion to a 1-minimal subset.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for i in range(len(best)):
+            if runs >= max_runs:
+                break
+            candidate = best[:i] + best[i + 1 :]
+            if attempt(candidate):
+                best = candidate
+                changed = True
+                break
+
+    # Pass 2: bisect each offset toward its smallest failing value.
+    for i in range(len(best)):
+        lo = 0 if i == 0 else best[i - 1] + 1
+        hi = best[i]  # confirmed failing
+        while lo < hi and runs < max_runs:
+            mid = (lo + hi) // 2
+            if attempt(best[:i] + [mid] + best[i + 1 :]):
+                hi = mid
+            else:
+                lo = mid + 1
+        best[i] = hi
+
+    return tuple(best), runs

@@ -134,6 +134,18 @@ class TestPowerManager:
         assert power.consume(60.0, 1)  # 120 > 100
         assert power.failures == 1
 
+    def test_budget_boundary_is_inclusive(self):
+        """Unified boundary semantic: consuming *exactly* the budget is
+        safe in every mode; the failure strikes one unit beyond. A
+        placement whose worst-case segment equals EB must survive."""
+        power = PowerManager.energy_budget(100.0)
+        assert not power.consume(100.0, 1)  # exactly EB: no failure
+        assert power.consume(0.5, 1)  # first nJ beyond: failure
+        cycles = PowerManager.periodic(tbpf=100)
+        assert not cycles.consume(0.0, 100)  # exactly TBPF: no failure
+        assert cycles.consume(0.0, 1)
+        assert cycles.failures == 1
+
     def test_recharge_resets(self):
         power = PowerManager.energy_budget(100.0)
         power.consume(90.0, 1)
@@ -144,7 +156,8 @@ class TestPowerManager:
     def test_periodic_cycles(self):
         power = PowerManager.periodic(tbpf=100)
         assert not power.consume(0.0, 99)
-        assert power.consume(0.0, 1)
+        assert not power.consume(0.0, 1)  # reaches exactly TBPF: inclusive
+        assert power.consume(0.0, 1)  # exceeds it
 
     def test_remaining_fraction(self):
         power = PowerManager.energy_budget(200.0)

@@ -146,6 +146,87 @@ def test_rockclimb_random_programs(seed):
     assert report.power_failures == 0, seed
 
 
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(0, 1 << 30),
+    st.sampled_from(["ratchet", "mementos", "alfred"]),
+)
+def test_rollback_baselines_random_programs(seed, technique):
+    """Fuzz the roll-back-mode policies: under a generous periodic window
+    they must complete and reproduce the continuous-power reference (their
+    snapshots make re-execution transparent); under tight stochastic
+    harvesting, starvation is legitimate but a *completed* run must still
+    match — and the emulation must never abort with an internal error."""
+    from repro.baselines import compile_alfred, compile_mementos, compile_ratchet
+    from repro.core.verify import run_against_reference
+    from repro.emulator import PowerManager
+
+    compilers = {
+        "ratchet": compile_ratchet,
+        "mementos": compile_mementos,
+        "alfred": compile_alfred,
+    }
+    rng = random.Random(seed)
+    source = generate_program(rng)
+    module = compile_source(source)
+    n_arr = module.globals["data"].count
+    inputs = {"data": [random.Random(seed).randrange(0, 500) for _ in range(n_arr)]}
+
+    plat = platform()
+    compiled = compilers[technique](module, plat)
+    assert compiled.feasible, (seed, technique, compiled.infeasible_reason)
+
+    generous = run_against_reference(
+        compiled.module, module, MODEL, compiled.policy,
+        PowerManager.periodic(40_000), vm_size=plat.vm_size, inputs=inputs,
+    )
+    assert not generous.crashed, (seed, technique, generous.failure_reason)
+    assert generous.completed, (seed, technique, generous.failure_reason)
+    assert generous.outputs_match, (seed, technique)
+
+    tight = run_against_reference(
+        compiled.module, module, MODEL, compiled.policy,
+        PowerManager.stochastic(mean_cycles=3_000.0, seed=seed & 0xFF),
+        vm_size=plat.vm_size, inputs=inputs,
+    )
+    assert not tight.crashed, (seed, technique, tight.failure_reason)
+    if tight.completed:
+        assert tight.outputs_match, (seed, technique, tight.failure_offsets)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 1 << 30))
+def test_allnvm_random_programs(seed):
+    """All-NVM keeps SCHEMATIC's placement (and its wait-mode guarantee)
+    while pinning every variable to NVM: under the compile-time budget it
+    must complete with zero power failures and matching outputs."""
+    from repro.baselines import compile_allnvm
+    from repro.core.verify import run_against_reference
+    from repro.emulator import PowerManager
+
+    rng = random.Random(seed)
+    source = generate_program(rng)
+    module = compile_source(source)
+    n_arr = module.globals["data"].count
+
+    def gen(run):
+        r = random.Random((seed % 1000) * 100 + run)
+        return {"data": [r.randrange(0, 500) for _ in range(n_arr)]}
+
+    eb = 900.0
+    plat = platform(eb=eb)
+    compiled = compile_allnvm(module, plat, input_generator=gen)
+    assert compiled.feasible, (seed, compiled.infeasible_reason)
+    verdict = run_against_reference(
+        compiled.module, module, MODEL, compiled.policy,
+        PowerManager.energy_budget(eb), vm_size=plat.vm_size,
+        inputs=gen(777),
+    )
+    assert verdict.completed, (seed, verdict.failure_reason)
+    assert verdict.outputs_match, seed
+    assert verdict.power_failures == 0, seed
+
+
 def test_false_maxiter_annotation_is_garbage_in_garbage_out():
     """@maxiter is a trusted input (paper SIII-B2: loop bounds "provided
     using annotations"). A *false* bound voids the forward-progress
