@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test sweep fuzz bench bench-full experiments experiments-quick export examples clean
+.PHONY: test sweep check fuzz bench bench-full experiments experiments-quick export examples clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +12,12 @@ test:
 # `-m "not sweep"` default in pyproject.toml).
 sweep:
 	$(PYTHON) -m pytest tests/ -m sweep
+
+# Static certification of every program x technique pair (corpus +
+# benchmarks; infeasible pairs are skipped). Exit code reflects gating
+# findings, so this doubles as a CI gate.
+check:
+	$(PYTHON) -m repro.staticcheck --programs all --techniques all
 
 fuzz:
 	$(PYTHON) -m repro.testkit fuzz

@@ -1,0 +1,91 @@
+"""Generic forward dataflow solver over a CFG.
+
+A small worklist engine shared by the definite-assignment check in
+:mod:`repro.ir.validate` and the static checkers in
+:mod:`repro.staticcheck` (WAR exposure, VM-residency). The solver is
+deliberately agnostic about the state domain: callers provide
+
+- ``entry_state`` — the state on entry to the function's entry block;
+- ``transfer(label, state) -> state`` — the effect of one whole block
+  (must be a pure function of its inputs);
+- ``join(a, b) -> state`` — the confluence operator (union for
+  may-analyses, intersection for must-analyses).
+
+States must support ``==``; immutable values (frozensets, tuples) are the
+intended currency. Termination is the caller's obligation — ``transfer``
+and ``join`` must be monotone over a finite-height lattice — but the
+solver guards against runaway iteration and raises
+:class:`~repro.errors.AnalysisError` instead of spinning.
+
+Blocks unreachable from the entry receive no state: they are absent from
+the returned maps, and ``transfer`` is never called for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, TypeVar
+
+from repro.analysis.cfg import CFG
+from repro.errors import AnalysisError
+
+S = TypeVar("S")
+
+
+@dataclass
+class ForwardSolution:
+    """Fixpoint states per reachable block label."""
+
+    block_in: Dict[str, object]
+    block_out: Dict[str, object]
+    passes: int  # sweeps over the CFG until the fixpoint settled
+
+
+def solve_forward(
+    cfg: CFG,
+    entry_state: S,
+    transfer: Callable[[str, S], S],
+    join: Callable[[S, S], S],
+) -> ForwardSolution:
+    """Iterate ``transfer`` to a fixpoint in reverse postorder.
+
+    Reverse postorder visits every block after its forward predecessors,
+    so acyclic regions settle in one sweep and loops need one extra sweep
+    per nesting level — the classic bound for reducible CFGs.
+    """
+    order = cfg.reverse_postorder()
+    block_in: Dict[str, S] = {}
+    block_out: Dict[str, S] = {}
+
+    # Any monotone chain settles within height * blocks sweeps; reducible
+    # CFGs need far fewer. The margin only exists to turn a non-monotone
+    # transfer function into a diagnosable error.
+    max_passes = 2 * len(order) + 8
+
+    passes = 0
+    changed = True
+    while changed:
+        passes += 1
+        if passes > max_passes:
+            raise AnalysisError(
+                f"{cfg.function.name}: dataflow did not converge in "
+                f"{max_passes} passes (non-monotone transfer function?)"
+            )
+        changed = False
+        for label in order:
+            state: S | None = entry_state if label == cfg.entry else None
+            for pred in cfg.preds[label]:
+                out = block_out.get(pred)
+                if out is None:
+                    continue
+                state = out if state is None else join(state, out)
+            if state is None:
+                continue  # no reachable predecessor yet
+            if label in block_in and state == block_in[label]:
+                continue  # transfer is pure: same in-state, same out-state
+            block_in[label] = state
+            out_state = transfer(label, state)
+            if label not in block_out or out_state != block_out[label]:
+                block_out[label] = out_state
+                changed = True
+    return ForwardSolution(block_in=block_in, block_out=block_out, passes=passes)

@@ -37,6 +37,13 @@ class FunctionSummary:
         reads / writes: caller-visible variable names possibly read/written
             (globals and formal ref-parameter names; callers substitute
             actuals via :meth:`FunctionAccessSummaries.substitute`).
+        reads_all / writes_all: like reads/writes but *including* the
+            callee's own locals (and, transitively, its callees' locals).
+            Locals are statically allocated, so two consecutive calls to
+            the same function touch the same storage — analyses that care
+            about physical NVM state across calls (RATCHET's WAR-breaking
+            placement, the static idempotency checker) need the full sets,
+            not just the caller-visible ones.
         counts: loop-weighted access counts over the same name space.
         ref_params: formal mangled name per by-reference parameter index
             (None for scalar positions).
@@ -44,6 +51,8 @@ class FunctionSummary:
 
     reads: Set[str] = field(default_factory=set)
     writes: Set[str] = field(default_factory=set)
+    reads_all: Set[str] = field(default_factory=set)
+    writes_all: Set[str] = field(default_factory=set)
     counts: AccessCounts = field(default_factory=AccessCounts)
     ref_params: List[Optional[str]] = field(default_factory=list)
 
@@ -89,6 +98,7 @@ class FunctionAccessSummaries:
                 if isinstance(inst, Load):
                     name = inst.var.name
                     summary.counts.add_read(name, weight)
+                    summary.reads_all.add(name)
                     if name not in local_names:
                         summary.reads.add(name)
                 elif isinstance(inst, Store):
@@ -96,6 +106,7 @@ class FunctionAccessSummaries:
                     summary.counts.add_write(
                         name, weight, full=not inst.var.is_array
                     )
+                    summary.writes_all.add(name)
                     if name not in local_names:
                         summary.writes.add(name)
                 elif isinstance(inst, Call):
@@ -111,6 +122,13 @@ class FunctionAccessSummaries:
                         if summary_name not in local_names:
                             summary.writes.add(summary_name)
                         summary.counts.add_write(summary_name, weight)
+                    # Full sets: ref-substituted caller-visible names plus
+                    # every (transitive) callee local, which stays under
+                    # its own mangled name.
+                    for read in callee_summary.reads_all:
+                        summary.reads_all.add(mapping.get(read, read))
+                    for write in callee_summary.writes_all:
+                        summary.writes_all.add(mapping.get(write, write))
 
         # Drop locals from the caller-visible count space too? No: counts
         # keep local names so the function's own analysis can reuse them;
@@ -141,6 +159,20 @@ class FunctionAccessSummaries:
         mapping = self._ref_mapping(call, callee)
         reads = {mapping.get(n, n) for n in callee.reads}
         writes = {mapping.get(n, n) for n in callee.writes}
+        return reads, writes
+
+    def call_effects_full(self, call: Call) -> Tuple[Set[str], Set[str]]:
+        """Like :meth:`call_effects`, but including callee locals.
+
+        Locals are statically allocated: consecutive calls to the same
+        function reuse the same NVM storage, so a read the callee leaves
+        exposed can form a WAR hazard with a write performed by a *later*
+        call. Placement passes that break WAR dependencies must see them.
+        """
+        callee = self.summaries[call.callee]
+        mapping = self._ref_mapping(call, callee)
+        reads = {mapping.get(n, n) for n in callee.reads_all}
+        writes = {mapping.get(n, n) for n in callee.writes_all}
         return reads, writes
 
     def counts_at_call(self, call: Call) -> AccessCounts:

@@ -118,7 +118,13 @@ class _WarAnalysis:
                     new_ckpts.add((label, idx))
                     reads = set()
             elif isinstance(inst, Call):
-                callee_reads, callee_writes = self.summaries.call_effects(inst)
+                # Full (locals-included) effect sets: callee locals are
+                # statically allocated, so a read one call leaves exposed
+                # aliases the storage a later call to the same function
+                # rewrites — a WAR hazard no caller-visible set shows.
+                callee_reads, callee_writes = (
+                    self.summaries.call_effects_full(inst)
+                )
                 if callee_writes & reads:
                     new_ckpts.add((label, idx))
                     reads = set()

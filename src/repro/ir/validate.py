@@ -31,7 +31,9 @@ def _fail(where: str, message: str) -> None:
     raise IRValidationError(f"{where}: {message}")
 
 
-def _validate_function(module: Module, func: Function) -> None:
+def _validate_function(
+    module: Module, func: Function, module_ckpt_ids: Set[int]
+) -> None:
     where = f"@{func.name}"
     if not func.blocks:
         _fail(where, "function has no blocks")
@@ -114,8 +116,11 @@ def _validate_function(module: Module, func: Function) -> None:
                     _fail(bwhere, f"{inst}: missing return value")
 
             if isinstance(inst, (Checkpoint, CondCheckpoint)):
-                if inst.ckpt_id in ckpt_ids:
-                    _fail(bwhere, f"{inst}: duplicate checkpoint id in function")
+                # Uniqueness is module-wide: snapshot ids, testkit step
+                # labels ("ckptN:save") and sabotage victim selection all
+                # key checkpoints by bare id without a function qualifier.
+                if inst.ckpt_id in ckpt_ids or inst.ckpt_id in module_ckpt_ids:
+                    _fail(bwhere, f"{inst}: duplicate checkpoint id in module")
                 ckpt_ids.add(inst.ckpt_id)
 
     # Every non-entry block should be reachable from the entry.
@@ -131,6 +136,54 @@ def _validate_function(module: Module, func: Function) -> None:
     if unreachable:
         _fail(where, f"unreachable blocks: {sorted(unreachable)}")
 
+    module_ckpt_ids |= ckpt_ids
+    _check_definite_assignment(func)
+
+
+def _check_definite_assignment(func: Function) -> None:
+    """Every register use must be dominated by a definition.
+
+    The per-instruction check above only proves each used register is
+    defined *somewhere* in the function; a definition in a sibling branch
+    or later block would satisfy it while the running program reads
+    garbage. This pass runs a forward must-dataflow (sets of definitely
+    assigned registers, intersection at joins) and re-walks each block
+    with the settled in-states.
+    """
+    # Imported lazily: repro.analysis builds on repro.ir, and importing it
+    # at module scope would create a package cycle.
+    from repro.analysis.cfg import CFG
+    from repro.analysis.dataflow import solve_forward
+
+    entry = frozenset(
+        reg.name for reg in func.arg_registers() if reg is not None
+    )
+
+    def transfer(label: str, state: frozenset) -> frozenset:
+        assigned = set(state)
+        for inst in func.blocks[label].instructions:
+            for reg in inst.defs():
+                assigned.add(reg.name)
+        return frozenset(assigned)
+
+    solution = solve_forward(
+        CFG(func), entry, transfer, lambda a, b: a & b
+    )
+    for label, state in solution.block_in.items():
+        assigned = set(state)
+        bwhere = f"@{func.name}/.{label}"
+        for inst in func.blocks[label].instructions:
+            for reg in inst.uses():
+                if reg.name not in assigned:
+                    _fail(
+                        bwhere,
+                        f"{inst}: use of possibly-undefined register "
+                        f"%{reg.name} (no definition on some path from "
+                        f"entry)",
+                    )
+            for reg in inst.defs():
+                assigned.add(reg.name)
+
 
 def validate_module(module: Module) -> Module:
     """Validate a module; raises :class:`IRValidationError` on any problem."""
@@ -143,6 +196,7 @@ def validate_module(module: Module) -> Module:
             "entry function must take no parameters "
             "(inputs are provided through global variables)",
         )
+    module_ckpt_ids: Set[int] = set()
     for func in module.functions.values():
-        _validate_function(module, func)
+        _validate_function(module, func, module_ckpt_ids)
     return module

@@ -1,0 +1,46 @@
+"""Compile-time intermittent-safety checker.
+
+Certifies a transformed module *without executing it*:
+
+- :mod:`repro.staticcheck.war` — WAR/idempotency analysis: replay
+  regions that re-execute non-idempotently after a power failure;
+- :mod:`repro.staticcheck.energy` — static energy certification: every
+  checkpoint-to-checkpoint segment fits the capacitor budget EB;
+- :mod:`repro.staticcheck.alloc` — VM-residency consistency between
+  accesses and the checkpointed allocation, plus checkpoint metadata
+  sanity and VM capacity.
+
+Findings are classified by the rule catalog (:mod:`.rules`), carry
+precise locations, and render as text or JSON. Entry points:
+:func:`check_module` / :func:`check_compiled` from the library,
+``python -m repro.staticcheck`` from a shell. The dynamic
+fault-injection testkit (:mod:`repro.testkit`) is the ground truth this
+checker is cross-validated against; see ``docs/static-analysis.md``.
+"""
+
+from repro.staticcheck.checker import CheckReport, check_compiled, check_module
+from repro.staticcheck.findings import Finding, Location, Severity
+from repro.staticcheck.rules import RULES, Rule, RuleConfig, get_rule
+from repro.staticcheck.war import WarSummary, analyze_war
+from repro.staticcheck.alloc import ResidencySummary, analyze_residency
+from repro.staticcheck.energy import EnergyCertifier, StepEffect, certify_energy
+
+__all__ = [
+    "CheckReport",
+    "check_compiled",
+    "check_module",
+    "Finding",
+    "Location",
+    "Severity",
+    "RULES",
+    "Rule",
+    "RuleConfig",
+    "get_rule",
+    "WarSummary",
+    "analyze_war",
+    "ResidencySummary",
+    "analyze_residency",
+    "EnergyCertifier",
+    "StepEffect",
+    "certify_energy",
+]

@@ -1,0 +1,211 @@
+"""CLI for the compile-time intermittent-safety checker.
+
+Examples::
+
+    # Certify the eight MiBench2 benchmarks as transformed by SCHEMATIC:
+    python -m repro.staticcheck
+
+    # One program, every technique, machine-readable:
+    python -m repro.staticcheck --programs crc --techniques all --json
+
+    # Prove the checker has teeth: strip a checkpoint first and expect
+    # at least one gating finding per program (exit 1 when one slips by):
+    python -m repro.staticcheck --sabotage
+
+    # Show the rule catalog:
+    python -m repro.staticcheck --list-rules
+
+Exit status: 0 when every compiled module is certified (no finding at or
+above ``--fail-on``; with ``--sabotage``: when every broken module is
+flagged), 1 otherwise, 2 on usage errors (unknown program, technique,
+rule or severity — the message lists the valid choices).
+
+Wait-mode techniques (:data:`repro.testkit.corpus.WAIT_MODE_TECHNIQUES`)
+get their WAR rules downgraded to *info*: under the compile-time budget
+the runtime was built for, a wait-mode system never loses power
+mid-segment (the §II-B guarantee — which is exactly what the energy
+certifier proves here), so replay regions are never re-executed
+in-contract and WAR exposure is informational. Roll-back techniques
+replay as their *normal* recovery path, so for them WAR keeps its
+default severity — it is the contract RATCHET exists to discharge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.baselines import COMPILERS
+from repro.energy import msp430fr5969_platform
+from repro.errors import ReproError
+from repro.programs import BENCHMARK_NAMES
+from repro.staticcheck.checker import CheckReport, check_compiled
+from repro.staticcheck.findings import Severity
+from repro.staticcheck.rules import RuleConfig, get_rule, render_catalog
+from repro.testkit.corpus import (
+    WAIT_MODE_TECHNIQUES,
+    available_programs,
+    compile_for,
+    load_program,
+)
+from repro.testkit.sabotage import strip_checkpoint
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _expand_programs(items: List[str]) -> List[str]:
+    if items == ["all"]:
+        return available_programs()
+    return items
+
+
+def _expand_techniques(items: List[str]) -> List[str]:
+    if items == ["all"]:
+        return sorted(COMPILERS)
+    return items
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--programs", type=_csv, default=list(BENCHMARK_NAMES),
+        help="comma list, or 'all' for corpus + benchmarks "
+        "(default: the eight MiBench2 benchmarks)",
+    )
+    parser.add_argument(
+        "--techniques", type=_csv, default=["schematic"],
+        help=f"comma list, or 'all' for {', '.join(sorted(COMPILERS))} "
+        "(default: schematic)",
+    )
+    parser.add_argument("--eb", type=float, default=3000.0,
+                        help="energy budget in nJ (default 3000)")
+    parser.add_argument("--vm-size", type=int, default=None,
+                        help="override the platform's VM size in bytes")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of text")
+    parser.add_argument("--sabotage", action="store_true",
+                        help="strip a checkpoint from each module first; "
+                        "expect every module to be flagged")
+    parser.add_argument("--suppress", type=_csv, default=[],
+                        metavar="RULES", help="comma list of rule ids to drop")
+    parser.add_argument(
+        "--fail-on", default="error",
+        help="gate severity: error, warning or info (default error)",
+    )
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _configure(technique: str, suppress: List[str]) -> RuleConfig:
+    overrides: Dict[str, Severity] = {}
+    if technique in WAIT_MODE_TECHNIQUES:
+        overrides = {"WAR001": Severity.INFO, "WAR002": Severity.INFO}
+    for rule_id in suppress:
+        get_rule(rule_id)  # raises with the valid choices
+    return RuleConfig(
+        suppressed=frozenset(suppress), severity_overrides=overrides
+    )
+
+
+def _check_pair(
+    program: str,
+    technique: str,
+    args: argparse.Namespace,
+) -> Optional[CheckReport]:
+    """Compile and certify one (program, technique) pair; None when the
+    technique declares the program infeasible (Table I)."""
+    bench = load_program(program)
+    platform = msp430fr5969_platform(eb=args.eb)
+    if args.vm_size is not None:
+        platform = platform.with_vm_size(args.vm_size)
+    compiled = compile_for(
+        technique,
+        bench.module,
+        platform,
+        input_generator=bench.input_generator(),
+    )
+    if not compiled.feasible:
+        return None
+    if args.sabotage:
+        broken, site = strip_checkpoint(compiled.module)
+        compiled.module = broken
+        compiled.extra["sabotaged_checkpoint"] = site
+    report = check_compiled(
+        compiled, platform, config=_configure(technique, args.suppress)
+    )
+    report.stats["program"] = program
+    if args.sabotage:
+        report.stats["sabotaged_checkpoint"] = (
+            f"ckpt{compiled.extra['sabotaged_checkpoint'].ckpt_id}"
+        )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_catalog())
+        return 0
+    try:
+        threshold = Severity.parse(args.fail_on)
+        programs = _expand_programs(args.programs)
+        techniques = _expand_techniques(args.techniques)
+        failures = 0
+        documents = []
+        for program in programs:
+            for technique in techniques:
+                report = _check_pair(program, technique, args)
+                header = f"check {program}/{technique} (eb={args.eb:g} nJ)"
+                if report is None:
+                    if not args.json:
+                        print(f"{header}: infeasible, skipped")
+                    else:
+                        documents.append({
+                            "program": program, "technique": technique,
+                            "infeasible": True,
+                        })
+                    continue
+                gated = not report.ok(threshold)
+                if args.sabotage:
+                    verdict = (
+                        "sabotage caught" if gated else "SABOTAGE MISSED"
+                    )
+                    failures += 0 if gated else 1
+                else:
+                    verdict = "FAILED" if gated else "certified"
+                    failures += 1 if gated else 0
+                if args.json:
+                    doc = report.to_json()
+                    doc["program"] = program
+                    doc["technique"] = technique
+                    doc["verdict"] = verdict
+                    documents.append(doc)
+                else:
+                    print(f"{header}: {verdict}")
+                    body = report.render()
+                    print("  " + body.replace("\n", "\n  "))
+        if args.json:
+            json.dump({"reports": documents, "failures": failures},
+                      sys.stdout, indent=2)
+            print()
+        return 1 if failures else 0
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""The checker facade: run every analysis over one transformed module.
+
+:func:`check_module` is the library entry point; the CLI
+(``python -m repro.staticcheck``) and the cross-validation tests both go
+through it. It decides which analyses apply from the runtime policy:
+
+- WAR/idempotency and residency consistency apply to every technique;
+- energy certification applies only to wait-mode policies — roll-back
+  baselines make progress by replaying, so they have no segment-fits-EB
+  obligation to certify.
+
+Raw findings from the analyzers pass through the :class:`RuleConfig`
+(suppression, severity overrides) and come back sorted most-severe
+first in a :class:`CheckReport` that renders as text or JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines import CompiledTechnique
+from repro.emulator.runtime import CheckpointPolicy
+from repro.energy.model import EnergyModel
+from repro.energy.platform import Platform
+from repro.ir.module import Module
+from repro.ir.values import MemorySpace
+from repro.staticcheck.alloc import analyze_residency, check_checkpoint_metadata
+from repro.staticcheck.common import (
+    CHECKPOINT_KINDS,
+    FindingSink,
+    iter_instructions,
+)
+from repro.staticcheck.energy import certify_energy
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.rules import RuleConfig
+from repro.staticcheck.war import analyze_war
+
+
+@dataclass
+class CheckReport:
+    """Everything one :func:`check_module` run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Context for the report header / JSON envelope: analysis coverage
+    #: and the certified worst-case window when energy ran.
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def max_severity(self) -> Optional[Severity]:
+        return max((f.severity for f in self.findings), default=None)
+
+    def count_at_least(self, threshold: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity >= threshold)
+
+    def ok(self, threshold: Severity = Severity.ERROR) -> bool:
+        """Certified: no finding at or above ``threshold``."""
+        return self.count_at_least(threshold) == 0
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        counts = {s: 0 for s in Severity}
+        for f in self.findings:
+            counts[f.severity] += 1
+        summary = ", ".join(
+            f"{n} {s}{'s' if n != 1 else ''}"
+            for s, n in sorted(counts.items(), reverse=True)
+            if n
+        )
+        lines.append(f"{len(self.findings)} findings"
+                     + (f" ({summary})" if summary else ""))
+        if "worst_window_nj" in self.stats:
+            lines.append(
+                f"worst-case window {self.stats['worst_window_nj']:.1f} nJ "
+                f"of EB={self.stats['eb_nj']:g} nJ"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "findings": [f.to_json() for f in self.findings],
+            "stats": dict(self.stats),
+        }
+
+
+def check_module(
+    module: Module,
+    model: Optional[EnergyModel] = None,
+    *,
+    policy: Optional[CheckpointPolicy] = None,
+    eb: Optional[float] = None,
+    vm_size: Optional[int] = None,
+    default_space: MemorySpace = MemorySpace.NVM,
+    config: Optional[RuleConfig] = None,
+) -> CheckReport:
+    """Statically certify one transformed module.
+
+    ``policy`` selects the runtime semantics the module will execute
+    under (wait mode vs roll-back, skippable checkpoints); without one,
+    checkpoints are assumed always-taken and energy is not certified.
+    ``model`` + ``eb`` enable the energy certifier (wait mode only).
+    """
+    config = config or RuleConfig()
+    sink = FindingSink()
+    policy_may_skip = policy is not None and policy.skip_threshold is not None
+    wait_mode = policy is not None and policy.wait_for_full_recharge
+
+    checkpoints = sum(
+        1
+        for func in module.functions.values()
+        for _, _, inst in iter_instructions(func)
+        if isinstance(inst, CHECKPOINT_KINDS)
+    )
+
+    check_checkpoint_metadata(module, sink, vm_size=vm_size)
+    analyze_war(
+        module, sink,
+        policy_may_skip=policy_may_skip, default_space=default_space,
+    )
+    analyze_residency(
+        module, sink,
+        policy_may_skip=policy_may_skip, default_space=default_space,
+    )
+
+    stats: Dict[str, object] = {
+        "functions": len(module.functions),
+        "checkpoints": checkpoints,
+        "analyses": ["metadata", "war", "residency"],
+    }
+    if wait_mode and model is not None and eb is not None:
+        certifier = certify_energy(module, model, eb, sink)
+        stats["analyses"].append("energy")
+        stats["worst_window_nj"] = round(certifier.worst_window, 3)
+        stats["eb_nj"] = eb
+
+    findings = []
+    for finding in sink.findings:
+        kept = config.apply(finding)
+        if kept is not None:
+            findings.append(kept)
+    findings.sort(key=Finding.sort_key)
+    return CheckReport(findings=findings, stats=stats)
+
+
+def check_compiled(
+    compiled: CompiledTechnique,
+    platform: Platform,
+    config: Optional[RuleConfig] = None,
+) -> CheckReport:
+    """Certify a :class:`CompiledTechnique` against its own platform —
+    the policy it was compiled for, the platform's EB and VM size."""
+    report = check_module(
+        compiled.module,
+        platform.model,
+        policy=compiled.policy,
+        eb=platform.eb,
+        vm_size=platform.vm_size,
+        config=config,
+    )
+    report.stats["technique"] = compiled.name
+    return report

@@ -1,0 +1,90 @@
+"""Findings: what the static checker reports.
+
+A :class:`Finding` pins one rule violation to a precise location
+(``function/block/instruction``) and renders both as a human-readable
+diagnostic line and as a JSON-able dict, so the CLI can serve terminals
+and CI tooling from the same objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severities, ordered so comparisons read naturally:
+    ``Severity.ERROR > Severity.WARNING``."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; "
+                f"choose from {[str(s) for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Location:
+    """A program point: function, block label, instruction index.
+
+    ``block``/``index`` may be None for function-level findings (e.g. an
+    unbounded loop is reported at its header block without an index).
+    """
+
+    function: str
+    block: Optional[str] = None
+    index: Optional[int] = None
+
+    def __str__(self) -> str:
+        text = f"@{self.function}"
+        if self.block is not None:
+            text += f"/.{self.block}"
+            if self.index is not None:
+                text += f"[{self.index}]"
+        return text
+
+    def sort_key(self):
+        return (self.function, self.block or "", self.index or -1)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule_id: str
+    severity: Severity
+    location: Location
+    message: str
+    #: Structured context (variable name, measured window, budget, ...);
+    #: values must be JSON-serializable.
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return f"{self.rule_id} {self.severity} {self.location}: {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "function": self.location.function,
+            "block": self.location.block,
+            "index": self.location.index,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def sort_key(self):
+        # Most severe first, then stable source order.
+        return (-int(self.severity), self.location.sort_key(), self.rule_id)

@@ -1,0 +1,157 @@
+"""The rule catalog: ids, default severities, suppression.
+
+Every diagnostic the checker can emit is declared here with a stable id,
+so findings are suppressible (``--suppress WAR002``) and re-classifiable
+(severity overrides) without touching analysis code. The analyzers emit
+*candidate* findings at the rule's default severity; a
+:class:`RuleConfig` then drops suppressed rules and rewrites severities
+— that is also how the CLI downgrades in-contract-only rules for
+techniques whose runtime contract excludes the triggering schedules
+(wait mode, see :data:`repro.testkit.corpus.WAIT_MODE_TECHNIQUES`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.staticcheck.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostic the checker can produce."""
+
+    rule_id: str
+    title: str
+    default_severity: Severity
+    description: str
+
+
+_RULES: List[Rule] = [
+    Rule(
+        "WAR001",
+        "scalar NVM write-after-read",
+        Severity.ERROR,
+        "A scalar NVM variable is read and later written within one "
+        "replay region (no taken checkpoint between the accesses). A "
+        "power failure after the write replays the region with the "
+        "updated value — the re-execution is not idempotent and the "
+        "final memory state can differ from a continuous-power run.",
+    ),
+    Rule(
+        "WAR002",
+        "array NVM write-after-read",
+        Severity.WARNING,
+        "An NVM array is read and later written within one replay "
+        "region. The analysis is element-insensitive: the read and the "
+        "write may target different elements, so this is a may-alias "
+        "warning rather than a definite violation.",
+    ),
+    Rule(
+        "ENER001",
+        "energy window exceeds the budget",
+        Severity.ERROR,
+        "The worst-case energy consumed between two successive "
+        "checkpoints (including the closing save) exceeds the capacitor "
+        "budget EB. A wait-mode runtime compiled for EB would die "
+        "mid-segment — the forward-progress guarantee (paper 2II-B) "
+        "does not hold.",
+    ),
+    Rule(
+        "ENER002",
+        "unbounded checkpoint-free loop",
+        Severity.ERROR,
+        "A loop has a checkpoint-free path from header to latch, no "
+        "trip bound, and no conditional latch checkpoint: its "
+        "worst-case checkpoint-to-checkpoint energy is unbounded and "
+        "cannot be certified against any finite EB.",
+    ),
+    Rule(
+        "ALLOC001",
+        "VM access without residency",
+        Severity.ERROR,
+        "An instruction accesses a variable in VM, but no checkpoint on "
+        "some path to it established VM residency for that variable "
+        "(alloc_after). The access faults even under continuous power.",
+    ),
+    Rule(
+        "ALLOC002",
+        "NVM access to a VM-resident variable",
+        Severity.WARNING,
+        "An instruction accesses the NVM home of a variable that is "
+        "VM-resident at that point. The NVM copy is stale until the "
+        "next checkpoint save flushes it, so the access may observe an "
+        "out-of-date value.",
+    ),
+    Rule(
+        "ALLOC003",
+        "VM working set exceeds capacity",
+        Severity.ERROR,
+        "The VM variables a checkpoint's alloc_after maps into volatile "
+        "memory do not fit the platform's VM size.",
+    ),
+    Rule(
+        "CKPT001",
+        "checkpoint references unknown variable",
+        Severity.ERROR,
+        "A checkpoint's save_vars/restore_vars/alloc_after names a "
+        "variable that does not exist in the module.",
+    ),
+    Rule(
+        "CKPT002",
+        "inconsistent checkpoint metadata",
+        Severity.WARNING,
+        "A checkpoint's restore_vars includes a variable its "
+        "alloc_after does not map to VM (the restore would load a "
+        "variable that is not supposed to be VM-resident), or its "
+        "save_vars includes a variable that cannot be VM-resident.",
+    ),
+]
+
+RULES: Dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; choose from {sorted(RULES)}"
+        ) from None
+
+
+def render_catalog() -> str:
+    """The rule catalog as shown by ``--list-rules``."""
+    lines = []
+    for rule in _RULES:
+        lines.append(f"{rule.rule_id} [{rule.default_severity}] {rule.title}")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Suppression and severity policy applied to candidate findings."""
+
+    suppressed: FrozenSet[str] = frozenset()
+    severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for rule_id in list(self.suppressed) + list(self.severity_overrides):
+            get_rule(rule_id)  # raises on unknown ids
+
+    def apply(self, finding: Finding) -> Optional[Finding]:
+        """The finding as configured, or None when suppressed."""
+        if finding.rule_id in self.suppressed:
+            return None
+        override = self.severity_overrides.get(finding.rule_id)
+        if override is None or override == finding.severity:
+            return finding
+        return Finding(
+            rule_id=finding.rule_id,
+            severity=override,
+            location=finding.location,
+            message=finding.message,
+            details=finding.details,
+        )

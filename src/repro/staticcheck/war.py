@@ -1,0 +1,250 @@
+"""WAR/idempotency analysis: non-idempotent replay regions.
+
+A power failure rolls execution back to the last *taken* checkpoint and
+re-executes the region from there. Re-execution is safe exactly when the
+region is idempotent. VM-resident variables are: the restore rebuilds VM
+from the NVM homes that the snapshot's save flushed, so a replay reads
+the same values as the first attempt. NVM-resident variables are not
+backed up by the snapshot — an NVM *write* after an NVM *read* of the
+same variable inside one region makes the replay observe its own output
+(the write-after-read hazard of Ratchet and the Surbatovich formal
+model), and the final memory state can diverge from a continuous-power
+run.
+
+The analysis is a forward may-dataflow over each function's CFG. The
+state is the set of NVM variables read since the last taken checkpoint
+on *some* path ("exposed" reads); an NVM store to an exposed variable is
+a finding. A read is only exposed when the variable was not *definitely
+written* earlier in the same region: in ``write; read; write`` the first
+write re-executes before the read on every replay, so the read always
+observes the same value and the region stays idempotent (Ratchet's
+first-access distinction). Only full scalar overwrites count — an array
+store defines one element, so arrays never become definitely-written.
+Conditional checkpoints fire only every ``numit`` iterations and
+policy-skippable checkpoints (MEMENTOS) may be elided, so neither ends a
+region (see :func:`repro.staticcheck.common.checkpoint_clears`).
+
+Calls are handled with callee-first summaries: what a callee may write
+before its first taken checkpoint (joined against the caller's exposed
+reads), whether every path through it checkpoints, and which of its
+reads are still exposed when it returns — with by-reference formals
+substituted by the caller's actuals at each call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import solve_forward
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Load, Store
+from repro.ir.module import Module
+from repro.ir.values import MemorySpace, Variable
+from repro.staticcheck.common import (
+    CHECKPOINT_KINDS,
+    FindingSink,
+    call_ref_mapping,
+    checkpoint_clears,
+    resolve_space,
+    substitute,
+    variable_map,
+)
+from repro.staticcheck.findings import Finding, Location
+from repro.staticcheck.rules import RULES
+
+#: (exposed NVM reads [may], definitely-written NVM scalars [must],
+#:  some path since entry has no taken checkpoint yet)
+_State = Tuple[FrozenSet[str], FrozenSet[str], bool]
+
+
+@dataclass(frozen=True)
+class WarSummary:
+    """Caller-visible WAR behaviour of one function."""
+
+    #: NVM variables the function may write on some path *before* any
+    #: taken checkpoint (they extend the caller's replay region).
+    writes_before_clear: FrozenSet[str]
+    #: NVM reads still exposed when the function returns (no taken
+    #: checkpoint after the read on some path to the exit).
+    exposed_at_exit: FrozenSet[str]
+    #: Every entry-to-exit path passes a taken checkpoint.
+    always_clears: bool
+
+
+def _join(a: _State, b: _State) -> _State:
+    return (a[0] | b[0], a[1] & b[1], a[2] or b[2])
+
+
+class _FunctionWar:
+    """WAR dataflow for one function, given its callees' summaries."""
+
+    def __init__(
+        self,
+        module: Module,
+        func: Function,
+        summaries: Dict[str, WarSummary],
+        variables: Dict[str, Variable],
+        policy_may_skip: bool,
+        default_space: MemorySpace,
+    ):
+        self.module = module
+        self.func = func
+        self.summaries = summaries
+        self.variables = variables
+        self.policy_may_skip = policy_may_skip
+        self.default_space = default_space
+        self.cfg = CFG(func)
+
+    def run(self, sink: Optional[FindingSink]) -> WarSummary:
+        solution = solve_forward(
+            self.cfg,
+            (frozenset(), frozenset(), True),
+            self._transfer,
+            _join,
+        )
+        # Reporting + summary pass with the settled in-states.
+        writes_before_clear: Set[str] = set()
+        for label, state in solution.block_in.items():
+            self._walk(label, state, sink, writes_before_clear)
+
+        exit_state: Optional[_State] = None
+        for label in self.cfg.exit_labels():
+            out = solution.block_out.get(label)
+            if out is None:
+                continue
+            exit_state = out if exit_state is None else _join(exit_state, out)
+        if exit_state is None:  # function cannot return (endless loop)
+            exit_state = (frozenset(), frozenset(), False)
+        return WarSummary(
+            writes_before_clear=frozenset(writes_before_clear),
+            exposed_at_exit=exit_state[0],
+            always_clears=not exit_state[2],
+        )
+
+    # -- transfer ----------------------------------------------------------
+
+    def _transfer(self, label: str, state: _State) -> _State:
+        return self._walk(label, state, sink=None, writes=None)
+
+    def _walk(
+        self,
+        label: str,
+        state: _State,
+        sink: Optional[FindingSink],
+        writes: Optional[Set[str]],
+    ) -> _State:
+        exposed, written, noclear = state
+        for i, inst in enumerate(self.func.blocks[label].instructions):
+            if isinstance(inst, Load):
+                if resolve_space(inst.space, self.default_space) is MemorySpace.NVM:
+                    name = inst.var.name
+                    if name not in written:
+                        exposed = exposed | {name}
+            elif isinstance(inst, Store):
+                if resolve_space(inst.space, self.default_space) is MemorySpace.NVM:
+                    name = inst.var.name
+                    if sink is not None and name in exposed:
+                        self._report(sink, label, i, name, via=None)
+                    if writes is not None and noclear:
+                        writes.add(name)
+                    var = self.variables.get(name)
+                    if var is not None and not (var.is_array or var.is_ref):
+                        written = written | {name}  # full scalar overwrite
+            elif isinstance(inst, CHECKPOINT_KINDS):
+                if checkpoint_clears(inst, self.policy_may_skip):
+                    exposed = frozenset()
+                    written = frozenset()
+                    noclear = False
+            elif isinstance(inst, Call):
+                exposed, written, noclear = self._apply_call(
+                    inst, label, i, exposed, written, noclear, sink, writes
+                )
+        return (exposed, written, noclear)
+
+    def _apply_call(
+        self,
+        call: Call,
+        label: str,
+        index: int,
+        exposed: FrozenSet[str],
+        written: FrozenSet[str],
+        noclear: bool,
+        sink: Optional[FindingSink],
+        writes: Optional[Set[str]],
+    ) -> _State:
+        callee = self.module.function(call.callee)
+        summary = self.summaries[call.callee]
+        mapping = call_ref_mapping(call, callee)
+        callee_writes = substitute(summary.writes_before_clear, mapping)
+        if sink is not None:
+            for name in sorted(exposed & callee_writes):
+                self._report(sink, label, index, name, via=call.callee)
+        if writes is not None and noclear:
+            writes.update(callee_writes)
+        # The callee's still-exposed reads extend the caller's region,
+        # except for variables the caller had definitely rewritten first.
+        callee_exposed = substitute(summary.exposed_at_exit, mapping)
+        if summary.always_clears:
+            # Region restarted inside the callee; whatever the caller
+            # wrote before the call belongs to a finished region.
+            return (callee_exposed, frozenset(), False)
+        return (exposed | (callee_exposed - written), written, noclear)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(
+        self,
+        sink: FindingSink,
+        label: str,
+        index: int,
+        name: str,
+        via: Optional[str],
+    ) -> None:
+        var = self.variables.get(name)
+        is_array = var is not None and (var.is_array or var.is_ref)
+        rule = RULES["WAR002" if is_array else "WAR001"]
+        what = "NVM array" if is_array else "NVM variable"
+        writer = f"call to @{via} writes" if via else "write to"
+        message = (
+            f"{writer} {what} @{name} after a read in the same replay "
+            f"region (no taken checkpoint in between); a power failure "
+            f"here replays the region non-idempotently"
+        )
+        sink.add(
+            Finding(
+                rule_id=rule.rule_id,
+                severity=rule.default_severity,
+                location=Location(self.func.name, label, index),
+                message=message,
+                details={"variable": name, "via": via},
+            )
+        )
+
+
+def analyze_war(
+    module: Module,
+    sink: Optional[FindingSink] = None,
+    policy_may_skip: bool = False,
+    default_space: MemorySpace = MemorySpace.NVM,
+) -> Dict[str, WarSummary]:
+    """Run the WAR analysis over a whole module, callee-first.
+
+    Returns the per-function summaries (exposed for tests and for the
+    checker's statistics); findings land in ``sink`` when given.
+    """
+    variables = variable_map(module)
+    summaries: Dict[str, WarSummary] = {}
+    for name in CallGraph(module).reverse_topological():
+        func = module.function(name)
+        summaries[name] = _FunctionWar(
+            module,
+            func,
+            summaries,
+            variables,
+            policy_may_skip,
+            default_space,
+        ).run(sink)
+    return summaries

@@ -1,0 +1,139 @@
+"""Edge cases of the access-count and access-summary analyses.
+
+Covers the conservative first-access classification for arrays, the loop
+weighting of :meth:`AccessCounts.merge_sequential`, and the by-reference
+substitution in :meth:`FunctionAccessSummaries.call_effects` /
+:meth:`~FunctionAccessSummaries.call_effects_full` (the locals-included
+variant RATCHET's cross-call WAR breaking relies on).
+"""
+
+from repro.analysis.accesses import AccessCounts, block_access_counts
+from repro.analysis.liveness import FunctionAccessSummaries
+from repro.frontend import compile_source
+from repro.ir.instructions import Call, Store
+
+from tests.helpers import CALLS_SRC
+
+
+class TestAccessCounts:
+    def test_partial_write_keeps_first_access_conservative(self):
+        counts = AccessCounts()
+        counts.add_write("arr", full=False)
+        # An element store does not overwrite the whole array, so the
+        # restore at the region start cannot be skipped.
+        assert counts.first_access["arr"] == "r"
+        assert counts.writes["arr"] == 1
+
+    def test_full_write_first_access(self):
+        counts = AccessCounts()
+        counts.add_write("x", full=True)
+        assert counts.first_access["x"] == "w"
+
+    def test_read_then_full_write_stays_read_first(self):
+        counts = AccessCounts()
+        counts.add_read("x")
+        counts.add_write("x", full=True)
+        assert counts.first_access["x"] == "r"
+        assert counts.total("x") == 2
+
+    def test_merge_sequential_weights_later_counts(self):
+        earlier = AccessCounts()
+        earlier.add_read("x")
+        later = AccessCounts()
+        later.add_read("x", 2)
+        later.add_write("y", 1, full=True)
+        earlier.merge_sequential(later, weight=3)
+        assert earlier.reads["x"] == 1 + 2 * 3
+        assert earlier.writes["y"] == 3
+        # y was first accessed in the later region, as a full write.
+        assert earlier.first_access["y"] == "w"
+
+    def test_merge_sequential_keeps_earlier_first_access(self):
+        earlier = AccessCounts()
+        earlier.add_read("x")
+        later = AccessCounts()
+        later.add_write("x", full=True)
+        earlier.merge_sequential(later)
+        assert earlier.first_access["x"] == "r"
+
+
+class TestBlockAccessCounts:
+    def test_array_store_is_partial(self):
+        module = compile_source(
+            """
+            i32 a[4];
+            u32 s;
+            void main() {
+                a[0] = 1;
+                s = 2;
+            }
+            """,
+            "m",
+        )
+        counts = block_access_counts(module.functions["main"].entry)
+        assert counts.first_access["a"] == "r"  # array store: partial
+        assert counts.first_access["s"] == "w"  # scalar store: full
+        assert counts.writes["a"] == 1
+        assert counts.writes["s"] == 1
+
+
+def find_call(func, callee):
+    for block in func.blocks.values():
+        for inst in block:
+            if isinstance(inst, Call) and inst.callee == callee:
+                return inst
+    raise AssertionError(f"no call to {callee}")
+
+
+class TestFunctionAccessSummaries:
+    def setup_method(self):
+        self.module = compile_source(CALLS_SRC, "calls")
+        self.summaries = FunctionAccessSummaries(self.module)
+
+    def test_ref_param_appears_as_formal_in_summary(self):
+        scale = self.summaries.summary("scale")
+        # The by-ref formal's mangled name stands in for the actual.
+        assert "scale.buf" in scale.writes
+        assert "scale.buf" in scale.reads
+
+    def test_call_effects_substitutes_ref_actuals(self):
+        call = find_call(self.module.functions["main"], "scale")
+        reads, writes = self.summaries.call_effects(call)
+        assert "data" in writes
+        assert "data" in reads
+        assert "scale.buf" not in writes
+        # Caller-visible sets exclude the callee's loop counter.
+        assert not any(name.startswith("scale.") for name in writes)
+
+    def test_call_effects_full_includes_callee_locals(self):
+        call = find_call(self.module.functions["main"], "weight")
+        reads, writes = self.summaries.call_effects(call)
+        reads_all, writes_all = self.summaries.call_effects_full(call)
+        # weight's accumulator is a statically allocated local: invisible
+        # to callers' liveness, but physical state for WAR placement.
+        assert "weight.w" not in writes
+        assert "weight.w" in writes_all
+        assert "weight.w" in reads_all
+        assert writes <= writes_all
+        assert reads <= reads_all
+
+    def test_call_effects_full_substitutes_ref_actuals_too(self):
+        call = find_call(self.module.functions["main"], "scale")
+        _, writes_all = self.summaries.call_effects_full(call)
+        assert "data" in writes_all
+        assert "scale.buf" not in writes_all
+
+    def test_summary_reads_all_superset_of_reads(self):
+        for name in self.module.functions:
+            summary = self.summaries.summary(name)
+            assert summary.reads <= summary.reads_all
+            assert summary.writes <= summary.writes_all
+
+    def test_counts_at_call_weighted_by_callee_loops(self):
+        call = find_call(self.module.functions["main"], "scale")
+        counts = self.summaries.counts_at_call(call)
+        # scale loops 24 times over the buffer; the counts carry that
+        # weight under the caller-side name.
+        assert counts.reads.get("data", 0) >= 24
+        assert counts.writes.get("data", 0) >= 1
+        assert all(not n.startswith("scale.") for n in counts.variables())

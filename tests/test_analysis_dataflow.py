@@ -1,0 +1,135 @@
+"""Unit tests for the generic forward dataflow solver."""
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import solve_forward
+from repro.errors import AnalysisError
+from repro.ir import I32, IRBuilder, Module
+
+
+def diamond_function():
+    """entry -> {left, right} -> join -> ret, plus an unreachable block.
+
+    Returns (func, labels) with labels for left/right/join/dead.
+    """
+    module = Module("m")
+    builder = IRBuilder(module)
+    func = builder.start_function("main")
+    x = builder.local("x", I32)
+    left = builder.new_block("left")
+    right = builder.new_block("right")
+    join = builder.new_block("join")
+    dead = builder.new_block("dead")
+    cond = builder.emit_load(x)
+    builder.emit_branch(cond, left, right)
+    builder.position_at(left)
+    builder.emit_jump(join)
+    builder.position_at(right)
+    builder.emit_jump(join)
+    builder.position_at(join)
+    builder.emit_ret()
+    builder.position_at(dead)
+    builder.emit_ret()
+    labels = {
+        "left": left.label,
+        "right": right.label,
+        "join": join.label,
+        "dead": dead.label,
+    }
+    return func, labels
+
+
+def loop_function():
+    """entry -> header -> {body -> header, exit}."""
+    module = Module("m")
+    builder = IRBuilder(module)
+    func = builder.start_function("main")
+    x = builder.local("x", I32)
+    header = builder.new_block("header")
+    body = builder.new_block("body")
+    exit_ = builder.new_block("exit")
+    builder.emit_jump(header)
+    builder.position_at(header)
+    cond = builder.emit_load(x)
+    builder.emit_branch(cond, body, exit_)
+    builder.position_at(body)
+    builder.emit_jump(header)
+    builder.position_at(exit_)
+    builder.emit_ret()
+    labels = {"header": header.label, "body": body.label, "exit": exit_.label}
+    return func, labels
+
+
+def collect_labels(label, state):
+    """Transfer that appends the block's own label to a frozenset state."""
+    return state | {label}
+
+
+class TestSolveForward:
+    def test_may_join_collects_both_branches(self):
+        func, labels = diamond_function()
+        solution = solve_forward(
+            CFG(func), frozenset(), collect_labels, lambda a, b: a | b
+        )
+        join = labels["join"]
+        assert solution.block_in[join] == {
+            "entry", labels["left"], labels["right"]
+        }
+        assert solution.block_out[join] == solution.block_in[join] | {join}
+
+    def test_must_join_keeps_only_common_facts(self):
+        func, labels = diamond_function()
+        solution = solve_forward(
+            CFG(func), frozenset(), collect_labels, lambda a, b: a & b
+        )
+        # Neither branch block is on *every* path into the join.
+        assert solution.block_in[labels["join"]] == {"entry"}
+
+    def test_unreachable_block_receives_no_state(self):
+        func, labels = diamond_function()
+        calls = []
+
+        def transfer(label, state):
+            calls.append(label)
+            return state | {label}
+
+        solution = solve_forward(
+            CFG(func), frozenset(), transfer, lambda a, b: a | b
+        )
+        assert labels["dead"] not in solution.block_in
+        assert labels["dead"] not in solution.block_out
+        assert labels["dead"] not in calls
+
+    def test_loop_reaches_fixpoint(self):
+        func, labels = loop_function()
+        solution = solve_forward(
+            CFG(func), frozenset(), collect_labels, lambda a, b: a | b
+        )
+        # The back edge feeds body facts into the header.
+        assert solution.block_in[labels["header"]] == {
+            "entry", labels["header"], labels["body"]
+        }
+        assert solution.passes >= 2  # at least one extra sweep for the loop
+
+    def test_entry_state_seeds_the_entry_block(self):
+        func, labels = diamond_function()
+        solution = solve_forward(
+            CFG(func),
+            frozenset({"seed"}),
+            collect_labels,
+            lambda a, b: a | b,
+        )
+        assert "seed" in solution.block_in["entry"]
+        assert "seed" in solution.block_in[labels["join"]]
+
+    def test_infinite_chain_raises_instead_of_spinning(self):
+        func, labels = loop_function()
+
+        def transfer(label, state):
+            # Monotone but over an infinite-height lattice: the loop grows
+            # the counter forever.
+            return state + 1 if label == labels["header"] else state
+
+        with pytest.raises(AnalysisError, match="did not converge"):
+            solve_forward(CFG(func), 0, transfer, max)

@@ -154,3 +154,137 @@ class TestValidateModule:
 
         module = compile_source(CALLS_SRC, "calls")
         validate_module(module)
+
+
+class TestDefiniteAssignment:
+    """A register use must be dominated by a definition — a definition
+    somewhere in the function is not enough."""
+
+    def test_definition_on_one_branch_only_rejected(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        x = builder.local("x", I32)
+        y = builder.local("y", I32)
+        left = builder.new_block("left")
+        right = builder.new_block("right")
+        join = builder.new_block("join")
+        cond = builder.emit_load(x)
+        builder.emit_branch(cond, left, right)
+        builder.position_at(left)
+        t = builder.emit_load(x)  # %t defined on this path only
+        builder.emit_jump(join)
+        builder.position_at(right)
+        builder.emit_jump(join)
+        builder.position_at(join)
+        builder.emit_store(y, t)
+        builder.emit_ret()
+        with pytest.raises(IRValidationError, match="possibly-undefined"):
+            validate_module(module)
+
+    def test_definition_on_both_branches_accepted(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        x = builder.local("x", I32)
+        y = builder.local("y", I32)
+        left = builder.new_block("left")
+        right = builder.new_block("right")
+        join = builder.new_block("join")
+        cond = builder.emit_load(x)
+        builder.emit_branch(cond, left, right)
+        builder.position_at(left)
+        builder.emit_store(y, builder.emit_load(x))
+        builder.emit_jump(join)
+        builder.position_at(right)
+        builder.emit_store(y, builder.emit_load(x))
+        builder.emit_jump(join)
+        builder.position_at(join)
+        builder.emit_ret()
+        validate_module(module)
+
+    def test_definition_before_loop_covers_the_body(self):
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        x = builder.local("x", I32)
+        y = builder.local("y", I32)
+        header = builder.new_block("header")
+        body = builder.new_block("body")
+        exit_ = builder.new_block("exit")
+        t = builder.emit_load(x)  # dominates the loop
+        builder.emit_jump(header)
+        builder.position_at(header)
+        cond = builder.emit_load(x)
+        builder.emit_branch(cond, body, exit_)
+        builder.position_at(body)
+        builder.emit_store(y, t)
+        builder.emit_jump(header)
+        builder.position_at(exit_)
+        builder.emit_ret()
+        validate_module(module)
+
+    def test_loop_carried_definition_rejected(self):
+        # The body uses a register the body itself defines *later*: fine
+        # on the second trip, garbage on the first.
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        x = builder.local("x", I32)
+        y = builder.local("y", I32)
+        header = builder.new_block("header")
+        body = builder.new_block("body")
+        exit_ = builder.new_block("exit")
+        builder.emit_jump(header)
+        builder.position_at(header)
+        cond = builder.emit_load(x)
+        builder.emit_branch(cond, body, exit_)
+        builder.position_at(body)
+        t = builder.fresh_reg(I32)
+        func.blocks[builder.block.label].append(Store(y, None, t))
+        func.blocks[builder.block.label].append(Load(t, x, None))
+        builder.emit_jump(header)
+        builder.position_at(exit_)
+        builder.emit_ret()
+        with pytest.raises(IRValidationError, match="possibly-undefined"):
+            validate_module(module)
+
+
+class TestModuleWideCheckpointIds:
+    """Checkpoint ids key snapshots, testkit labels and sabotage victims
+    by bare id — uniqueness must hold across the whole module."""
+
+    def _two_functions(self, first_id: int, second_id: int) -> Module:
+        from repro.ir import Checkpoint
+
+        module = Module("m")
+        builder = IRBuilder(module)
+        helper = builder.start_function("helper")
+        builder.emit_ret()
+        helper.entry.instructions.insert(0, Checkpoint(ckpt_id=first_id))
+        builder.start_function("main")
+        builder.emit_call("helper")
+        builder.emit_ret()
+        main = module.functions["main"]
+        main.entry.instructions.insert(0, Checkpoint(ckpt_id=second_id))
+        return module
+
+    def test_duplicate_id_across_functions_rejected(self):
+        module = self._two_functions(7, 7)
+        with pytest.raises(IRValidationError, match="duplicate checkpoint id"):
+            validate_module(module)
+
+    def test_duplicate_id_within_one_function_rejected(self):
+        from repro.ir import Checkpoint
+
+        module = Module("m")
+        builder = IRBuilder(module)
+        func = builder.start_function("main")
+        builder.emit_ret()
+        func.entry.instructions.insert(0, Checkpoint(ckpt_id=3))
+        func.entry.instructions.insert(1, Checkpoint(ckpt_id=3))
+        with pytest.raises(IRValidationError, match="duplicate checkpoint id"):
+            validate_module(module)
+
+    def test_distinct_ids_accepted(self):
+        validate_module(self._two_functions(1, 2))

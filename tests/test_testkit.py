@@ -203,6 +203,25 @@ def test_cli_sabotage_exit_codes(capsys):
     assert "sabotage caught" in capsys.readouterr().out
 
 
+def test_cli_unknown_program_exits_2_with_choices(capsys):
+    from repro.testkit.__main__ import main
+
+    assert main(["sweep", "--program", "nosuch",
+                 "--technique", "schematic"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "nosuch" in err and "sumloop" in err and "crc" in err
+
+
+def test_cli_unknown_technique_exits_2_with_choices(capsys):
+    from repro.testkit.__main__ import main
+
+    assert main(["sweep", "--program", "sumloop",
+                 "--technique", "nosuch"]) == 2
+    err = capsys.readouterr().err
+    assert "nosuch" in err and "schematic" in err
+
+
 # -- deep suite (pytest -m sweep) ---------------------------------------------
 
 
