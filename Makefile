@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test sweep check fuzz bench bench-full experiments experiments-quick export examples clean
+.PHONY: test sweep check fuzz bench bench-full bench-engine experiments experiments-quick export examples clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -28,11 +28,16 @@ bench:
 bench-full:
 	REPRO_FULL_BENCH=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Engine timing harness: cold vs warm cache vs parallel prefill, plus the
+# interpreter pre-decode micro-benchmark; writes BENCH_pr3.json.
+bench-engine:
+	$(PYTHON) tools/bench_engine.py
+
 experiments:
-	$(PYTHON) -m repro.experiments.run_all
+	$(PYTHON) -m repro.experiments.run_all --jobs auto
 
 experiments-quick:
-	$(PYTHON) -m repro.experiments.run_all --quick
+	$(PYTHON) -m repro.experiments.run_all --quick --jobs auto
 
 export:
 	$(PYTHON) -m repro.experiments.export artifacts/

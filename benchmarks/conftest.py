@@ -3,7 +3,12 @@
 By default each bench target runs on a fast benchmark subset so
 ``pytest benchmarks/ --benchmark-only`` completes in minutes. Set
 ``REPRO_FULL_BENCH=1`` to sweep all eight MiBench2 kernels (the full
-regeneration used for EXPERIMENTS.md, several minutes more).
+regeneration used for EXPERIMENTS.md, several minutes more). Set
+``REPRO_BENCH_CACHE=1`` to give the session context the persistent
+artifact cache (see docs/performance.md) — warm re-runs then measure
+cache-hit rather than emulation time, which is what you want when
+benchmarking the cache itself and *not* what you want when benchmarking
+the emulator.
 """
 
 import os
@@ -14,15 +19,19 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 import pytest
 
 from repro.experiments.common import EvaluationContext
+from repro.runner.cache import ArtifactCache
 
 FULL = os.environ.get("REPRO_FULL_BENCH", "") == "1"
+CACHED = os.environ.get("REPRO_BENCH_CACHE", "") == "1"
 SUBSET = ["basicmath", "crc", "randmath"]
 
 
 @pytest.fixture(scope="session")
 def ctx() -> EvaluationContext:
     benchmarks = None if FULL else SUBSET
-    return EvaluationContext(benchmarks=benchmarks, profile_runs=2)
+    cache = ArtifactCache.default() if CACHED else None
+    return EvaluationContext(benchmarks=benchmarks, profile_runs=2,
+                             cache=cache)
 
 
 def once(benchmark, fn):

@@ -104,6 +104,12 @@ class InterpreterConfig:
     inputs: Dict[str, List[int]] = field(default_factory=dict)
     #: Enforce the VM capacity limit at run time.
     vm_size: int = 1 << 30
+    #: Pre-decode every basic block into (handler, cost, inst, label)
+    #: entries at construction, removing per-step type dispatch and cost
+    #: lookups from the hot loop. Semantics are bit-identical either way;
+    #: False selects the original per-step loop (kept as the differential
+    #: reference implementation and for micro-benchmarks).
+    predecode: bool = True
 
 
 class Interpreter:
@@ -148,6 +154,13 @@ class Interpreter:
         self._snapshot: Optional[Snapshot] = None  # None = restart from boot
         self._snapshot_inst: Optional[Instruction] = None
         self._attempts_on_snapshot = 0
+        # id()-keyed cost cache of the undecoded loop. Safe only because
+        # the cache lives and dies with this interpreter, which keeps the
+        # module (and thus every instruction object) alive: a module
+        # rewritten *while an interpreter holds it* could recycle ids and
+        # serve stale costs. The pre-decoded path has no such idiom — it
+        # binds costs to instruction objects once, at construction — and
+        # tests/test_interpreter_decode.py pins both properties down.
         self._costs: Dict[int, Tuple[int, float, float, bool, bool]] = {}
         #: type-keyed dispatch table — measurably faster than an
         #: isinstance chain in the hot loop.
@@ -162,15 +175,54 @@ class Interpreter:
             Call: self._do_call,
             Ret: self._do_ret,
         }
+        self._code = self._decode_module() if self.config.predecode else None
+
+    # -- pre-decoding ----------------------------------------------------------
+
+    def _decode_module(self):
+        """Decode every basic block once into ``(handler, cost, inst,
+        label)`` entries, keyed by ``(function name, block label)``.
+
+        The hot loop then runs on plain list indexing instead of per-step
+        ``type(inst)`` dispatch-dict probes and ``id(inst)`` cost-cache
+        lookups. Decoding binds to the instruction objects present at
+        construction: the module must not be structurally modified while
+        this interpreter is alive (compilation finishes before emulation
+        starts everywhere in this codebase).
+        """
+        code: Dict[Tuple[str, str], list] = {}
+        dispatch = self._dispatch
+        for func in self.module.functions.values():
+            fname = func.name
+            for label, block in func.blocks.items():
+                code[(fname, label)] = [
+                    (
+                        dispatch.get(type(inst)),  # None => checkpoint
+                        self._compute_cost(inst),
+                        inst,
+                        f"{fname}:{label}:{index}",
+                    )
+                    for index, inst in enumerate(block.instructions)
+                ]
+        return code
 
     # -- cost cache ------------------------------------------------------------
 
     def _cost(self, inst: Instruction) -> Tuple[int, float, float, bool, bool]:
-        """(cycles, energy, access_energy, access_is_vm, has_access)."""
+        """Undecoded-loop accessor: _compute_cost memoized by id(inst)
+        (see the lifetime note on ``_costs``)."""
         key = id(inst)
         cached = self._costs.get(key)
         if cached is not None:
             return cached
+        result = self._compute_cost(inst)
+        self._costs[key] = result
+        return result
+
+    def _compute_cost(
+        self, inst: Instruction
+    ) -> Tuple[int, float, float, bool, bool]:
+        """(cycles, energy, access_energy, access_is_vm, has_access)."""
         model = self.model
         if isinstance(inst, (Load, Store)):
             space = inst.space
@@ -196,7 +248,6 @@ class Interpreter:
         else:
             cycles = model.instruction_cycles(inst)
             result = (cycles, cycles * model.energy_per_cycle, 0.0, False, False)
-        self._costs[key] = result
         return result
 
     def _space_of(self, inst) -> MemorySpace:
@@ -271,6 +322,60 @@ class Interpreter:
         )
 
     def _execute(self) -> Tuple[bool, str]:
+        if self._code is None:
+            return self._execute_undecoded()
+
+        frames = self.frames
+        code = self._code
+        consume = self.power.consume
+        charge = self.meter.charge_compute
+        max_instructions = self.config.max_instructions
+        step_hook = self.config.step_hook
+
+        # The current block's decoded entries, refreshed whenever the top
+        # frame or its block changes. The identity test on the label is
+        # conservative: a false mismatch merely refetches, and a false
+        # match needs the same frame *and* the same label object, which
+        # within one function implies the same block.
+        cur_frame = None
+        cur_block = None
+        block_code = None
+        while frames:
+            if self.instructions_executed >= max_instructions:
+                return False, "instruction budget exhausted (runaway program?)"
+            frame = frames[-1]
+            if frame is not cur_frame or frame.block is not cur_block:
+                cur_frame = frame
+                cur_block = frame.block
+                block_code = code[frame.function.name, cur_block]
+            handler, cost, inst, label = block_code[frame.index]
+
+            if handler is None:  # checkpoint pseudo-instructions
+                outcome = self._do_checkpoint(frame, inst)
+                if outcome is not None:
+                    return outcome
+                cur_frame = None  # may have rolled back / migrated
+                continue
+
+            cycles, energy, access_energy, is_vm, has_access = cost
+            if step_hook is not None:
+                step_hook(label, cycles)
+            if consume(energy, cycles):
+                if not self._handle_power_failure():
+                    return False, "no forward progress"
+                cur_frame = None  # frames were rebuilt from the snapshot
+                continue
+            self.active_cycles += cycles
+            self.instructions_executed += 1
+            charge(energy, access_energy, is_vm, has_access)
+            handler(frame, inst)
+        return True, ""
+
+    def _execute_undecoded(self) -> Tuple[bool, str]:
+        """The original per-step loop: type-dispatch and cost lookups on
+        every instruction. Kept as the reference implementation the
+        pre-decoded loop is differentially tested (and benchmarked)
+        against; selected with ``config.predecode=False``."""
         frames = self.frames
         costs = self._costs
         dispatch = self._dispatch
@@ -676,6 +781,7 @@ def run_continuous(
     inputs: Optional[Dict[str, List[int]]] = None,
     trace: Optional[Callable[[str, str], None]] = None,
     max_instructions: int = 200_000_000,
+    predecode: bool = True,
 ) -> ExecutionReport:
     """Run a module under continuous power (reference/profiling runs).
 
@@ -687,6 +793,7 @@ def run_continuous(
         inputs=dict(inputs or {}),
         trace=trace,
         max_instructions=max_instructions,
+        predecode=predecode,
     )
     interp = Interpreter(
         module,
@@ -707,6 +814,7 @@ def run_intermittent(
     inputs: Optional[Dict[str, List[int]]] = None,
     max_instructions: int = 200_000_000,
     step_hook: Optional[Callable[[str, int], None]] = None,
+    predecode: bool = True,
 ) -> ExecutionReport:
     """Run a transformed module under intermittent power."""
     config = InterpreterConfig(
@@ -714,6 +822,7 @@ def run_intermittent(
         max_instructions=max_instructions,
         vm_size=vm_size,
         step_hook=step_hook,
+        predecode=predecode,
     )
     interp = Interpreter(module, model, policy, power, config)
     return interp.run()

@@ -92,42 +92,58 @@ class AblationResult:
         return "\n".join(lines)
 
 
+def compute_cell(
+    ctx: EvaluationContext, variant: str, name: str, tbpf: int
+) -> AblationCell:
+    """One ablated-variant emulation, cached in the context (and on disk
+    when the context has a persistent cache) so parallel prefills and warm
+    re-runs skip it."""
+    mem_key = (variant, name, tbpf)
+    cached = ctx._ablations.get(mem_key)
+    if cached is not None:
+        return cached
+    config = VARIANTS[variant]
+    parts = (
+        "ablation", variant, name, ctx._module_fp(name), ctx._platform_fp(),
+        tbpf, repr(config), ctx._inputs_fp(name), ctx.profile_runs,
+    )
+    cell = ctx._cache_get("ablation", parts)
+    if cell is None:
+        bench = ctx.benchmark(name)
+        eb = ctx.eb_for_tbpf(name, tbpf)
+        platform = ctx.platform_proto.with_eb(eb)
+        compiled = compile_schematic(
+            bench.module, platform, profile=ctx.profile(name), config=config
+        )
+        report = run_intermittent(
+            compiled.module,
+            platform.model,
+            compiled.policy,
+            PowerManager.energy_budget(eb),
+            vm_size=platform.vm_size,
+            inputs=bench.default_inputs(),
+        )
+        ok = report.completed and report.outputs == ctx.reference(name).outputs
+        cell = AblationCell(variant=variant, benchmark=name, completed=ok)
+        if ok:
+            cell.total = report.energy.total
+            cell.computation = report.energy.computation
+            cell.save = report.energy.save
+            cell.restore = report.energy.restore
+            cell.vm_accesses = report.vm_accesses
+        ctx._cache_put("ablation", parts, cell)
+    ctx._ablations[mem_key] = cell
+    return cell
+
+
 def run(
     ctx: Optional[EvaluationContext] = None, tbpf: int = DEFAULT_TBPF
 ) -> AblationResult:
     ctx = ctx or EvaluationContext()
     cells: Dict[str, Dict[str, AblationCell]] = {v: {} for v in VARIANTS}
     for name in ctx.benchmark_names:
-        bench = ctx.benchmark(name)
-        module = bench.module
-        inputs = bench.default_inputs()
-        eb = ctx.eb_for_tbpf(name, tbpf)
-        platform = ctx.platform_proto.with_eb(eb)
-        profile = ctx.profile(name)
-        reference = ctx.reference(name)
-        for variant, config in VARIANTS.items():
-            compiled = compile_schematic(
-                module, platform, profile=profile, config=config
-            )
-            report = run_intermittent(
-                compiled.module,
-                platform.model,
-                compiled.policy,
-                PowerManager.energy_budget(eb),
-                vm_size=platform.vm_size,
-                inputs=inputs,
-            )
-            ok = report.completed and report.outputs == reference.outputs
-            cell = AblationCell(
-                variant=variant, benchmark=name, completed=ok
-            )
-            if ok:
-                cell.total = report.energy.total
-                cell.computation = report.energy.computation
-                cell.save = report.energy.save
-                cell.restore = report.energy.restore
-                cell.vm_accesses = report.vm_accesses
-            cells[variant][name] = cell
+        for variant in VARIANTS:
+            cells[variant][name] = compute_cell(ctx, variant, name, tbpf)
     return AblationResult(
         tbpf=tbpf, cells=cells, benchmarks=list(ctx.benchmark_names)
     )

@@ -18,6 +18,7 @@ recompute shared artifacts.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -27,6 +28,7 @@ from repro.emulator import PowerManager, run_continuous, run_intermittent
 from repro.emulator.report import ExecutionReport
 from repro.energy import msp430fr5969_platform
 from repro.programs import BENCHMARK_NAMES, Benchmark, get_benchmark
+from repro.runner.cache import ArtifactCache
 
 #: The TBPF values of the paper (§IV-C), in cycles.
 TBPF_VALUES = (1_000, 10_000, 100_000)
@@ -71,22 +73,78 @@ class EvaluationContext:
         benchmarks: Optional[List[str]] = None,
         profile_runs: int = PROFILE_RUNS,
         failure_model: str = "energy",
+        cache: Optional[ArtifactCache] = None,
     ):
         """``failure_model``: ``"energy"`` (the default; a power failure
         when EB is exhausted — the metric SCHEMATIC's guarantee is stated
         in) or ``"cycles"`` (strictly periodic failures every TBPF active
-        cycles, the SCEPTIC emulator's literal methodology)."""
+        cycles, the SCEPTIC emulator's literal methodology).
+
+        ``cache``: an optional persistent :class:`ArtifactCache`; when
+        set, references, profiles, compiled techniques and run outcomes
+        are read from / written to disk, keyed by content (module text,
+        platform constants, inputs, failure model), so a warm context —
+        or a worker process sharing the cache — skips the emulator."""
         if failure_model not in ("energy", "cycles"):
             raise ValueError(f"unknown failure model {failure_model!r}")
         self.benchmark_names = list(benchmarks or BENCHMARK_NAMES)
         self.profile_runs = profile_runs
         self.failure_model = failure_model
         self.platform_proto = msp430fr5969_platform()
+        self.cache = cache
         self._profiles: Dict[str, Profile] = {}
         self._references: Dict[str, ExecutionReport] = {}
         self._vm_references: Dict[str, ExecutionReport] = {}
         self._compiled: Dict[Tuple[str, str, float], CompiledTechnique] = {}
-        self._runs: Dict[Tuple[str, str, float], RunOutcome] = {}
+        self._runs: Dict[Tuple, RunOutcome] = {}
+        #: (variant, benchmark, tbpf) -> ablation cell (see ablations.py).
+        self._ablations: Dict[Tuple[str, str, int], object] = {}
+        self._fingerprints: Dict[str, str] = {}
+
+    # ------------------------------------------------------------- keys
+
+    def _module_fp(self, name: str) -> str:
+        """Content hash of a benchmark's untransformed module text: edits
+        to the program invalidate every downstream artifact."""
+        if name not in self._fingerprints:
+            from repro.ir.printer import print_module
+
+            self._fingerprints[name] = ArtifactCache.text_fingerprint(
+                print_module(self.benchmark(name).module)
+            )
+        return self._fingerprints[name]
+
+    def _inputs_fp(self, name: str) -> str:
+        inputs = self.benchmark(name).default_inputs()
+        return ArtifactCache.text_fingerprint(
+            json.dumps(sorted(inputs.items()), separators=(",", ":"))
+        )
+
+    def _platform_fp(self) -> str:
+        # Frozen-dataclass repr: every model constant and memory size.
+        return repr(self.platform_proto)
+
+    def _cache_get(self, category: str, parts: Tuple):
+        if self.cache is None:
+            return None
+        return self.cache.get(category, ArtifactCache.key(*parts))
+
+    def _cache_put(self, category: str, parts: Tuple, value) -> None:
+        if self.cache is not None:
+            self.cache.put(category, ArtifactCache.key(*parts), value)
+
+    def _run_key(
+        self, technique: str, benchmark: str, eb: float, tbpf: Optional[int]
+    ) -> Tuple:
+        """In-memory key of one emulation. The failure model is part of
+        the key, and under the periodic-cycles model so is the TBPF — two
+        runs with the same EB but different periods are different cells
+        (regression: the key used to be (technique, benchmark, eb) only,
+        returning stale outcomes). Under the energy model the TBPF is
+        normalized away: it does not influence the run."""
+        if self.failure_model == "cycles":
+            return (technique, benchmark, eb, self.failure_model, tbpf)
+        return (technique, benchmark, eb, self.failure_model, None)
 
     # ------------------------------------------------------------- pieces
 
@@ -97,12 +155,20 @@ class EvaluationContext:
         """Continuously-powered run (all data in NVM): output oracle and
         the average-power source for the TBPF -> EB conversion."""
         if name not in self._references:
-            bench = self.benchmark(name)
-            self._references[name] = run_continuous(
-                bench.module,
-                self.platform_proto.model,
-                inputs=bench.default_inputs(),
+            parts = (
+                "reference", name, self._module_fp(name),
+                self._platform_fp(), self._inputs_fp(name),
             )
+            report = self._cache_get("reference", parts)
+            if report is None:
+                bench = self.benchmark(name)
+                report = run_continuous(
+                    bench.module,
+                    self.platform_proto.model,
+                    inputs=bench.default_inputs(),
+                )
+                self._cache_put("reference", parts, report)
+            self._references[name] = report
         return self._references[name]
 
     def vm_reference(self, name: str) -> ExecutionReport:
@@ -111,24 +177,40 @@ class EvaluationContext:
         if name not in self._vm_references:
             from repro.ir import MemorySpace
 
-            bench = self.benchmark(name)
-            self._vm_references[name] = run_continuous(
-                bench.module,
-                self.platform_proto.model,
-                default_space=MemorySpace.VM,
-                inputs=bench.default_inputs(),
+            parts = (
+                "vm_reference", name, self._module_fp(name),
+                self._platform_fp(), self._inputs_fp(name),
             )
+            report = self._cache_get("reference", parts)
+            if report is None:
+                bench = self.benchmark(name)
+                report = run_continuous(
+                    bench.module,
+                    self.platform_proto.model,
+                    default_space=MemorySpace.VM,
+                    inputs=bench.default_inputs(),
+                )
+                self._cache_put("reference", parts, report)
+            self._vm_references[name] = report
         return self._vm_references[name]
 
     def profile(self, name: str) -> Profile:
         if name not in self._profiles:
-            bench = self.benchmark(name)
-            self._profiles[name] = collect_profile(
-                bench.module,
-                self.platform_proto.model,
-                input_generator=bench.input_generator(),
-                runs=self.profile_runs,
+            parts = (
+                "profile", name, self._module_fp(name),
+                self._platform_fp(), self.profile_runs,
             )
+            profile = self._cache_get("profile", parts)
+            if profile is None:
+                bench = self.benchmark(name)
+                profile = collect_profile(
+                    bench.module,
+                    self.platform_proto.model,
+                    input_generator=bench.input_generator(),
+                    runs=self.profile_runs,
+                )
+                self._cache_put("profile", parts, profile)
+            self._profiles[name] = profile
         return self._profiles[name]
 
     def eb_for_tbpf(self, name: str, tbpf: int) -> float:
@@ -144,15 +226,22 @@ class EvaluationContext:
     ) -> CompiledTechnique:
         key = (technique, benchmark, eb)
         if key not in self._compiled:
-            bench = self.benchmark(benchmark)
-            platform = self.platform_proto.with_eb(eb)
-            compiler = COMPILERS[technique]
-            if technique in ("schematic", "rockclimb", "allnvm"):
-                compiled = compiler(
-                    bench.module, platform, profile=self.profile(benchmark)
-                )
-            else:
-                compiled = compiler(bench.module, platform)
+            parts = (
+                "compiled", technique, benchmark, self._module_fp(benchmark),
+                self._platform_fp(), eb, self.profile_runs,
+            )
+            compiled = self._cache_get("compiled", parts)
+            if compiled is None:
+                bench = self.benchmark(benchmark)
+                platform = self.platform_proto.with_eb(eb)
+                compiler = COMPILERS[technique]
+                if technique in ("schematic", "rockclimb", "allnvm"):
+                    compiled = compiler(
+                        bench.module, platform, profile=self.profile(benchmark)
+                    )
+                else:
+                    compiled = compiler(bench.module, platform)
+                self._cache_put("compiled", parts, compiled)
             self._compiled[key] = compiled
         return self._compiled[key]
 
@@ -165,9 +254,24 @@ class EvaluationContext:
     ) -> RunOutcome:
         """Compile (cached) and emulate one configuration. ``tbpf`` is
         required when the context uses the periodic-cycles failure model."""
-        key = (technique, benchmark, eb)
+        if self.failure_model == "cycles" and tbpf is None:
+            raise ValueError(
+                "the periodic-cycles failure model needs a TBPF; use "
+                "run_tbpf()"
+            )
+        key = self._run_key(technique, benchmark, eb, tbpf)
         if key in self._runs:
             return self._runs[key]
+        parts = (
+            "run", technique, benchmark, self._module_fp(benchmark),
+            self._platform_fp(), eb, self.failure_model,
+            tbpf if self.failure_model == "cycles" else None,
+            self._inputs_fp(benchmark), self.profile_runs,
+        )
+        cached = self._cache_get("run", parts)
+        if cached is not None:
+            self._runs[key] = cached
+            return cached
         bench = self.benchmark(benchmark)
         platform = self.platform_proto.with_eb(eb)
         compiled = self.compile(technique, benchmark, eb)
@@ -179,11 +283,6 @@ class EvaluationContext:
             checkpoints=compiled.checkpoints_inserted,
         )
         if self.failure_model == "cycles":
-            if tbpf is None:
-                raise ValueError(
-                    "the periodic-cycles failure model needs a TBPF; use "
-                    "run_tbpf()"
-                )
             power = PowerManager.periodic(tbpf=tbpf, eb=eb)
         else:
             power = PowerManager.energy_budget(eb)
@@ -199,6 +298,7 @@ class EvaluationContext:
             outcome.report = report
             outcome.completed = report.completed
             outcome.correct = report.outputs == self.reference(benchmark).outputs
+        self._cache_put("run", parts, outcome)
         self._runs[key] = outcome
         return outcome
 
@@ -208,9 +308,23 @@ class EvaluationContext:
         )
 
 
+#: Shared context behind the module-level conveniences. Creating a fresh
+#: ``EvaluationContext`` per call silently re-emulated the full continuous
+#: reference run every time (the hidden-recompute bug); the singleton makes
+#: repeated calls hit the in-memory reference cache instead.
+_SHARED_CTX: Optional[EvaluationContext] = None
+
+
+def shared_context() -> EvaluationContext:
+    global _SHARED_CTX
+    if _SHARED_CTX is None:
+        _SHARED_CTX = EvaluationContext()
+    return _SHARED_CTX
+
+
 def eb_for_tbpf(benchmark: str, tbpf: int, ctx: Optional[EvaluationContext] = None) -> float:
-    """Module-level convenience wrapper."""
-    return (ctx or EvaluationContext()).eb_for_tbpf(benchmark, tbpf)
+    """Module-level convenience wrapper; memoized via a shared context."""
+    return (ctx or shared_context()).eb_for_tbpf(benchmark, tbpf)
 
 
 def format_matrix(

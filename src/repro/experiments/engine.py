@@ -1,0 +1,246 @@
+"""Parallel evaluation engine: fan evaluation cells across worker processes.
+
+The full evaluation is a grid of deterministic, independent cells —
+(technique x benchmark x TBPF) emulations, reference/profile artifacts and
+ablated variants. The engine *prefills* an :class:`EvaluationContext`'s
+in-memory caches by computing those cells in a process pool; the table and
+figure modules then run unchanged and hit the warm caches, which makes the
+parallel output byte-identical to a serial run by construction.
+
+Two stages, because run cells need the EB conversion (and the correctness
+oracle) derived from the reference runs:
+
+1. **artifacts** — continuous references, all-VM references and profiles,
+   one cell per benchmark;
+2. **runs** — every emulation cell of the tables/figures plus the ablation
+   variants, deduplicated, with EBs computed in the parent from the merged
+   references.
+
+Workers hold their own :class:`EvaluationContext` (created once per
+process); results travel back as picklable records
+(:class:`~repro.experiments.common.RunOutcome`, reports, profiles,
+ablation cells), never live interpreters. When the parent context has a
+persistent :class:`~repro.runner.cache.ArtifactCache`, workers share its
+directory, so artifacts computed by one worker are disk-cache hits for the
+others — and for every later run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    PROFILE_RUNS,
+    TBPF_VALUES,
+    TECHNIQUE_ORDER,
+    EvaluationContext,
+)
+from repro.runner.pool import parallel_map, resolve_jobs
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One picklable unit of evaluation work."""
+
+    kind: str  # "reference" | "vm_reference" | "profile" | "run" | "ablation"
+    benchmark: str
+    technique: str = ""  # run cells
+    eb: float = 0.0  # run / ablation cells
+    tbpf: Optional[int] = None  # run (periodic model) / ablation cells
+    variant: str = ""  # ablation cells
+
+
+# ------------------------------------------------------------------ planning
+
+
+def plan_artifacts(
+    ctx: EvaluationContext, extra_benchmarks: Sequence[str] = ()
+) -> List[Cell]:
+    """Stage-1 cells: the per-benchmark artifacts everything else needs."""
+    cells: List[Cell] = []
+    for name in list(ctx.benchmark_names) + [
+        b for b in extra_benchmarks if b not in ctx.benchmark_names
+    ]:
+        cells.append(Cell("reference", name))
+        cells.append(Cell("vm_reference", name))
+        cells.append(Cell("profile", name))
+    return cells
+
+
+def plan_run_all_cells(
+    ctx: EvaluationContext,
+    tbpf_values: Sequence[int] = TBPF_VALUES,
+    figure_tbpf: int = 10_000,
+    figure8_benchmark: str = "crc",
+) -> List[Cell]:
+    """Stage-2 cells: every emulation behind the paper's tables/figures
+    and the ablations. Requires the stage-1 references (for the EB
+    conversion); duplicates are dropped, first occurrence wins."""
+    from repro.experiments.ablations import VARIANTS
+    from repro.experiments.table1_vm_feasibility import FEASIBILITY_EB
+
+    cells: List[Cell] = []
+    seen = set()
+
+    def add(cell: Cell) -> None:
+        if cell not in seen:
+            seen.add(cell)
+            cells.append(cell)
+
+    def run_cell(technique: str, name: str, eb: float,
+                 tbpf: Optional[int]) -> Cell:
+        # Mirror EvaluationContext._run_key: under the energy model the
+        # TBPF does not influence the run, so it is normalized away.
+        if ctx.failure_model != "cycles":
+            tbpf = None
+        return Cell("run", name, technique=technique, eb=eb, tbpf=tbpf)
+
+    # Table I: feasibility at a comfortable budget.
+    for technique in TECHNIQUE_ORDER:
+        for name in ctx.benchmark_names:
+            add(run_cell(technique, name, FEASIBILITY_EB, None))
+    # Table III (all TBPFs) / Figure 6 (TBPF=10k, included above).
+    for technique in TECHNIQUE_ORDER:
+        for tbpf in tbpf_values:
+            for name in ctx.benchmark_names:
+                add(run_cell(
+                    technique, name, ctx.eb_for_tbpf(name, tbpf), tbpf
+                ))
+    # Figure 7: All-NVM vs SCHEMATIC at the figure TBPF.
+    for name in ctx.benchmark_names:
+        add(run_cell(
+            "allnvm", name, ctx.eb_for_tbpf(name, figure_tbpf), figure_tbpf
+        ))
+    # Figure 8: every technique on one benchmark over all TBPFs (a no-op
+    # when that benchmark is already in the sweep above).
+    for technique in TECHNIQUE_ORDER:
+        for tbpf in tbpf_values:
+            add(run_cell(
+                technique, figure8_benchmark,
+                ctx.eb_for_tbpf(figure8_benchmark, tbpf), tbpf,
+            ))
+    # Ablations at the figure TBPF.
+    for name in ctx.benchmark_names:
+        for variant in VARIANTS:
+            add(Cell(
+                "ablation", name, variant=variant, tbpf=figure_tbpf,
+                eb=ctx.eb_for_tbpf(name, figure_tbpf),
+            ))
+    return cells
+
+
+# ------------------------------------------------------------------ workers
+
+_WORKER_CTX: Optional[EvaluationContext] = None
+
+
+def _init_worker(
+    benchmarks: List[str],
+    profile_runs: int,
+    failure_model: str,
+    cache_root: Optional[str],
+) -> None:
+    """Build the per-process context (idempotent: the serial fallback of
+    parallel_map may call it in a process that already has one)."""
+    global _WORKER_CTX
+    from repro.runner.cache import ArtifactCache
+
+    cache = ArtifactCache(cache_root) if cache_root else None
+    _WORKER_CTX = EvaluationContext(
+        benchmarks=benchmarks,
+        profile_runs=profile_runs,
+        failure_model=failure_model,
+        cache=cache,
+    )
+
+
+def _compute_cell(cell: Cell) -> Tuple[Cell, object]:
+    ctx = _WORKER_CTX
+    assert ctx is not None, "worker context not initialized"
+    if cell.kind == "reference":
+        return cell, ctx.reference(cell.benchmark)
+    if cell.kind == "vm_reference":
+        return cell, ctx.vm_reference(cell.benchmark)
+    if cell.kind == "profile":
+        return cell, ctx.profile(cell.benchmark)
+    if cell.kind == "run":
+        return cell, ctx.run(
+            cell.technique, cell.benchmark, cell.eb, tbpf=cell.tbpf
+        )
+    if cell.kind == "ablation":
+        from repro.experiments.ablations import compute_cell
+
+        return cell, compute_cell(ctx, cell.variant, cell.benchmark, cell.tbpf)
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+# ------------------------------------------------------------------ merging
+
+
+def merge_results(
+    ctx: EvaluationContext, results: Sequence[Tuple[Cell, object]]
+) -> None:
+    """Install worker results into the parent context's caches. Results
+    arrive in submission order, and the emulator is deterministic, so the
+    merged state is identical to what serial evaluation would build."""
+    for cell, value in results:
+        if cell.kind == "reference":
+            ctx._references[cell.benchmark] = value
+        elif cell.kind == "vm_reference":
+            ctx._vm_references[cell.benchmark] = value
+        elif cell.kind == "profile":
+            ctx._profiles[cell.benchmark] = value
+        elif cell.kind == "run":
+            key = ctx._run_key(cell.technique, cell.benchmark, cell.eb,
+                               cell.tbpf)
+            ctx._runs[key] = value
+        elif cell.kind == "ablation":
+            ctx._ablations[(cell.variant, cell.benchmark, cell.tbpf)] = value
+
+
+# ------------------------------------------------------------------ driver
+
+
+def prefill(
+    ctx: EvaluationContext,
+    jobs,
+    tbpf_values: Sequence[int] = TBPF_VALUES,
+    figure8_benchmark: str = "crc",
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Compute every cell of the full evaluation with ``jobs`` workers and
+    merge the results into ``ctx``; returns the number of cells computed.
+    ``jobs <= 1`` is a no-op: the serial path stays byte-for-byte the
+    code that has always run."""
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        return 0
+    if ctx.failure_model != "energy":
+        raise ValueError(
+            "prefill() plans the run_all grid, which uses the energy "
+            "failure model; parallelize cycles-model sweeps cell by cell"
+        )
+    initargs = (
+        list(ctx.benchmark_names),
+        ctx.profile_runs,
+        ctx.failure_model,
+        str(ctx.cache.root) if ctx.cache is not None else None,
+    )
+    artifacts = plan_artifacts(ctx, extra_benchmarks=[figure8_benchmark])
+    if log is not None:
+        log(f"prefill: {len(artifacts)} artifact cells on {jobs} workers")
+    merge_results(ctx, parallel_map(
+        _compute_cell, artifacts, jobs,
+        initializer=_init_worker, initargs=initargs,
+    ))
+    runs = plan_run_all_cells(
+        ctx, tbpf_values=tbpf_values, figure8_benchmark=figure8_benchmark
+    )
+    if log is not None:
+        log(f"prefill: {len(runs)} run cells on {jobs} workers")
+    merge_results(ctx, parallel_map(
+        _compute_cell, runs, jobs,
+        initializer=_init_worker, initargs=initargs, chunksize=2,
+    ))
+    return len(artifacts) + len(runs)

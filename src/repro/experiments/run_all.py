@@ -2,18 +2,29 @@
 
 Usage::
 
-    python -m repro.experiments.run_all [--quick]
+    python -m repro.experiments.run_all [--quick] [--jobs N|auto]
+                                        [--no-cache] [--cache-dir DIR]
+                                        [--benchmarks a,b,c]
 
 ``--quick`` restricts to the four fastest benchmarks (crc, randmath,
 basicmath, fft) so the whole sweep finishes in a couple of minutes.
+
+``--jobs N|auto`` fans the evaluation cells across N worker processes
+(``auto`` = one per CPU) before rendering; the tables and figures are
+byte-identical to a serial run. ``--no-cache`` disables the persistent
+artifact cache under ``.repro-cache/`` (see docs/performance.md); with the
+cache enabled, a warm re-run skips compilation and emulation entirely.
+Progress and cache statistics go to stderr, results to stdout.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+from typing import List, Optional
 
-from repro.experiments import common
+from repro.experiments import common, engine
 from repro.experiments import (
     ablations,
     analysis_cost,
@@ -24,37 +35,85 @@ from repro.experiments import (
     table2_exec_time,
     table3_forward_progress,
 )
+from repro.runner.cache import ArtifactCache
+from repro.runner.pool import resolve_jobs
 
 QUICK_BENCHMARKS = ["basicmath", "crc", "fft", "randmath"]
 
+SECTIONS = [
+    ("Table I", table1_vm_feasibility),
+    ("Table II", table2_exec_time),
+    ("Table III", table3_forward_progress),
+    ("Figure 6", figure6_energy_breakdown),
+    ("Figure 7", figure7_allocation_quality),
+    ("Figure 8", figure8_capacitor_size),
+    ("Analysis cost", analysis_cost),
+    ("Ablations", ablations),
+]
 
-def main(argv=None) -> None:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    quick = "--quick" in argv
-    benchmarks = QUICK_BENCHMARKS if quick else None
-    ctx = common.EvaluationContext(benchmarks=benchmarks)
 
-    sections = [
-        ("Table I", table1_vm_feasibility),
-        ("Table II", table2_exec_time),
-        ("Table III", table3_forward_progress),
-        ("Figure 6", figure6_energy_breakdown),
-        ("Figure 7", figure7_allocation_quality),
-        ("Figure 8", figure8_capacitor_size),
-        ("Analysis cost", analysis_cost),
-        ("Ablations", ablations),
-    ]
-    for title, module in sections:
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="four fastest benchmarks only")
+    parser.add_argument("--benchmarks", type=_csv, default=None,
+                        help="explicit comma-separated benchmark subset")
+    parser.add_argument("--jobs", default="1", metavar="N|auto",
+                        help="worker processes for the evaluation cells")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache directory (default "
+                        ".repro-cache or $REPRO_CACHE_DIR)")
+    return parser
+
+
+def make_context(args: argparse.Namespace) -> common.EvaluationContext:
+    benchmarks: Optional[List[str]] = args.benchmarks
+    if benchmarks is None and args.quick:
+        benchmarks = QUICK_BENCHMARKS
+    cache = None if args.no_cache else ArtifactCache.default(args.cache_dir)
+    return common.EvaluationContext(benchmarks=benchmarks, cache=cache)
+
+
+def render_sections(ctx: common.EvaluationContext, out=sys.stdout) -> None:
+    for title, module in SECTIONS:
         start = time.perf_counter()
         result = module.run(ctx)
         elapsed = time.perf_counter() - start
-        print("=" * 72)
-        print(result.render())
+        print("=" * 72, file=out)
+        print(result.render(), file=out)
         if hasattr(result, "render_chart"):
-            print()
-            print(result.render_chart())
-        print(f"[{title} regenerated in {elapsed:.1f}s]")
-        print()
+            print(file=out)
+            print(result.render_chart(), file=out)
+        print(f"[{title} regenerated in {elapsed:.1f}s]", file=out)
+        print(file=out)
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    ctx = make_context(args)
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1:
+        start = time.perf_counter()
+        cells = engine.prefill(
+            ctx, jobs, log=lambda msg: print(msg, file=sys.stderr)
+        )
+        print(
+            f"prefilled {cells} cells in {time.perf_counter() - start:.1f}s",
+            file=sys.stderr,
+        )
+    render_sections(ctx)
+    if ctx.cache is not None:
+        print(ctx.cache.stats_line(), file=sys.stderr)
 
 
 if __name__ == "__main__":

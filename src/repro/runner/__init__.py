@@ -1,0 +1,17 @@
+"""Shared execution infrastructure for sweep-scale workloads.
+
+Two building blocks used by the experiment harness and the testkit:
+
+- :mod:`repro.runner.cache` — a content-addressed, persistent artifact
+  cache under ``.repro-cache/`` holding compiled techniques, profiles,
+  reference runs and emulation outcomes, so warm re-runs skip the emulator
+  (the bottleneck) entirely;
+- :mod:`repro.runner.pool` — a deterministic, order-preserving
+  process-pool map used to fan embarrassingly-parallel evaluation cells
+  across workers (``--jobs N|auto`` on the CLIs).
+"""
+
+from repro.runner.cache import ArtifactCache
+from repro.runner.pool import parallel_map, resolve_jobs
+
+__all__ = ["ArtifactCache", "parallel_map", "resolve_jobs"]

@@ -1,0 +1,59 @@
+"""Deterministic process-pool fan-out for evaluation cells.
+
+Every emulation cell is deterministic and returns picklable records
+(:class:`~repro.experiments.common.RunOutcome`, reports, oracle verdicts)
+— never live interpreters — so results merged in submission order are
+byte-identical to a serial run regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs) -> int:
+    """Parse a ``--jobs`` value: an int, a numeric string, ``"auto"``
+    (one worker per CPU) or None/"" (serial)."""
+    if jobs is None or jobs == "":
+        return 1
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        jobs = int(jobs)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Iterable = (),
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    ``jobs <= 1`` (or a single item) runs everything in-process — the
+    initializer, if any, is invoked once locally, so worker functions that
+    read process globals behave identically. With ``jobs > 1`` the work is
+    fanned across a process pool; ``fn``, the items and the results must
+    be picklable and ``fn``/``initializer`` must be module-level.
+    """
+    items = list(items)
+    workers = min(jobs, len(items)) if items else 0
+    if workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=tuple(initargs)
+    ) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -42,6 +42,7 @@ from repro.testkit.fuzz import (
     DEFAULT_FUZZ_TECHNIQUES,
     run_fuzz,
 )
+from repro.runner.pool import resolve_jobs
 from repro.testkit.sweep import sweep_technique
 
 
@@ -88,6 +89,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sabotage", action="store_true",
                        help="remove a checkpoint first; expect violations")
     sweep.add_argument("--vm-size", type=int, default=None)
+    sweep.add_argument("--jobs", default="1", metavar="N|auto",
+                       help="worker processes for the injection schedules")
 
     diff = sub.add_parser(
         "diff", help="technique x power-mode x TBPF differential grid"
@@ -101,6 +104,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="subset of energy,periodic,stochastic")
     diff.add_argument("--seed", type=int, default=0)
     diff.add_argument("--no-shrink", action="store_true")
+    diff.add_argument("--jobs", default="1", metavar="N|auto",
+                      help="worker processes (one per program)")
 
     fuzz = sub.add_parser(
         "fuzz", help="seeded stochastic (RF-harvesting) schedules"
@@ -150,6 +155,7 @@ def _run(args: argparse.Namespace, started: float) -> int:
             failures=args.failures,
             sabotage=args.sabotage,
             progress=progress,
+            jobs=resolve_jobs(args.jobs),
         )
         print(result.render())
         print(f"({time.time() - started:.1f}s)")
@@ -172,6 +178,7 @@ def _run(args: argparse.Namespace, started: float) -> int:
             modes=args.modes,
             seed=args.seed,
             shrink=not args.no_shrink,
+            jobs=resolve_jobs(args.jobs),
         )
         print(result.render())
         print(f"({time.time() - started:.1f}s)")

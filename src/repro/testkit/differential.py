@@ -40,6 +40,7 @@ from repro.emulator import PowerManager, run_continuous
 from repro.emulator.report import ExecutionReport
 from repro.energy import msp430fr5969_platform
 from repro.programs import BENCHMARK_NAMES
+from repro.runner.pool import parallel_map
 from repro.testkit.corpus import (
     ALL_NVM_TECHNIQUES,
     WAIT_MODE_TECHNIQUES,
@@ -127,8 +128,14 @@ def run_differential(
     max_instructions: int = 50_000_000,
     shrink: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> DiffResult:
-    """Run the full grid; see the module docstring for the oracle."""
+    """Run the full grid; see the module docstring for the oracle.
+
+    ``jobs > 1`` fans the per-program grids across worker processes
+    (each program's technique x TBPF x mode block is independent) and
+    merges the partial results in program order, so the combined result
+    is identical to a serial run."""
     programs = list(programs if programs is not None else BENCHMARK_NAMES)
     result = DiffResult(
         programs=programs,
@@ -136,83 +143,142 @@ def run_differential(
         tbpf_values=list(tbpf_values),
         modes=list(modes),
     )
+    if jobs > 1 and len(programs) > 1:
+        partials = parallel_map(
+            _diff_one_program, programs, jobs,
+            initializer=_init_diff_worker,
+            initargs=(list(techniques), list(tbpf_values), list(modes),
+                      seed, max_instructions, shrink),
+        )
+    else:
+        partials = [
+            _run_program(
+                program, techniques, tbpf_values, modes, seed,
+                max_instructions, shrink, progress,
+            )
+            for program in programs
+        ]
+    for partial in partials:
+        result.verdicts.extend(partial.verdicts)
+        result.disagreements.extend(partial.disagreements)
+        result.runs += partial.runs
+    return result
+
+
+_DIFF_STATE: Optional[Tuple] = None
+
+
+def _init_diff_worker(
+    techniques, tbpf_values, modes, seed, max_instructions, shrink
+) -> None:
+    global _DIFF_STATE
+    _DIFF_STATE = (techniques, tbpf_values, modes, seed, max_instructions,
+                   shrink)
+
+
+def _diff_one_program(program: str) -> DiffResult:
+    techniques, tbpf_values, modes, seed, max_instructions, shrink = (
+        _DIFF_STATE
+    )
+    return _run_program(
+        program, techniques, tbpf_values, modes, seed, max_instructions,
+        shrink, progress=None,
+    )
+
+
+def _run_program(
+    program: str,
+    techniques: Sequence[str],
+    tbpf_values: Sequence[int],
+    modes: Sequence[str],
+    seed: int,
+    max_instructions: int,
+    shrink: bool,
+    progress: Optional[Callable[[str], None]],
+) -> DiffResult:
+    """One program's technique x TBPF x mode block as a partial result."""
+    result = DiffResult(
+        programs=[program],
+        techniques=list(techniques),
+        tbpf_values=list(tbpf_values),
+        modes=list(modes),
+    )
     platform_proto = msp430fr5969_platform()
 
-    for program in programs:
-        bench = load_program(program)
-        inputs = bench.default_inputs()
-        reference = run_continuous(
-            bench.module, platform_proto.model, inputs=inputs,
-            max_instructions=max_instructions,
-        )
-        avg_power = reference.energy.total / max(reference.active_cycles, 1)
-        for tbpf in tbpf_values:
-            eb = avg_power * tbpf
-            plat = platform_proto.with_eb(eb)
-            compiled: Dict[str, CompiledTechnique] = {}
+    bench = load_program(program)
+    inputs = bench.default_inputs()
+    reference = run_continuous(
+        bench.module, platform_proto.model, inputs=inputs,
+        max_instructions=max_instructions,
+    )
+    avg_power = reference.energy.total / max(reference.active_cycles, 1)
+    for tbpf in tbpf_values:
+        eb = avg_power * tbpf
+        plat = platform_proto.with_eb(eb)
+        compiled: Dict[str, CompiledTechnique] = {}
+        for technique in techniques:
+            compiled[technique] = compile_for(
+                technique, bench.module, plat,
+                input_generator=bench.input_generator(),
+            )
+        for mode in modes:
+            group: Dict[str, ExecutionReport] = {}
             for technique in techniques:
-                compiled[technique] = compile_for(
-                    technique, bench.module, plat,
-                    input_generator=bench.input_generator(),
+                comp = compiled[technique]
+                desc = f"{mode} tbpf={tbpf} eb={eb:.0f}"
+                if progress is not None:
+                    progress(f"{program}/{technique} {desc}")
+                if not comp.feasible:
+                    result.verdicts.append(OracleVerdict(
+                        program=program, technique=technique,
+                        power=desc, outcome="infeasible",
+                        detail=comp.infeasible_reason,
+                    ))
+                    continue
+                power = _power_for(mode, tbpf, eb, seed)
+                run = run_against_reference(
+                    comp.module, bench.module, plat.model, comp.policy,
+                    power, vm_size=plat.vm_size, inputs=inputs,
+                    max_instructions=max_instructions,
+                    reference_report=reference,
                 )
-            for mode in modes:
-                group: Dict[str, ExecutionReport] = {}
-                for technique in techniques:
-                    comp = compiled[technique]
-                    desc = f"{mode} tbpf={tbpf} eb={eb:.0f}"
-                    if progress is not None:
-                        progress(f"{program}/{technique} {desc}")
-                    if not comp.feasible:
-                        result.verdicts.append(OracleVerdict(
-                            program=program, technique=technique,
-                            power=desc, outcome="infeasible",
-                            detail=comp.infeasible_reason,
-                        ))
-                        continue
-                    power = _power_for(mode, tbpf, eb, seed)
-                    run = run_against_reference(
-                        comp.module, bench.module, plat.model, comp.policy,
-                        power, vm_size=plat.vm_size, inputs=inputs,
-                        max_instructions=max_instructions,
-                        reference_report=reference,
-                    )
-                    result.runs += 1
-                    guarantee = (
-                        technique in WAIT_MODE_TECHNIQUES
-                        and mode in ("energy", "periodic")
-                    )
-                    outcome = classify(run, guarantee=guarantee)
-                    # Stochastic schedules kill all-NVM wait-mode runtimes
-                    # mid-segment, outside their recharge contract: WAR
-                    # anomalies there are documented behaviour, recorded
-                    # as their own outcome and kept out of the agreement
-                    # group (their outputs carry no information).
-                    waived = (
-                        outcome == OUTCOME_ANOMALY
-                        and mode == "stochastic"
-                        and technique in ALL_NVM_TECHNIQUES
-                    )
-                    if waived:
-                        outcome = OUTCOME_CONTRACT
-                    verdict = OracleVerdict(
-                        program=program, technique=technique, power=desc,
-                        outcome=outcome,
-                        schedule=tuple(run.failure_offsets),
-                        detail=run.failure_reason,
-                        power_failures=run.power_failures,
-                    )
-                    if verdict.violation and shrink:
-                        verdict.shrunk, verdict.detail = _shrink_replay(
-                            comp, reference, plat, inputs,
-                            max_instructions, verdict, result,
-                        )
-                    result.verdicts.append(verdict)
-                    if run.completed and run.report is not None and not waived:
-                        group[technique] = run.report
-                _check_agreement(
-                    result, program, bench.output_vars,
-                    f"{mode} tbpf={tbpf}", group,
+                result.runs += 1
+                guarantee = (
+                    technique in WAIT_MODE_TECHNIQUES
+                    and mode in ("energy", "periodic")
                 )
+                outcome = classify(run, guarantee=guarantee)
+                # Stochastic schedules kill all-NVM wait-mode runtimes
+                # mid-segment, outside their recharge contract: WAR
+                # anomalies there are documented behaviour, recorded
+                # as their own outcome and kept out of the agreement
+                # group (their outputs carry no information).
+                waived = (
+                    outcome == OUTCOME_ANOMALY
+                    and mode == "stochastic"
+                    and technique in ALL_NVM_TECHNIQUES
+                )
+                if waived:
+                    outcome = OUTCOME_CONTRACT
+                verdict = OracleVerdict(
+                    program=program, technique=technique, power=desc,
+                    outcome=outcome,
+                    schedule=tuple(run.failure_offsets),
+                    detail=run.failure_reason,
+                    power_failures=run.power_failures,
+                )
+                if verdict.violation and shrink:
+                    verdict.shrunk, verdict.detail = _shrink_replay(
+                        comp, reference, plat, inputs,
+                        max_instructions, verdict, result,
+                    )
+                result.verdicts.append(verdict)
+                if run.completed and run.report is not None and not waived:
+                    group[technique] = run.report
+            _check_agreement(
+                result, program, bench.output_vars,
+                f"{mode} tbpf={tbpf}", group,
+            )
     return result
 
 

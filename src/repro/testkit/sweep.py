@@ -27,7 +27,7 @@ so completion remains guaranteed for finite schedules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.baselines import CompiledTechnique
@@ -52,6 +52,7 @@ from repro.testkit.oracle import (
     check_schedule,
     classify,
 )
+from repro.runner.pool import parallel_map
 from repro.testkit.sabotage import strip_checkpoint
 from repro.testkit.shrink import shrink_schedule
 
@@ -173,10 +174,15 @@ def sweep_technique(
     sabotage: bool = False,
     platform: Optional[Platform] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Compile ``program`` with ``technique`` and sweep failure injections
     over its boundaries; ``sabotage=True`` first removes a mid-program
-    checkpoint to confirm the oracle catches the broken placement."""
+    checkpoint to confirm the oracle catches the broken placement.
+
+    ``jobs > 1`` fans the injection schedules across worker processes;
+    results (outcome counts, verdicts, shrunk schedules, run counts) are
+    merged in schedule order and identical to a serial sweep."""
     if failures not in (1, 2):
         raise ValueError("failures must be 1 or 2 (deeper stacks would "
                          "trip the emulator's stuck detector)")
@@ -292,23 +298,22 @@ def sweep_technique(
             for gap in second_gaps:
                 schedules.append(((b.offset, b.offset + gap), b))
 
-    for i, (schedule, b) in enumerate(schedules):
-        if progress is not None:
-            progress(i, len(schedules))
-        run = check_schedule(
-            compiled, reference, plat.model, schedule,
-            plat.vm_size, inputs, max_instructions,
-        )
+    attacks = _attack_schedules(
+        compiled, reference, plat, inputs, max_instructions,
+        [schedule for schedule, _ in schedules], jobs, progress,
+    )
+    for (schedule, b), (outcome, detail, power_failures) in zip(
+        schedules, attacks
+    ):
         result.runs += 1
-        outcome = classify(run, guarantee=True)
         result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
         if outcome != OUTCOME_OK:
             verdict = OracleVerdict(
                 program=program, technique=technique,
                 power=f"scheduled {list(schedule)} (at {b.label})",
                 outcome=outcome, schedule=schedule,
-                detail=run.failure_reason,
-                power_failures=run.power_failures,
+                detail=detail,
+                power_failures=power_failures,
             )
             verdict.shrunk = _shrink_violation(
                 compiled, reference, plat, inputs, max_instructions,
@@ -316,6 +321,70 @@ def sweep_technique(
             )
             result.violations.append(verdict)
     return result
+
+
+# -- parallel attack workers -------------------------------------------------
+
+_ATTACK_STATE: Optional[Tuple] = None
+
+
+def _init_attack_worker(
+    compiled: CompiledTechnique, reference: ExecutionReport, model,
+    vm_size: int, inputs, max_instructions: int,
+) -> None:
+    global _ATTACK_STATE
+    _ATTACK_STATE = (compiled, reference, model, vm_size, inputs,
+                     max_instructions)
+
+
+def _attack_one(schedule: Tuple[int, ...]) -> Tuple[str, str, int]:
+    compiled, reference, model, vm_size, inputs, max_instructions = (
+        _ATTACK_STATE
+    )
+    run = check_schedule(
+        compiled, reference, model, schedule, vm_size, inputs,
+        max_instructions,
+    )
+    return classify(run, guarantee=True), run.failure_reason, run.power_failures
+
+
+def _attack_schedules(
+    compiled: CompiledTechnique,
+    reference: ExecutionReport,
+    plat: Platform,
+    inputs,
+    max_instructions: int,
+    schedules: List[Tuple[int, ...]],
+    jobs: int,
+    progress: Optional[Callable[[int, int], None]],
+) -> List[Tuple[str, str, int]]:
+    """Classify every injection schedule, serially or across workers.
+    Each attack is an independent deterministic emulation, so the ordered
+    result list is identical either way."""
+    if jobs > 1 and len(schedules) > 1:
+        # Workers re-create the runs from picklable inputs; the (heavy,
+        # possibly unpicklable) compiler byproducts in `extra` stay home.
+        slim = replace(compiled, extra={})
+        return parallel_map(
+            _attack_one, schedules, jobs,
+            initializer=_init_attack_worker,
+            initargs=(slim, reference, plat.model, plat.vm_size, inputs,
+                      max_instructions),
+            chunksize=8,
+        )
+    results: List[Tuple[str, str, int]] = []
+    for i, schedule in enumerate(schedules):
+        if progress is not None:
+            progress(i, len(schedules))
+        run = check_schedule(
+            compiled, reference, plat.model, schedule,
+            plat.vm_size, inputs, max_instructions,
+        )
+        results.append(
+            (classify(run, guarantee=True), run.failure_reason,
+             run.power_failures)
+        )
+    return results
 
 
 def _shrink_violation(

@@ -1,0 +1,86 @@
+"""Parallel evaluation must be byte-identical to serial evaluation.
+
+The engine prefills an EvaluationContext from worker processes; the
+rendered tables must match a serial context character for character.
+Likewise the testkit's parallel sweep and differential drivers must
+produce exactly the records a serial run produces.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ablations, common, engine, table3_forward_progress
+from repro.experiments.common import EvaluationContext
+from repro.runner.cache import ArtifactCache
+from repro.testkit.differential import run_differential
+from repro.testkit.sweep import sweep_technique
+
+BENCH = "randmath"
+
+
+def test_cell_planning_dedupes_and_normalizes():
+    ctx = EvaluationContext(benchmarks=[BENCH])
+    cells = engine.plan_run_all_cells(ctx, figure8_benchmark=BENCH)
+    assert len(cells) == len(set(cells)), "planner must not emit duplicates"
+    # Under the energy model no run cell may carry a TBPF (mirrors
+    # EvaluationContext._run_key's normalization).
+    assert all(c.tbpf is None for c in cells if c.kind == "run")
+
+
+def test_prefill_rejects_cycles_model():
+    ctx = EvaluationContext(benchmarks=[BENCH], failure_model="cycles")
+    with pytest.raises(ValueError, match="energy"):
+        engine.prefill(ctx, jobs=2)
+
+
+def test_prefill_serial_is_noop():
+    ctx = EvaluationContext(benchmarks=[BENCH])
+    assert engine.prefill(ctx, jobs=1) == 0
+    assert not ctx._runs and not ctx._references
+
+
+def test_prefill_matches_serial_renders(tmp_path):
+    serial = EvaluationContext(benchmarks=[BENCH])
+    serial_table = table3_forward_progress.run(serial).render()
+    serial_abl = ablations.run(serial).render()
+
+    fanned = EvaluationContext(
+        benchmarks=[BENCH], cache=ArtifactCache(tmp_path / "cache")
+    )
+    cells = engine.prefill(fanned, jobs=2, figure8_benchmark=BENCH)
+    assert cells > 0
+    assert table3_forward_progress.run(fanned).render() == serial_table
+    assert ablations.run(fanned).render() == serial_abl
+    # The prefill populated the caches: rendering must not have added
+    # outcome cells beyond what the planner enumerated.
+    assert fanned._references and fanned._runs and fanned._ablations
+
+
+def test_sweep_parallel_matches_serial():
+    serial = sweep_technique("sumloop", "schematic", granularity="all", jobs=1)
+    fanned = sweep_technique("sumloop", "schematic", granularity="all", jobs=2)
+    assert dataclasses.asdict(fanned) == dataclasses.asdict(serial)
+    assert serial.runs > 0 and serial.ok
+
+
+def test_sweep_parallel_matches_serial_with_violations():
+    # Sabotage plants a bug; the merged parallel result must carry the
+    # same verdicts and shrunk schedules as the serial sweep.
+    serial = sweep_technique(
+        "warloop", "ratchet", granularity="all", sabotage=True, jobs=1
+    )
+    fanned = sweep_technique(
+        "warloop", "ratchet", granularity="all", sabotage=True, jobs=2
+    )
+    assert dataclasses.asdict(fanned) == dataclasses.asdict(serial)
+
+
+def test_differential_parallel_matches_serial():
+    kwargs = dict(
+        programs=["sumloop", "warloop"], tbpf_values=[1_000], modes=["energy"]
+    )
+    serial = run_differential(jobs=1, **kwargs)
+    fanned = run_differential(jobs=2, **kwargs)
+    assert dataclasses.asdict(fanned) == dataclasses.asdict(serial)
+    assert serial.verdicts and serial.ok

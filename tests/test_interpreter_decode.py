@@ -1,0 +1,144 @@
+"""The pre-decoded interpreter loop must be bit-identical to the legacy
+undecoded loop, and the id()-keyed cost cache must stay interpreter-local.
+
+``Interpreter._decode_module`` turns every basic block into
+``(handler, cost, inst, label)`` tuples once at construction; the legacy
+loop (``config.predecode=False``) is kept as the differential reference.
+These tests pin down:
+
+- identical :class:`ExecutionReport`s (outputs, energy, cycles, failure
+  accounting) on both paths, continuous and intermittent;
+- identical ``step_hook`` streams (labels *and* per-step cycle costs),
+  which the testkit's boundary recording depends on;
+- the ``_costs`` lifetime contract: the id()-keyed cache is only safe
+  because it lives and dies with one interpreter holding one module.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.emulator import PowerManager
+from repro.emulator.interpreter import (
+    Interpreter,
+    InterpreterConfig,
+    run_continuous,
+    run_intermittent,
+)
+from repro.emulator.runtime import CheckpointPolicy
+from repro.energy import msp430fr5969_platform
+from repro.ir.instructions import Checkpoint, CondCheckpoint
+from repro.testkit.corpus import compile_for, load_program
+
+PLAT = msp430fr5969_platform(eb=3000.0)
+
+CASES = [
+    ("sumloop", "schematic"),
+    ("warloop", "ratchet"),
+    ("branchy", "mementos"),
+    ("calls", "rockclimb"),
+]
+
+
+def _report_dict(report):
+    return dataclasses.asdict(report)
+
+
+@pytest.mark.parametrize("program", ["sumloop", "warloop", "branchy", "calls"])
+def test_continuous_paths_identical(program):
+    bench = load_program(program)
+    fast = run_continuous(bench.module, PLAT.model,
+                          inputs=bench.default_inputs(), predecode=True)
+    slow = run_continuous(bench.module, PLAT.model,
+                          inputs=bench.default_inputs(), predecode=False)
+    assert _report_dict(fast) == _report_dict(slow)
+
+
+@pytest.mark.parametrize("program,technique", CASES)
+def test_intermittent_paths_identical_with_hooks(program, technique):
+    bench = load_program(program)
+    compiled = compile_for(
+        technique, bench.module, PLAT,
+        input_generator=bench.input_generator(),
+    )
+    assert compiled.feasible
+
+    def run(predecode):
+        hooks = []
+        report = run_intermittent(
+            compiled.module, PLAT.model, compiled.policy,
+            PowerManager.energy_budget(3000.0),
+            vm_size=PLAT.vm_size, inputs=bench.default_inputs(),
+            step_hook=lambda label, cycles: hooks.append((label, cycles)),
+            predecode=predecode,
+        )
+        return report, hooks
+
+    fast_report, fast_hooks = run(True)
+    slow_report, slow_hooks = run(False)
+    assert _report_dict(fast_report) == _report_dict(slow_report)
+    assert fast_hooks == slow_hooks, (
+        "step_hook streams diverged — boundary sweeps would record "
+        "different injection sites per path"
+    )
+
+
+def _interp(module, predecode):
+    return Interpreter(
+        module, PLAT.model,
+        CheckpointPolicy.rollback_mode("continuous"),
+        PowerManager.continuous(),
+        InterpreterConfig(predecode=predecode),
+    )
+
+
+def test_decode_covers_every_block_and_flags_checkpoints():
+    bench = load_program("sumloop")
+    compiled = compile_for(
+        "schematic", bench.module, PLAT,
+        input_generator=bench.input_generator(),
+    )
+    interp = _interp(compiled.module, predecode=True)
+    expected = {
+        (f.name, label)
+        for f in compiled.module.functions.values()
+        for label in f.blocks
+    }
+    assert set(interp._code) == expected
+    for (fname, label), entries in interp._code.items():
+        block = compiled.module.functions[fname].blocks[label]
+        assert len(entries) == len(block.instructions)
+        for index, (handler, cost, inst, lab) in enumerate(entries):
+            assert inst is block.instructions[index], "decode must bind identity"
+            assert lab == f"{fname}:{label}:{index}"
+            # None handler <=> checkpoint instruction (routed to
+            # _do_checkpoint); everything else must have a dispatcher.
+            is_ckpt = isinstance(inst, (Checkpoint, CondCheckpoint))
+            assert (handler is None) == is_ckpt
+
+
+def test_cost_cache_is_interpreter_local():
+    """The lifetime contract on Interpreter._costs: id()-keyed costs are
+    only valid while *this* interpreter keeps the module alive. The cache
+    must be per-instance (never shared, never survive the interpreter)
+    and the pre-decoded path must not populate it at all — it binds costs
+    at construction instead."""
+    bench = load_program("sumloop")
+    a = _interp(bench.module, predecode=False)
+    b = _interp(bench.module, predecode=False)
+    assert a._costs is not b._costs
+    assert a._costs == {} and b._costs == {}
+
+    a.run()
+    assert a._costs, "undecoded run must populate the memo"
+    assert b._costs == {}, "a sibling interpreter must be untouched"
+
+    fast = _interp(bench.module, predecode=True)
+    fast.run()
+    assert fast._costs == {}, (
+        "pre-decoded path must never consult the id()-keyed cache"
+    )
+
+
+def test_predecode_flag_defaults_on():
+    assert InterpreterConfig().predecode is True

@@ -1,0 +1,171 @@
+"""Unit tests for the persistent artifact cache and the process pool.
+
+The cache must be content-addressed (any input change → new key),
+corruption tolerant (a bad entry is a miss, never an error) and atomic;
+``parallel_map`` must preserve order and fall back to in-process
+execution — including the initializer — for ``jobs <= 1``.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.runner.cache import ArtifactCache
+from repro.runner.pool import parallel_map, resolve_jobs
+
+# -- keys ---------------------------------------------------------------------
+
+
+def test_key_is_deterministic():
+    assert ArtifactCache.key("run", "crc", 1.5) == ArtifactCache.key(
+        "run", "crc", 1.5
+    )
+
+
+def test_key_changes_with_any_part():
+    base = ArtifactCache.key("run", "crc", 1.5, None)
+    assert ArtifactCache.key("run", "crc", 2.5, None) != base
+    assert ArtifactCache.key("run", "fft", 1.5, None) != base
+    assert ArtifactCache.key("ref", "crc", 1.5, None) != base
+    assert ArtifactCache.key("run", "crc", 1.5, 1000) != base
+
+
+def test_key_distinguishes_float_and_int():
+    # 1 and 1.0 compare equal in Python; as cache key parts they are
+    # different configurations (an int TBPF vs a float EB).
+    assert ArtifactCache.key(1) != ArtifactCache.key(1.0)
+
+
+def test_text_fingerprint_changes_with_text():
+    assert ArtifactCache.text_fingerprint("a") != ArtifactCache.text_fingerprint("b")
+
+
+# -- storage ------------------------------------------------------------------
+
+
+def test_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    key = ArtifactCache.key("x")
+    assert cache.get("cat", key) is None
+    assert cache.put("cat", key, {"value": [1, 2, 3]})
+    assert cache.get("cat", key) == {"value": [1, 2, 3]}
+    assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+
+def test_corrupt_entry_is_a_miss_and_deleted(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    key = ArtifactCache.key("x")
+    cache.put("cat", key, "fine")
+    path = cache._path("cat", key)
+    path.write_bytes(b"definitely not a pickle")
+    assert cache.get("cat", key) is None
+    assert not path.exists(), "corrupt entry must be unlinked"
+    # The next write repopulates it cleanly.
+    cache.put("cat", key, "fine again")
+    assert cache.get("cat", key) == "fine again"
+
+
+def test_truncated_pickle_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    key = ArtifactCache.key("x")
+    cache.put("cat", key, list(range(1000)))
+    path = cache._path("cat", key)
+    path.write_bytes(path.read_bytes()[:10])
+    assert cache.get("cat", key) is None
+
+
+def test_unpicklable_value_degrades_gracefully(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    assert cache.put("cat", ArtifactCache.key("x"), lambda: 0) is False
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = ArtifactCache(tmp_path / "c", enabled=False)
+    key = ArtifactCache.key("x")
+    assert cache.put("cat", key, 1) is False
+    assert cache.get("cat", key) is None
+    assert not (tmp_path / "c").exists()
+
+
+def test_prune_evicts_down_to_budget(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    for i in range(8):
+        cache.put("cat", ArtifactCache.key(i), b"x" * 100)
+    total = cache.size_bytes()
+    evicted = cache.prune(total // 2)
+    assert evicted > 0
+    assert cache.size_bytes() <= total // 2
+
+
+def test_clear_removes_root(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    cache.put("cat", ArtifactCache.key(1), 1)
+    cache.clear()
+    assert not (tmp_path / "c").exists()
+
+
+def test_default_honors_kill_switch(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert ArtifactCache.default() is None
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+    cache = ArtifactCache.default()
+    assert cache is not None and cache.root == tmp_path / "env"
+
+
+def test_schema_version_is_part_of_the_key(tmp_path, monkeypatch):
+    import repro.runner.cache as cache_mod
+
+    before = ArtifactCache.key("x")
+    monkeypatch.setattr(cache_mod, "SCHEMA_VERSION", cache_mod.SCHEMA_VERSION + 1)
+    assert ArtifactCache.key("x") != before
+
+
+# -- pool ---------------------------------------------------------------------
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs("") == 1
+    assert resolve_jobs("4") == 4
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs("auto") == (os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+_INIT_STATE = None
+
+
+def _pool_init(value):
+    global _INIT_STATE
+    _INIT_STATE = value
+
+
+def _pool_fn(x):
+    return (x * x, _INIT_STATE)
+
+
+def test_parallel_map_serial_runs_initializer_in_process():
+    global _INIT_STATE
+    _INIT_STATE = None
+    out = parallel_map(_pool_fn, [1, 2, 3], jobs=1,
+                       initializer=_pool_init, initargs=("seeded",))
+    assert out == [(1, "seeded"), (4, "seeded"), (9, "seeded")]
+
+
+def test_parallel_map_preserves_order_across_workers():
+    items = list(range(20))
+    serial = parallel_map(_pool_fn, items, jobs=1,
+                          initializer=_pool_init, initargs=("s",))
+    fanned = parallel_map(_pool_fn, items, jobs=2,
+                          initializer=_pool_init, initargs=("s",))
+    assert fanned == serial
+
+
+def test_parallel_map_empty_and_single():
+    assert parallel_map(_pool_fn, [], jobs=4, initializer=_pool_init,
+                        initargs=("s",)) == []
+    assert parallel_map(_pool_fn, [5], jobs=4, initializer=_pool_init,
+                        initargs=("s",)) == [(25, "s")]

@@ -1,0 +1,162 @@
+"""Timing harness for the evaluation engine: cold vs warm vs parallel.
+
+Produces ``BENCH_pr3.json`` with wall-clock timings for
+
+- a **cold** serial evaluation (empty artifact cache),
+- a **warm** serial re-run (same cache; everything is a disk hit),
+- a **parallel** cold evaluation (``engine.prefill`` with N workers,
+  empty cache),
+- the interpreter **pre-decode micro-benchmark**: the aes continuous
+  reference with the pre-decoded hot loop vs the legacy undecoded loop,
+
+asserting along the way that all three evaluation paths render
+byte-identical tables. Run from the repository root::
+
+    python tools/bench_engine.py [--benchmarks crc,randmath]
+                                 [--jobs auto] [--out BENCH_pr3.json]
+
+The evaluation workload is the forward-progress table plus the ablation
+grid over the selected benchmarks — the same cells `run_all` spends most
+of its time on, scaled down so the harness finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import platform as platform_mod
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.emulator.interpreter import run_continuous  # noqa: E402
+from repro.energy import msp430fr5969_platform  # noqa: E402
+from repro.experiments import ablations, engine, table3_forward_progress  # noqa: E402
+from repro.experiments.common import EvaluationContext  # noqa: E402
+from repro.programs import get_benchmark  # noqa: E402
+from repro.runner.cache import ArtifactCache  # noqa: E402
+from repro.runner.pool import resolve_jobs  # noqa: E402
+
+
+def _render_workload(ctx: EvaluationContext) -> str:
+    out = io.StringIO()
+    out.write(table3_forward_progress.run(ctx).render())
+    out.write("\n")
+    out.write(ablations.run(ctx).render())
+    return out.getvalue()
+
+
+def _evaluate(benchmarks, cache_root, jobs: int):
+    cache = ArtifactCache(cache_root) if cache_root else None
+    ctx = EvaluationContext(benchmarks=benchmarks, cache=cache)
+    start = time.perf_counter()
+    if jobs > 1:
+        engine.prefill(ctx, jobs, figure8_benchmark=benchmarks[0])
+    text = _render_workload(ctx)
+    return time.perf_counter() - start, text
+
+
+def _bench_predecode(benchmark: str, repeats: int = 3):
+    bench = get_benchmark(benchmark)
+    model = msp430fr5969_platform().model
+    inputs = bench.default_inputs()
+    timings = {}
+    for label, predecode in (("predecoded", True), ("undecoded", False)):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            report = run_continuous(
+                bench.module, model, inputs=inputs, predecode=predecode
+            )
+            best = min(best, time.perf_counter() - start)
+            assert report.completed
+        timings[label] = best
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", default="crc,randmath",
+                        help="comma-separated evaluation subset")
+    parser.add_argument("--jobs", default="auto", metavar="N|auto")
+    parser.add_argument("--micro-benchmark", default="aes",
+                        help="benchmark for the pre-decode micro-benchmark")
+    parser.add_argument("--out", default="BENCH_pr3.json")
+    args = parser.parse_args(argv)
+    benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    jobs = max(2, resolve_jobs(args.jobs))
+
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        print(f"cold serial evaluation of {benchmarks} ...", file=sys.stderr)
+        cold_s, cold_text = _evaluate(benchmarks, cache_root, jobs=1)
+        print(f"  {cold_s:.2f}s", file=sys.stderr)
+
+        print("warm serial re-run (same cache) ...", file=sys.stderr)
+        warm_s, warm_text = _evaluate(benchmarks, cache_root, jobs=1)
+        print(f"  {warm_s:.2f}s", file=sys.stderr)
+        assert warm_text == cold_text, "warm render diverged from cold"
+
+        shutil.rmtree(cache_root)
+        print(f"parallel cold evaluation (jobs={jobs}) ...", file=sys.stderr)
+        par_s, par_text = _evaluate(benchmarks, cache_root, jobs=jobs)
+        print(f"  {par_s:.2f}s", file=sys.stderr)
+        assert par_text == cold_text, "parallel render diverged from serial"
+
+        print(f"pre-decode micro-benchmark ({args.micro_benchmark}) ...",
+              file=sys.stderr)
+        micro = _bench_predecode(args.micro_benchmark)
+        print(f"  predecoded {micro['predecoded']:.3f}s, "
+              f"undecoded {micro['undecoded']:.3f}s", file=sys.stderr)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    result = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform_mod.python_version(),
+            "platform": platform_mod.platform(),
+        },
+        "workload": {
+            "benchmarks": benchmarks,
+            "sections": ["table3_forward_progress", "ablations"],
+        },
+        "evaluation_seconds": {
+            "cold_serial": round(cold_s, 3),
+            "warm_serial": round(warm_s, 3),
+            "parallel_cold": round(par_s, 3),
+            "parallel_jobs": jobs,
+        },
+        "speedups": {
+            "warm_vs_cold": round(cold_s / warm_s, 2) if warm_s else None,
+            "parallel_vs_serial": round(cold_s / par_s, 2) if par_s else None,
+        },
+        "interpreter_predecode": {
+            "benchmark": args.micro_benchmark,
+            "predecoded_seconds": round(micro["predecoded"], 4),
+            "undecoded_seconds": round(micro["undecoded"], 4),
+            "speedup": round(micro["undecoded"] / micro["predecoded"], 3),
+        },
+        "outputs_byte_identical": True,
+    }
+    if (os.cpu_count() or 1) < jobs:
+        result["note"] = (
+            f"parallel timing ran {jobs} workers on {os.cpu_count()} "
+            "core(s): process fan-out cannot beat serial without real "
+            "parallel hardware; the byte-identical assertion is the "
+            "meaningful check here (see docs/performance.md)"
+        )
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
