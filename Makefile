@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test sweep check fuzz bench bench-full bench-engine experiments experiments-quick export examples clean
+.PHONY: test sweep check check-bounds fuzz bench bench-full bench-engine experiments experiments-quick export examples clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -18,6 +18,11 @@ sweep:
 # findings, so this doubles as a CI gate.
 check:
 	$(PYTHON) -m repro.staticcheck --programs all --techniques all
+
+# Loop-bound annotation verification on the *source* modules (no
+# placement pass): unsound @maxiter, dead branches, provable OOB.
+check-bounds:
+	$(PYTHON) -m repro.staticcheck --bounds --programs all
 
 fuzz:
 	$(PYTHON) -m repro.testkit fuzz

@@ -12,6 +12,8 @@ Everything here is a classic compiler analysis, implemented on the repro IR:
   through call summaries (used by Eq. 2's save/restore trimming).
 - :mod:`repro.analysis.accesses` — per-block variable read/write counts
   (the ``nR``/``nW`` of Eq. 1).
+- :mod:`repro.analysis.ranges` — interprocedural value-range analysis and
+  loop trip-count inference (verifies ``@maxiter``, infers missing bounds).
 """
 
 from repro.analysis.cfg import CFG, Edge
@@ -20,6 +22,14 @@ from repro.analysis.loops import Loop, LoopNest
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.liveness import FunctionAccessSummaries, LivenessInfo
 from repro.analysis.accesses import AccessCounts, block_access_counts
+from repro.analysis.ranges import (
+    FunctionRanges,
+    Interval,
+    ModuleRanges,
+    TripBound,
+    apply_inferred_bounds,
+    infer_module_bounds,
+)
 
 __all__ = [
     "CFG",
@@ -32,4 +42,10 @@ __all__ = [
     "LivenessInfo",
     "AccessCounts",
     "block_access_counts",
+    "FunctionRanges",
+    "Interval",
+    "ModuleRanges",
+    "TripBound",
+    "apply_inferred_bounds",
+    "infer_module_bounds",
 ]

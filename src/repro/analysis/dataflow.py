@@ -17,6 +17,20 @@ and ``join`` must be monotone over a finite-height lattice — but the
 solver guards against runaway iteration and raises
 :class:`~repro.errors.AnalysisError` instead of spinning.
 
+Two optional hooks extend the solver for richer domains (the interval
+analysis in :mod:`repro.analysis.ranges` uses both):
+
+- ``edge_transfer(src, dst, state) -> state | None`` refines a
+  predecessor's out-state for one specific edge — branch-condition
+  refinement in a value-range domain. Returning ``None`` marks the edge
+  statically infeasible; it then contributes nothing to the successor,
+  and a block all of whose incoming edges are infeasible is treated
+  exactly like an unreachable block.
+- ``widen(old_in, new_in) -> state`` accelerates convergence for
+  infinite-height domains. It is applied at the labels in ``widen_at``
+  (loop headers) whenever a block's in-state grows; the caller must
+  guarantee that iterated widening stabilizes in finitely many steps.
+
 Blocks unreachable from the entry receive no state: they are absent from
 the returned maps, and ``transfer`` is never called for them.
 """
@@ -24,7 +38,7 @@ the returned maps, and ``transfer`` is never called for them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, TypeVar
+from typing import Callable, Collection, Dict, Optional, TypeVar
 
 from repro.analysis.cfg import CFG
 from repro.errors import AnalysisError
@@ -46,6 +60,9 @@ def solve_forward(
     entry_state: S,
     transfer: Callable[[str, S], S],
     join: Callable[[S, S], S],
+    edge_transfer: Optional[Callable[[str, str, S], Optional[S]]] = None,
+    widen: Optional[Callable[[S, S], S]] = None,
+    widen_at: Collection[str] = (),
 ) -> ForwardSolution:
     """Iterate ``transfer`` to a fixpoint in reverse postorder.
 
@@ -56,11 +73,14 @@ def solve_forward(
     order = cfg.reverse_postorder()
     block_in: Dict[str, S] = {}
     block_out: Dict[str, S] = {}
+    widen_labels = frozenset(widen_at) if widen is not None else frozenset()
 
     # Any monotone chain settles within height * blocks sweeps; reducible
     # CFGs need far fewer. The margin only exists to turn a non-monotone
-    # transfer function into a diagnosable error.
-    max_passes = 2 * len(order) + 8
+    # transfer function into a diagnosable error. Widening domains get a
+    # wider margin: each widening point may take a few extra sweeps to
+    # climb through its (finite) threshold ladder.
+    max_passes = 2 * len(order) + 8 + 8 * len(widen_labels)
 
     passes = 0
     changed = True
@@ -78,11 +98,20 @@ def solve_forward(
                 out = block_out.get(pred)
                 if out is None:
                     continue
+                if edge_transfer is not None:
+                    out = edge_transfer(pred, label, out)
+                    if out is None:
+                        continue  # edge statically infeasible
                 state = out if state is None else join(state, out)
             if state is None:
                 continue  # no reachable predecessor yet
-            if label in block_in and state == block_in[label]:
-                continue  # transfer is pure: same in-state, same out-state
+            if label in block_in:
+                if state == block_in[label]:
+                    continue  # transfer is pure: same in-state, same out-state
+                if label in widen_labels:
+                    state = widen(block_in[label], state)
+                    if state == block_in[label]:
+                        continue
             block_in[label] = state
             out_state = transfer(label, state)
             if label not in block_out or out_state != block_out[label]:

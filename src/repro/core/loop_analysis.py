@@ -27,8 +27,18 @@ from repro.ir.values import MemorySpace
 
 #: Trip-count estimate used only for *cost* weighting when a loop has no
 #: known bound (safety never depends on it: unbounded loops always get a
-#: conditional back-edge checkpoint).
+#: conditional back-edge checkpoint). Since the Schematic driver fills
+#: ``loop_maxiter`` with proven bounds from the value-range analysis
+#: (:func:`repro.analysis.ranges.apply_inferred_bounds`) before any loop
+#: is analyzed, this default now applies only to *truly* unbounded loops
+#: — data-dependent exits the trip-count deriver cannot bound.
 DEFAULT_TRIP_ESTIMATE = 64
+
+
+def trip_estimate(maxiter: Optional[int]) -> int:
+    """The trip count used for cost weighting: the declared-or-inferred
+    bound when one exists, :data:`DEFAULT_TRIP_ESTIMATE` otherwise."""
+    return maxiter if maxiter is not None else DEFAULT_TRIP_ESTIMATE
 
 
 @dataclass
@@ -199,7 +209,7 @@ def analyze_loop(
             private_reserve=private_reserve,
         )
 
-    trips = maxiter if maxiter is not None else DEFAULT_TRIP_ESTIMATE
+    trips = trip_estimate(maxiter)
     e_iter = outcome.total_energy
 
     # ---- Step 2: the back-edge decision. --------------------------------------

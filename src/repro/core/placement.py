@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.liveness import FunctionAccessSummaries
+from repro.analysis.ranges import apply_inferred_bounds
 from repro.core.function_analysis import FunctionAnalyzer, FunctionPlan
 from repro.core.summaries import FunctionResult
 from repro.core.tracing import InputGenerator, Profile, collect_profile
@@ -91,6 +92,13 @@ class Schematic:
         start = time.perf_counter()
         work = module.clone()
         validate_module(work)
+
+        # Fill missing loop bounds with *proven* trip counts before any
+        # loop-aware decision runs: unannotated-but-bounded loops then get
+        # real numit windows and back-edge elision instead of the blanket
+        # DEFAULT_TRIP_ESTIMATE path. Declared @maxiter values are never
+        # overwritten (they are verified separately by BOUND001).
+        apply_inferred_bounds(work)
 
         if profile is None:
             profile = collect_profile(

@@ -623,6 +623,10 @@ def _prune_dead_blocks(module: Module) -> None:
             work.extend(func.blocks[label].successor_labels())
         for label in [l for l in func.blocks if l not in reachable]:
             del func.blocks[label]
+            # A @maxiter recorded for a loop that turned out to be dead
+            # must go with its header, or validation would reject the
+            # module for annotating a non-existent block.
+            func.loop_maxiter.pop(label, None)
 
 
 def lower_program(program: ast.Program, name: str = "module") -> Module:

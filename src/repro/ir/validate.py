@@ -136,6 +136,18 @@ def _validate_function(
     if unreachable:
         _fail(where, f"unreachable blocks: {sorted(unreachable)}")
 
+    # Loop-bound annotations must name live blocks: an orphaned key means
+    # the declared bound silently constrains nothing (the placer and the
+    # bound verifier both look bounds up by header label).
+    for label, bound in func.loop_maxiter.items():
+        if label not in labels:
+            _fail(
+                where,
+                f"loop_maxiter names no block: .{label} (bound {bound})",
+            )
+        if bound < 1:
+            _fail(where, f"loop_maxiter for .{label} must be >= 1, got {bound}")
+
     module_ckpt_ids |= ckpt_ids
     _check_definite_assignment(func)
 

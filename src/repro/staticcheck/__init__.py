@@ -8,7 +8,11 @@ Certifies a transformed module *without executing it*:
   checkpoint-to-checkpoint segment fits the capacitor budget EB;
 - :mod:`repro.staticcheck.alloc` — VM-residency consistency between
   accesses and the checkpointed allocation, plus checkpoint metadata
-  sanity and VM capacity.
+  sanity and VM capacity;
+- :mod:`repro.staticcheck.bounds` — loop-bound verification on the
+  interprocedural value-range analysis: unsound ``@maxiter``
+  annotations, inferred bounds, dead branches and provable
+  out-of-bounds array accesses.
 
 Findings are classified by the rule catalog (:mod:`.rules`), carry
 precise locations, and render as text or JSON. Entry points:
@@ -18,11 +22,17 @@ fault-injection testkit (:mod:`repro.testkit`) is the ground truth this
 checker is cross-validated against; see ``docs/static-analysis.md``.
 """
 
-from repro.staticcheck.checker import CheckReport, check_compiled, check_module
+from repro.staticcheck.checker import (
+    CheckReport,
+    check_bounds,
+    check_compiled,
+    check_module,
+)
 from repro.staticcheck.findings import Finding, Location, Severity
 from repro.staticcheck.rules import RULES, Rule, RuleConfig, get_rule
 from repro.staticcheck.war import WarSummary, analyze_war
 from repro.staticcheck.alloc import ResidencySummary, analyze_residency
+from repro.staticcheck.bounds import analyze_bounds
 from repro.staticcheck.energy import EnergyCertifier, StepEffect, certify_energy
 
 __all__ = [
@@ -43,4 +53,6 @@ __all__ = [
     "EnergyCertifier",
     "StepEffect",
     "certify_energy",
+    "analyze_bounds",
+    "check_bounds",
 ]

@@ -12,6 +12,10 @@ Examples::
     # at least one gating finding per program (exit 1 when one slips by):
     python -m repro.staticcheck --sabotage
 
+    # Verify loop-bound annotations on the *source* modules only (no
+    # placement pass; what `make check-bounds` runs):
+    python -m repro.staticcheck --bounds --programs all
+
     # Show the rule catalog:
     python -m repro.staticcheck --list-rules
 
@@ -41,7 +45,7 @@ from repro.baselines import COMPILERS
 from repro.energy import msp430fr5969_platform
 from repro.errors import ReproError
 from repro.programs import BENCHMARK_NAMES
-from repro.staticcheck.checker import CheckReport, check_compiled
+from repro.staticcheck.checker import CheckReport, check_bounds, check_compiled
 from repro.staticcheck.findings import Severity
 from repro.staticcheck.rules import RuleConfig, get_rule, render_catalog
 from repro.testkit.corpus import (
@@ -100,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fail-on", default="error",
         help="gate severity: error, warning or info (default error)",
     )
+    parser.add_argument("--bounds", action="store_true",
+                        help="run only the loop-bound rules (BOUND/DEAD/OOB) "
+                        "on the untransformed source modules; --techniques "
+                        "is ignored")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
@@ -150,6 +158,37 @@ def _check_pair(
     return report
 
 
+def _run_bounds(args: argparse.Namespace, threshold: Severity) -> int:
+    """--bounds mode: annotation verification on untransformed modules."""
+    for rule_id in args.suppress:
+        get_rule(rule_id)  # raises with the valid choices
+    config = RuleConfig(suppressed=frozenset(args.suppress))
+    failures = 0
+    documents = []
+    for program in _expand_programs(args.programs):
+        report = check_bounds(load_program(program).module, config)
+        report.stats["program"] = program
+        gated = not report.ok(threshold)
+        failures += 1 if gated else 0
+        verdict = "FAILED" if gated else "verified"
+        if args.json:
+            doc = report.to_json()
+            doc["program"] = program
+            doc["verdict"] = verdict
+            documents.append(doc)
+        else:
+            print(f"check-bounds {program}: {verdict} "
+                  f"({report.stats['proven_bounds']}/{report.stats['loops']} "
+                  "loop bounds proven)")
+            body = report.render()
+            print("  " + body.replace("\n", "\n  "))
+    if args.json:
+        json.dump({"reports": documents, "failures": failures},
+                  sys.stdout, indent=2)
+        print()
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
@@ -157,6 +196,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     try:
         threshold = Severity.parse(args.fail_on)
+        if args.bounds:
+            return _run_bounds(args, threshold)
         programs = _expand_programs(args.programs)
         techniques = _expand_techniques(args.techniques)
         failures = 0

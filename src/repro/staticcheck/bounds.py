@@ -1,0 +1,133 @@
+"""Loop-bound, dead-branch and array-bounds rules (BOUND/DEAD/OOB).
+
+Built on the interprocedural value-range analysis in
+:mod:`repro.analysis.ranges`. Four rules:
+
+- **BOUND001** (error): a declared ``@maxiter`` is smaller than the
+  loop's *provable* trip count. Fires only on exact derivations — an
+  upper bound above the annotation proves nothing (the loop may still
+  exit early), but a proven minimum above it voids every downstream
+  decision that trusted the annotation.
+- **BOUND002** (info): an unannotated loop has a provable bound; the
+  placer applies it automatically (``apply_inferred_bounds``), so the
+  finding documents where the analysis closed a coverage hole.
+- **DEAD001** (warning): one edge of a conditional branch is infeasible
+  for every reachable abstract state.
+- **OOB001** (error): an indexed access whose index interval is fully
+  disjoint from the array's valid range. By-reference array parameters
+  carry a placeholder element count (they bind at call time), so they
+  are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.ranges import Interval, ModuleRanges
+from repro.ir.instructions import Instruction, Load, Store
+from repro.ir.module import Module
+from repro.staticcheck.common import FindingSink
+from repro.staticcheck.findings import Finding, Location
+from repro.staticcheck.rules import RULES
+
+
+def _emit(
+    sink: FindingSink,
+    rule_id: str,
+    location: Location,
+    message: str,
+    details: Dict[str, object],
+) -> None:
+    rule = RULES[rule_id]
+    sink.add(
+        Finding(
+            rule_id=rule.rule_id,
+            severity=rule.default_severity,
+            location=location,
+            message=message,
+            details=details,
+        )
+    )
+
+
+def analyze_bounds(
+    module: Module,
+    sink: FindingSink,
+    ranges: Optional[ModuleRanges] = None,
+) -> ModuleRanges:
+    """Run the bound/dead-branch/OOB rules; returns the range analysis
+    so callers (the checker facade) can reuse it for energy bounds."""
+    ranges = ranges or ModuleRanges(module)
+    for name, fr in ranges.functions.items():
+        func = module.functions[name]
+
+        # BOUND001/BOUND002: declared vs provable trip counts.
+        for header, bound in sorted(fr.trip_bounds.items()):
+            declared = func.loop_maxiter.get(header)
+            if declared is None:
+                _emit(
+                    sink, "BOUND002", Location(name, header),
+                    f"loop at .{header} has no @maxiter but a provable "
+                    f"bound: {'exactly' if bound.exact else 'at most'} "
+                    f"{bound.max_trips} iterations "
+                    f"(induction variable @{bound.counter})",
+                    {
+                        "loop": header,
+                        "inferred": bound.max_trips,
+                        "exact": bound.exact,
+                    },
+                )
+            elif bound.exact and bound.min_trips > declared:
+                _emit(
+                    sink, "BOUND001", Location(name, header),
+                    f"loop at .{header} declares @maxiter({declared}) but "
+                    f"provably executes {bound.min_trips} iterations: the "
+                    f"annotation under-declares the trip count and every "
+                    f"placement/energy decision built on it is unsound",
+                    {
+                        "loop": header,
+                        "declared": declared,
+                        "proved": bound.min_trips,
+                    },
+                )
+
+        # DEAD001: statically infeasible branch edges.
+        for src, dst in fr.infeasible_edges():
+            block = func.blocks[src]
+            _emit(
+                sink, "DEAD001",
+                Location(name, src, len(block.instructions) - 1),
+                f"branch edge .{src} -> .{dst} can never be taken: the "
+                f"condition is constant over every reachable state",
+                {"from": src, "to": dst},
+            )
+
+        # OOB001: definitely out-of-bounds indexed accesses.
+        def check_access(
+            label: str, idx: int, inst: Instruction, state: Dict
+        ) -> None:
+            if not isinstance(inst, (Load, Store)) or inst.index is None:
+                return
+            var = inst.var
+            if var.is_ref or not var.is_array:
+                return  # ref params bind at call time; scalars have no index
+            index_iv = fr.value_interval(state, inst.index)
+            if index_iv is None:
+                return
+            valid = Interval(0, var.count - 1)
+            if index_iv.meet(valid) is None:
+                _emit(
+                    sink, "OOB001", Location(name, label, idx),
+                    f"index into @{var.name}[{var.count}] is always out "
+                    f"of bounds: every reachable index value lies in "
+                    f"{index_iv}",
+                    {
+                        "variable": var.name,
+                        "count": var.count,
+                        "index_lo": index_iv.lo,
+                        "index_hi": index_iv.hi,
+                    },
+                )
+
+        fr.visit_reachable(check_access)
+    return ranges

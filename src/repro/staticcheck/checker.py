@@ -5,9 +5,14 @@
 through it. It decides which analyses apply from the runtime policy:
 
 - WAR/idempotency and residency consistency apply to every technique;
+- loop-bound verification (BOUND/DEAD/OOB, on the value-range analysis)
+  applies to every technique — annotations are wrong or right regardless
+  of the runtime;
 - energy certification applies only to wait-mode policies — roll-back
   baselines make progress by replaying, so they have no segment-fits-EB
-  obligation to certify.
+  obligation to certify. The certifier consumes *proven* bounds from the
+  range analysis for loops without an ``@maxiter``, so inferable loops
+  no longer draw ENER002.
 
 Raw findings from the analyzers pass through the :class:`RuleConfig`
 (suppression, severity overrides) and come back sorted most-severe
@@ -25,7 +30,9 @@ from repro.energy.model import EnergyModel
 from repro.energy.platform import Platform
 from repro.ir.module import Module
 from repro.ir.values import MemorySpace
+from repro.analysis.ranges import infer_module_bounds
 from repro.staticcheck.alloc import analyze_residency, check_checkpoint_metadata
+from repro.staticcheck.bounds import analyze_bounds
 from repro.staticcheck.common import (
     CHECKPOINT_KINDS,
     FindingSink,
@@ -120,14 +127,18 @@ def check_module(
         module, sink,
         policy_may_skip=policy_may_skip, default_space=default_space,
     )
+    ranges = analyze_bounds(module, sink)
 
     stats: Dict[str, object] = {
         "functions": len(module.functions),
         "checkpoints": checkpoints,
-        "analyses": ["metadata", "war", "residency"],
+        "analyses": ["metadata", "war", "residency", "bounds"],
     }
     if wait_mode and model is not None and eb is not None:
-        certifier = certify_energy(module, model, eb, sink)
+        certifier = certify_energy(
+            module, model, eb, sink,
+            inferred_bounds=infer_module_bounds(module, ranges),
+        )
         stats["analyses"].append("energy")
         stats["worst_window_nj"] = round(certifier.worst_window, 3)
         stats["eb_nj"] = eb
@@ -158,3 +169,37 @@ def check_compiled(
     )
     report.stats["technique"] = compiled.name
     return report
+
+
+def check_bounds(
+    module: Module,
+    config: Optional[RuleConfig] = None,
+) -> CheckReport:
+    """Run only the loop-bound rules over a *source* module.
+
+    This is annotation verification before any placement pass runs:
+    BOUND001/BOUND002/DEAD001/OOB001 on the untransformed IR — what
+    ``make check-bounds`` gates CI on.
+    """
+    config = config or RuleConfig()
+    sink = FindingSink()
+    ranges = analyze_bounds(module, sink)
+    loops = sum(
+        len(fr.nest.loops) for fr in ranges.functions.values() if fr.nest
+    )
+    proven = sum(len(fr.trip_bounds) for fr in ranges.functions.values())
+    findings = []
+    for finding in sink.findings:
+        kept = config.apply(finding)
+        if kept is not None:
+            findings.append(kept)
+    findings.sort(key=Finding.sort_key)
+    return CheckReport(
+        findings=findings,
+        stats={
+            "functions": len(module.functions),
+            "loops": loops,
+            "proven_bounds": proven,
+            "analyses": ["bounds"],
+        },
+    )

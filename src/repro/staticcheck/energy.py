@@ -130,11 +130,16 @@ class EnergyCertifier:
         model: EnergyModel,
         eb: float,
         sink: FindingSink,
+        inferred_bounds: Optional[Dict[Tuple[str, str], int]] = None,
     ):
         self.module = module
         self.model = model
         self.eb = eb
         self.sink = sink
+        #: Proven trip bounds from the value-range analysis,
+        #: ``(function, header) -> max trips`` — consulted when a loop
+        #: carries no ``@maxiter`` of its own.
+        self.inferred_bounds = dict(inferred_bounds or {})
         self.variables = variable_map(module)
         self.summaries: Dict[str, StepEffect] = {}
         #: Largest certified absolute window — the margin statistic.
@@ -443,6 +448,8 @@ class EnergyCertifier:
         it, ltb = body.latch if body.latch is not None else (None, None)
         cond = min(body.cond_sites, key=lambda c: c.every) if body.cond_sites else None
         trips = loop.maxiter
+        if trips is None:
+            trips = self.inferred_bounds.get((func.name, loop.header))
 
         fire_possible = cond is not None and (trips is None or trips >= cond.every)
         if it is not None and trips is None and not fire_possible:
@@ -555,8 +562,13 @@ def certify_energy(
     model: EnergyModel,
     eb: float,
     sink: FindingSink,
+    inferred_bounds: Optional[Dict[Tuple[str, str], int]] = None,
 ) -> EnergyCertifier:
-    """Run the certifier; returns it for its summaries/statistics."""
-    certifier = EnergyCertifier(module, model, eb, sink)
+    """Run the certifier; returns it for its summaries/statistics.
+
+    ``inferred_bounds`` supplies proven trip counts for loops without an
+    ``@maxiter`` (see :mod:`repro.analysis.ranges`), turning previously
+    ENER002-uncertifiable loops certifiable."""
+    certifier = EnergyCertifier(module, model, eb, sink, inferred_bounds)
     certifier.run()
     return certifier

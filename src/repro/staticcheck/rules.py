@@ -68,6 +68,44 @@ _RULES: List[Rule] = [
         "cannot be certified against any finite EB.",
     ),
     Rule(
+        "BOUND001",
+        "unsound @maxiter annotation",
+        Severity.ERROR,
+        "A loop's declared @maxiter is smaller than its provable trip "
+        "count: the value-range analysis derives an exact iteration "
+        "count above the annotation. Placement decisions (back-edge "
+        "checkpoint elision, numit windows) and the energy certificate "
+        "built on the annotation are void — the loop runs longer than "
+        "everything downstream assumed.",
+    ),
+    Rule(
+        "BOUND002",
+        "inferred bound for unannotated loop",
+        Severity.INFO,
+        "An unannotated loop has a provable iteration bound. The "
+        "inferred bound is applied automatically during placement, so "
+        "the loop gets a real numit window and the energy certifier can "
+        "close its checkpoint-free windows without an @maxiter "
+        "annotation.",
+    ),
+    Rule(
+        "DEAD001",
+        "statically unreachable branch",
+        Severity.WARNING,
+        "The value-range analysis proves one edge of a conditional "
+        "branch can never be taken: the condition is constant over "
+        "every reachable state. Dead guards often indicate a wrong "
+        "comparison or an impossible sentinel test.",
+    ),
+    Rule(
+        "OOB001",
+        "provable out-of-bounds array access",
+        Severity.ERROR,
+        "Every value the index expression can take at this access lies "
+        "outside the array's bounds. The access faults (the emulator "
+        "traps) on any execution that reaches it.",
+    ),
+    Rule(
         "ALLOC001",
         "VM access without residency",
         Severity.ERROR,

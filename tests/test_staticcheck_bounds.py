@@ -1,0 +1,420 @@
+"""Tests for the loop-bound rules (BOUND/DEAD/OOB) and their wiring.
+
+The centerpiece is the sabotage differential: an under-declared
+``@maxiter`` must be flagged *statically* by BOUND001 and, for the same
+module, the dynamic fault-injection side must observe the placement
+failure the lie causes (a wait-mode livelock under the energy budget the
+placement was compiled for). Also covered: BOUND002/DEAD001/OOB001
+behavior, the ENER002-to-certifiable upgrade through inferred bounds,
+validator rejection of orphaned annotations, corpus cleanliness, and the
+placement-invariance guarantee on annotated programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ranges import infer_module_bounds
+from repro.baselines import COMPILERS
+from repro.baselines.common import set_all_spaces
+from repro.core.verify import run_against_reference
+from repro.emulator import PowerManager
+from repro.emulator.interpreter import run_continuous
+from repro.emulator.runtime import CheckpointPolicy
+from repro.errors import IRValidationError
+from repro.frontend import compile_source
+from repro.ir.validate import validate_module
+from repro.ir.values import MemorySpace
+from repro.staticcheck import Severity, check_bounds, check_module
+from repro.staticcheck.common import (
+    CHECKPOINT_KINDS,
+    FindingSink,
+    iter_instructions,
+)
+from repro.staticcheck.bounds import analyze_bounds
+from repro.staticcheck.energy import certify_energy
+from repro.testkit.corpus import available_programs, compile_for, load_program
+from repro.testkit.oracle import OUTCOME_OK, OUTCOME_PROGRESS, classify
+from tests.helpers import MODEL, SUM_LOOP_SRC, platform, sum_loop_inputs
+
+
+def bound_findings(src: str, name: str = "m"):
+    report = check_bounds(compile_source(src, name))
+    return report.findings
+
+
+def checkpoint_sites(module):
+    return sorted(
+        (f.name, lbl, i, type(inst).__name__)
+        for f in module.functions.values()
+        for lbl, i, inst in iter_instructions(f)
+        if isinstance(inst, CHECKPOINT_KINDS)
+    )
+
+
+class TestBound001Sabotage:
+    """An under-declared @maxiter: caught statically, fatal dynamically."""
+
+    def sabotaged(self):
+        module = compile_source(SUM_LOOP_SRC, "sab")
+        func = module.functions["main"]
+        (header,) = func.loop_maxiter  # the 16-iteration for loop
+        func.loop_maxiter[header] = 2  # lie: claims 2 iterations
+        return module, header
+
+    def test_static_flags_the_lie(self):
+        module, header = self.sabotaged()
+        report = check_bounds(module)
+        assert [f.rule_id for f in report.findings] == ["BOUND001"]
+        finding = report.findings[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.details["declared"] == 2
+        assert finding.details["proved"] == 16
+        assert finding.location.block == header
+        assert not report.ok()
+
+    def test_honest_module_is_clean(self):
+        module = compile_source(SUM_LOOP_SRC, "honest")
+        report = check_bounds(module)
+        assert report.findings == []
+        assert report.stats["proven_bounds"] == 1
+
+    def test_dynamic_side_confirms_the_static_verdict(self):
+        """Cross-validation against the fault-injection ground truth.
+
+        At EB=200 nJ the honest placement needs a conditional back-edge
+        checkpoint inside the 16-iteration loop. Compiled against the
+        @maxiter(2) lie, the placer elides it — the resulting segment
+        exceeds EB and a wait-mode run livelocks (progress violation)
+        where the honest build completes. Exactly the failure mode
+        BOUND001's message claims.
+        """
+        eb = 200.0
+        plat = platform(eb=eb)
+        bench = load_program("sumloop")
+        gen = bench.input_generator()
+        inputs = sum_loop_inputs()
+
+        sab, _ = self.sabotaged()
+        lying = COMPILERS["schematic"](sab, plat, input_generator=gen)
+        honest = COMPILERS["schematic"](
+            compile_source(SUM_LOOP_SRC, "honest"), plat, input_generator=gen
+        )
+        # The lie changes placement: back-edge checkpoints disappear.
+        assert len(checkpoint_sites(lying.module)) \
+            < len(checkpoint_sites(honest.module))
+
+        reference = run_continuous(
+            compile_source(SUM_LOOP_SRC, "ref"), MODEL, inputs=inputs
+        )
+        def outcome(compiled):
+            result = run_against_reference(
+                compiled.module,
+                compiled.module,
+                MODEL,
+                compiled.policy,
+                PowerManager.energy_budget(eb),
+                vm_size=plat.vm_size,
+                inputs=inputs,
+                max_instructions=2_000_000,
+                reference_report=reference,
+            )
+            return classify(result, guarantee=True)
+
+        assert outcome(honest) == OUTCOME_OK
+        assert outcome(lying) == OUTCOME_PROGRESS
+
+
+class TestBound002:
+    def test_inferred_bound_for_unannotated_loop(self):
+        findings = bound_findings("""
+            u32 out;
+            void main() {
+                i32 i = 0;
+                while (i < 9) {
+                    out = out + 1;
+                    i = i + 1;
+                }
+            }
+        """)
+        assert [f.rule_id for f in findings] == ["BOUND002"]
+        finding = findings[0]
+        assert finding.severity is Severity.INFO
+        assert finding.details["inferred"] == 9
+        assert finding.details["exact"] is True
+
+    def test_annotated_loop_is_silent(self):
+        findings = bound_findings("""
+            u32 out;
+            void main() {
+                i32 i = 0;
+                @maxiter(9)
+                while (i < 9) {
+                    out = out + 1;
+                    i = i + 1;
+                }
+            }
+        """)
+        assert findings == []
+
+    def test_overdeclared_maxiter_is_allowed(self):
+        # @maxiter is an upper bound: declaring more than the proven trip
+        # count is conservative, not unsound.
+        findings = bound_findings("""
+            u32 out;
+            void main() {
+                i32 i = 0;
+                @maxiter(100)
+                while (i < 9) {
+                    out = out + 1;
+                    i = i + 1;
+                }
+            }
+        """)
+        assert findings == []
+
+
+class TestDead001:
+    def test_unsigned_below_zero_branch(self):
+        findings = bound_findings("""
+            u32 x;
+            u32 out;
+            void main() {
+                if (x < 0) { out = 1; } else { out = 2; }
+            }
+        """)
+        assert {f.rule_id for f in findings} == {"DEAD001"}
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_live_branches_are_silent(self):
+        findings = bound_findings("""
+            i32 x;
+            u32 out;
+            void main() {
+                if (x < 0) { out = 1; } else { out = 2; }
+            }
+        """)
+        assert findings == []
+
+
+class TestOob001:
+    def test_provable_out_of_bounds_store(self):
+        findings = bound_findings("""
+            i32 data[8];
+            void main() {
+                i32 i = 8;
+                data[i] = 1;
+            }
+        """)
+        assert [f.rule_id for f in findings] == ["OOB001"]
+        finding = findings[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.details["variable"] == "data"
+        assert finding.details["index_lo"] == 8
+
+    def test_in_bounds_loop_access_is_silent(self):
+        findings = bound_findings("""
+            i32 data[8];
+            u32 out;
+            void main() {
+                for (i32 i = 0; i < 8; i++) { out += (u32) data[i]; }
+            }
+        """)
+        assert findings == []
+
+    def test_by_reference_parameters_are_exempt(self):
+        # Ref formals carry a placeholder element count; they bind to a
+        # real array at call time, so no static index verdict is valid.
+        findings = bound_findings("""
+            i32 data[4];
+            u32 out;
+            void touch(i32 buf[], i32 k) { buf[k] = 7; }
+            void main() { touch(data, 3); out = (u32) data[3]; }
+        """)
+        assert findings == []
+
+
+class TestEnergyUpgrade:
+    """An inferable unannotated loop no longer draws ENER002."""
+
+    SRC = """
+        u32 x;
+        void main() {
+            i32 i = 0;
+            while (i < 16) {
+                x = x + 1;
+                i = i + 1;
+            }
+        }
+    """
+
+    def build(self):
+        module = compile_source(self.SRC, "upgrade")
+        set_all_spaces(module, MemorySpace.NVM)
+        return module
+
+    def test_without_bounds_uncertifiable(self):
+        sink = FindingSink()
+        certify_energy(self.build(), MODEL, 30000.0, sink)
+        assert [f.rule_id for f in sink.findings] == ["ENER002"]
+
+    def test_inferred_bound_makes_it_certifiable(self):
+        module = self.build()
+        sink = FindingSink()
+        certifier = certify_energy(
+            module, MODEL, 30000.0, sink,
+            inferred_bounds=infer_module_bounds(module),
+        )
+        assert sink.findings == []
+        assert certifier.worst_window > 0
+
+    def test_check_module_wires_the_bounds_through(self):
+        report = check_module(
+            self.build(),
+            MODEL,
+            policy=CheckpointPolicy.wait_mode("test"),
+            eb=30000.0,
+        )
+        rule_ids = {f.rule_id for f in report.findings}
+        assert "ENER002" not in rule_ids
+        assert "BOUND002" in rule_ids  # the inference is documented
+        assert "energy" in report.stats["analyses"]
+
+    def test_truly_unbounded_loop_still_uncertifiable(self):
+        # Halving is not an induction pattern the deriver can bound:
+        # the ENER002 obligation must survive for it.
+        module = compile_source(
+            """
+            u32 x;
+            u32 y;
+            void main() {
+                while (x != 0) { x = x >> 1; }
+                y = 1;
+            }
+            """,
+            "unb",
+        )
+        set_all_spaces(module, MemorySpace.NVM)
+        sink = FindingSink()
+        certify_energy(
+            module, MODEL, 3000.0, sink,
+            inferred_bounds=infer_module_bounds(module),
+        )
+        assert [f.rule_id for f in sink.findings] == ["ENER002"]
+
+
+class TestValidatorAnnotationChecks:
+    def test_orphaned_maxiter_key_rejected(self):
+        module = compile_source(SUM_LOOP_SRC, "orphan")
+        module.functions["main"].loop_maxiter["no_such_block"] = 4
+        with pytest.raises(IRValidationError, match="names no block"):
+            validate_module(module)
+
+    def test_non_positive_bound_rejected(self):
+        module = compile_source(SUM_LOOP_SRC, "nonpos")
+        func = module.functions["main"]
+        (header,) = func.loop_maxiter
+        func.loop_maxiter[header] = 0
+        with pytest.raises(IRValidationError, match="must be >= 1"):
+            validate_module(module)
+
+    def test_lowering_drops_annotations_on_pruned_loops(self):
+        # The annotated loop is unreachable (after return): its blocks
+        # are pruned, and the @maxiter key must go with them or the
+        # module would fail its own validation.
+        module = compile_source(
+            """
+            u32 out;
+            void main() {
+                out = 1;
+                return;
+                @maxiter(4)
+                while (out < 10) { out = out + 1; }
+            }
+            """,
+            "pruned",
+        )
+        assert module.functions["main"].loop_maxiter == {}
+        validate_module(module)
+
+
+class TestCorpusClean:
+    def test_every_program_verifies(self):
+        for program in available_programs():
+            report = check_bounds(load_program(program).module)
+            assert report.ok(Severity.ERROR), (
+                program,
+                [f.render() for f in report.findings],
+            )
+            # The stock corpus is fully annotated and in-bounds: no
+            # BOUND/DEAD/OOB findings at any severity.
+            assert report.findings == [], program
+
+    def test_checker_facade_includes_bounds(self):
+        bench = load_program("sumloop")
+        plat = platform()
+        compiled = compile_for(
+            "schematic", bench.module, plat,
+            input_generator=bench.input_generator(),
+        )
+        report = check_module(
+            compiled.module, plat.model,
+            policy=compiled.policy, eb=plat.eb, vm_size=plat.vm_size,
+        )
+        assert "bounds" in report.stats["analyses"]
+
+
+class TestPlacementInvariance:
+    """apply_inferred_bounds never changes placement on annotated code."""
+
+    @pytest.mark.parametrize("program", ["sumloop", "crc"])
+    def test_placement_unchanged(self, program, monkeypatch):
+        import repro.core.placement as placement_mod
+
+        bench = load_program(program)
+        plat = platform()
+        with_bounds = compile_for(
+            "schematic", bench.module, plat,
+            input_generator=bench.input_generator(),
+        )
+        monkeypatch.setattr(
+            placement_mod, "apply_inferred_bounds", lambda m: {}
+        )
+        without = compile_for(
+            "schematic", bench.module, plat,
+            input_generator=bench.input_generator(),
+        )
+        assert checkpoint_sites(with_bounds.module) \
+            == checkpoint_sites(without.module)
+
+    @pytest.mark.sweep
+    @pytest.mark.parametrize("program", available_programs())
+    def test_placement_unchanged_full_corpus(self, program, monkeypatch):
+        import repro.core.placement as placement_mod
+
+        bench = load_program(program)
+        plat = platform()
+        with_bounds = compile_for(
+            "schematic", bench.module, plat,
+            input_generator=bench.input_generator(),
+        )
+        monkeypatch.setattr(
+            placement_mod, "apply_inferred_bounds", lambda m: {}
+        )
+        without = compile_for(
+            "schematic", bench.module, plat,
+            input_generator=bench.input_generator(),
+        )
+        assert checkpoint_sites(with_bounds.module) \
+            == checkpoint_sites(without.module)
+
+
+class TestAnalyzeBoundsReuse:
+    def test_returned_ranges_are_reusable(self):
+        module = compile_source(SUM_LOOP_SRC, "reuse")
+        sink = FindingSink()
+        ranges = analyze_bounds(module, sink)
+        # Passing the analysis back in must not redo or duplicate work.
+        again = analyze_bounds(module, FindingSink(), ranges=ranges)
+        assert again is ranges
+        assert infer_module_bounds(module, ranges)

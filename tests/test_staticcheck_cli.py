@@ -101,6 +101,22 @@ class TestCliCertification:
         assert report["verdict"] == "certified"
         assert report["stats"]["worst_window_nj"] <= 3000.0
 
+    def test_bounds_mode_verifies_source_modules(self, capsys):
+        assert main(["--bounds", "--programs", "sumloop,calls"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("verified") == 2
+        assert "loop bounds proven" in out
+
+    def test_bounds_mode_json(self, capsys):
+        argv = ["--bounds", "--programs", "sumloop", "--json"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["failures"] == 0
+        (report,) = doc["reports"]
+        assert report["verdict"] == "verified"
+        assert report["stats"]["analyses"] == ["bounds"]
+        assert report["stats"]["proven_bounds"] == 1
+
     def test_fail_on_info_gates_wait_mode_war_exposure(self, capsys):
         # The all-NVM wait-mode baseline leaves warloop's scalars in NVM;
         # their WAR exposure is informational (the recharge contract
