@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test sweep check check-bounds fuzz bench bench-full bench-engine experiments experiments-quick export examples clean
+.PHONY: test sweep check check-bounds fuzz bench bench-full bench-engine experiments experiments-quick trace export examples clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -43,6 +43,16 @@ experiments:
 
 experiments-quick:
 	$(PYTHON) -m repro.experiments.run_all --quick --jobs auto
+
+# Traced quick evaluation (serial, so runtime events land in the parent
+# trace): writes traces/run_all.jsonl + traces/run_all.chrome.json (load
+# in https://ui.perfetto.dev) and a run manifest, then renders the
+# segment-energy headroom report — exit 1 if any observed window exceeds
+# its certified bound. See docs/observability.md.
+trace:
+	$(PYTHON) -m repro.experiments.run_all --quick \
+		--trace-dir traces --json traces/manifest.json > /dev/null
+	$(PYTHON) -m repro.telemetry report traces/run_all.jsonl
 
 export:
 	$(PYTHON) -m repro.experiments.export artifacts/

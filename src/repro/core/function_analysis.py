@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import telemetry
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import FunctionAccessSummaries, LivenessInfo
 from repro.analysis.loops import LoopNest
@@ -182,26 +183,34 @@ class FunctionAnalyzer:
         # Loops bottom-up (§III-B2).
         loop_regions: Dict[str, RegionGraph] = {}
         for loop in self.nest.bottom_up():
-            region = self.builder.build_loop_region(loop)
-            loop_regions[loop.header] = region
-            paths = loop_region_paths(region, loop, traces)
-            output = analyze_loop(
-                loop,
-                region,
-                paths,
-                self._loop_ctx(loop, region),
-                self.eb,
-                self._live_at_edge_fn(region),
-                self._exit_live() | self.liveness.live_in[loop.header],
-                force_checkpoint=self.force_loop_checkpoints,
-                max_numit=self.max_numit,
-            )
+            with telemetry.span(
+                "placer.loop", function=self.func.name, loop=loop.header
+            ) as span:
+                region = self.builder.build_loop_region(loop)
+                loop_regions[loop.header] = region
+                paths = loop_region_paths(region, loop, traces)
+                span.set(atoms=len(region.atoms), paths=len(paths))
+                output = analyze_loop(
+                    loop,
+                    region,
+                    paths,
+                    self._loop_ctx(loop, region),
+                    self.eb,
+                    self._live_at_edge_fn(region),
+                    self._exit_live() | self.liveness.live_in[loop.header],
+                    force_checkpoint=self.force_loop_checkpoints,
+                    max_numit=self.max_numit,
+                )
             self.loop_results[loop.header] = output.result
             self.loop_outputs[loop.header] = output
 
         # Function-level region.
-        region = self.builder.build_function_region()
-        paths = region_paths_from_traces(region, traces)
+        with telemetry.span(
+            "placer.region.build", function=self.func.name
+        ) as span:
+            region = self.builder.build_function_region()
+            paths = region_paths_from_traces(region, traces)
+            span.set(atoms=len(region.atoms), paths=len(paths))
         analysis = RegionAnalysis(
             region,
             self.ctx,
@@ -211,7 +220,10 @@ class FunctionAnalyzer:
             exit_need=0.0 if self.is_entry else self.model.save_energy(0),
             exit_is_checkpoint=self.is_entry,
         )
-        outcome = analysis.analyze(paths)
+        with telemetry.span(
+            "placer.region.analyze", function=self.func.name
+        ):
+            outcome = analysis.analyze(paths)
 
         result = self._summarize(region, outcome)
         plan = self._build_plan(region, loop_regions, outcome)

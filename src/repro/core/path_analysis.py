@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.core.allocation import SegmentContext
 from repro.core.rcg import RCG, Boundary, CheckpointSpec, RCGInfeasibleError, RunResult
 from repro.core.region import Atom, InsertPoint, RegionGraph
@@ -222,6 +223,18 @@ class RegionAnalysis:
             raise InfeasibleBudgetError(
                 f"region {self.region.region_id}: {exc}"
             ) from exc
+        finally:
+            tm = telemetry.get()
+            if tm is not None:
+                tm.counter("placer.rcg.runs").add(1)
+                tm.counter("placer.rcg.nodes").add(rcg.stat_nodes)
+                tm.counter("placer.rcg.edges").add(rcg.stat_edges)
+                tm.counter("placer.rcg.edges_rejected_eb").add(
+                    rcg.stat_edges_rejected_eb
+                )
+                tm.counter("placer.rcg.plans_evaluated").add(rcg.stat_plans)
+                tm.counter("placer.rcg.dijkstra_pushes").add(rcg.stat_pushes)
+                tm.histogram("placer.rcg.atoms_per_run").record(m)
         self._commit(path, i, j, run_uids, atoms, result, at_exit)
 
     # --------------------------------------------------------------- commit

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import telemetry
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.liveness import FunctionAccessSummaries
 from repro.analysis.ranges import apply_inferred_bounds
@@ -90,6 +91,7 @@ class Schematic:
         a precomputed ``profile`` skips profiling entirely.
         """
         start = time.perf_counter()
+        tm = telemetry.get()
         work = module.clone()
         validate_module(work)
 
@@ -98,25 +100,35 @@ class Schematic:
         # real numit windows and back-edge elision instead of the blanket
         # DEFAULT_TRIP_ESTIMATE path. Declared @maxiter values are never
         # overwritten (they are verified separately by BOUND001).
-        apply_inferred_bounds(work)
+        with telemetry.span("placer.infer-bounds"):
+            apply_inferred_bounds(work)
 
         if profile is None:
-            profile = collect_profile(
-                work,
-                self.platform.model,
-                input_generator=input_generator,
-                runs=self.config.profile_runs,
-                seed=self.config.profile_seed,
-                max_instructions=self.config.max_profile_instructions,
-            )
+            with telemetry.span(
+                "placer.profile", runs=self.config.profile_runs
+            ):
+                profile = collect_profile(
+                    work,
+                    self.platform.model,
+                    input_generator=input_generator,
+                    runs=self.config.profile_runs,
+                    seed=self.config.profile_seed,
+                    max_instructions=self.config.max_profile_instructions,
+                )
 
-        callgraph = CallGraph(work)
-        summaries = FunctionAccessSummaries(work, callgraph)
+        with telemetry.span("placer.summaries"):
+            callgraph = CallGraph(work)
+            summaries = FunctionAccessSummaries(work, callgraph)
         variables: Dict[str, Variable] = {
             var.name: var for var in work.all_variables()
         }
         vm_capacity = 0 if self.config.all_nvm else self.platform.vm_size
 
+        #: RCG counters whose per-function deltas annotate each span.
+        _rcg_stats = (
+            "placer.rcg.nodes", "placer.rcg.edges",
+            "placer.rcg.edges_rejected_eb", "placer.rcg.plans_evaluated",
+        )
         function_results: Dict[str, FunctionResult] = {}
         plans: Dict[str, FunctionPlan] = {}
         for name in callgraph.reverse_topological():
@@ -137,12 +149,25 @@ class Schematic:
                 amortize_loop_gains=self.config.amortize_loop_gains,
                 liveness_trimming=self.config.liveness_trimming,
             )
-            result, plan = analyzer.analyze()
+            with telemetry.span("placer.function", function=name) as span:
+                before = (
+                    {s: tm.counter(s).value for s in _rcg_stats}
+                    if tm is not None else {}
+                )
+                result, plan = analyzer.analyze()
+                if tm is not None:
+                    span.set(**{
+                        s.rsplit(".", 1)[1]: tm.counter(s).value - before[s]
+                        for s in _rcg_stats
+                    })
             function_results[name] = result
             plans[name] = plan
 
-        inserted = apply_plans(work, plans)
-        validate_module(work)
+        with telemetry.span("placer.transform") as span:
+            inserted = apply_plans(work, plans)
+            span.set(checkpoints=inserted)
+        with telemetry.span("placer.validate"):
+            validate_module(work)
         elapsed = time.perf_counter() - start
         return SchematicResult(
             module=work,

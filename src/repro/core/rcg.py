@@ -28,6 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import telemetry
 from repro.core.allocation import SegmentContext, SegmentPlan, plan_segment
 from repro.core.region import Atom
 from repro.ir.values import MemorySpace
@@ -140,10 +141,19 @@ class RCG:
         ]
         self._edges: Dict[Tuple[object, object], _EdgeInfo] = {}
         self._succs: Dict[object, List[object]] = {}
+        # Build/solve statistics as plain ints — this path is hot, so no
+        # telemetry calls happen here; path_analysis flushes these into
+        # the telemetry counters after each solve() when tracing is on.
+        self.stat_nodes = 0
+        self.stat_edges = 0
+        self.stat_edges_rejected_eb = 0
+        self.stat_plans = 0
+        self.stat_pushes = 0
 
     # ------------------------------------------------------------------ utils
 
     def _add_edge(self, src: object, dst: object, info: _EdgeInfo) -> None:
+        self.stat_edges += 1
         key = (src, dst)
         existing = self._edges.get(key)
         if existing is not None and existing.cost <= info.cost:
@@ -179,6 +189,7 @@ class RCG:
         has_end_ckpt: bool,
         exact: Optional[Dict[str, MemorySpace]] = None,
     ) -> Optional[SegmentPlan]:
+        self.stat_plans += 1
         atoms = self.atoms[start_pos:end_pos]
         live_at_end = self.live_at_position(end_pos)
         ctx = self.ctx
@@ -274,6 +285,8 @@ class RCG:
                     "S", ("c", j),
                     _EdgeInfo(cost, plan=plan),
                 )
+            else:
+                self.stat_edges_rejected_eb += 1
         if first_barrier is not None and not left_mandatory:
             self._edge_into_barrier("S", 0, first_barrier)
         if (
@@ -309,6 +322,8 @@ class RCG:
                 )
                 if cost <= self.eb:
                     self._add_edge(("c", i), ("c", j), _EdgeInfo(cost, plan=plan))
+                else:
+                    self.stat_edges_rejected_eb += 1
             if barrier is not None:
                 self._edge_into_barrier(("c", i), i, barrier)
             if barrier is None and not self.right.mandatory_ckpt:
@@ -410,6 +425,7 @@ class RCG:
                 + model.save_energy(plan.save_bytes)
             )
         if cost > budget:
+            self.stat_edges_rejected_eb += 1
             return
         total = cost + model.restore_energy(entry_restore_bytes)
         self._add_edge(src, ("b", b), _EdgeInfo(total, plan=plan))
@@ -453,6 +469,8 @@ class RCG:
             cost = restore + plan.exec_energy
             if cost + right.energy <= budget:
                 self._add_edge(src, "T", _EdgeInfo(cost, plan=plan))
+            else:
+                self.stat_edges_rejected_eb += 1
         else:
             # Fresh region exit. Use has_end_ckpt=True so the plan computes
             # the exit dirty set (the *enclosing* analysis pays that save);
@@ -473,31 +491,41 @@ class RCG:
             cost = restore + plan.exec_energy
             if cost + right.energy + model.save_energy(plan.save_bytes) <= budget:
                 self._add_edge(src, "T", _EdgeInfo(cost, plan=plan))
+            else:
+                self.stat_edges_rejected_eb += 1
 
     # ---------------------------------------------------------------- solve
 
     def solve(self) -> RunResult:
-        self.build()
+        with telemetry.span("placer.rcg.build", atoms=self.m):
+            self.build()
+        nodes: Set[object] = set()
+        for src, dst in self._edges:
+            nodes.add(src)
+            nodes.add(dst)
+        self.stat_nodes = len(nodes)
         dist: Dict[object, float] = {"S": 0.0}
         prev: Dict[object, object] = {}
         heap: List[Tuple[float, int, object]] = [(0.0, 0, "S")]
         counter = 1
         done: Set[object] = set()
-        while heap:
-            d, _, node = heapq.heappop(heap)
-            if node in done:
-                continue
-            done.add(node)
-            if node == "T":
-                break
-            for succ in self._succs.get(node, []):
-                cost = self._edges[(node, succ)].cost
-                nd = d + cost
-                if nd < dist.get(succ, float("inf")):
-                    dist[succ] = nd
-                    prev[succ] = node
-                    heapq.heappush(heap, (nd, counter, succ))
-                    counter += 1
+        with telemetry.span("placer.rcg.dijkstra", nodes=self.stat_nodes):
+            while heap:
+                d, _, node = heapq.heappop(heap)
+                if node in done:
+                    continue
+                done.add(node)
+                if node == "T":
+                    break
+                for succ in self._succs.get(node, []):
+                    cost = self._edges[(node, succ)].cost
+                    nd = d + cost
+                    if nd < dist.get(succ, float("inf")):
+                        dist[succ] = nd
+                        prev[succ] = node
+                        heapq.heappush(heap, (nd, counter, succ))
+                        counter += 1
+        self.stat_pushes = counter
         if "T" not in done:
             raise RCGInfeasibleError(
                 f"no feasible checkpoint placement for a run of {self.m} "

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.emulator.memory import MemoryState
 from repro.emulator.meter import EnergyMeter
 from repro.emulator.power import PowerManager
@@ -154,6 +155,17 @@ class Interpreter:
         self._snapshot: Optional[Snapshot] = None  # None = restart from boot
         self._snapshot_inst: Optional[Instruction] = None
         self._attempts_on_snapshot = 0
+        # Telemetry is bound once here and only consulted on the cold
+        # paths (checkpoints, power failures) — the hot loop is untouched,
+        # keeping disabled-mode output bit-identical and full speed.
+        # _seg_anchor marks the committed meter total at the last segment
+        # boundary: the committed energy of the window a save closes is
+        # breakdown.total - _seg_anchor (the meter commits computation at
+        # saves and reclassifies rolled-back work, so the committed total
+        # is monotone and never counts a window twice).
+        self._tm = telemetry.get()
+        self._run_id = self._tm.next_run_id() if self._tm is not None else 0
+        self._seg_anchor = 0.0
         # id()-keyed cost cache of the undecoded loop. Safe only because
         # the cache lives and dies with this interpreter, which keeps the
         # module (and thus every instruction object) alive: a module
@@ -283,6 +295,13 @@ class Interpreter:
         self.frames = [_Frame(entry, entry.entry.label)]
         if self.config.trace is not None:
             self.config.trace(entry.name, entry.entry.label)
+        tm = self._tm
+        if tm is not None:
+            tm.event(
+                "run-begin", track=telemetry.TRACK_RUNTIME,
+                ts=self.power.timeline, run=self._run_id,
+                technique=self.policy.name, power_mode=self.power.mode.value,
+            )
 
         completed = False
         failure_reason = ""
@@ -297,6 +316,14 @@ class Interpreter:
         if completed:
             self.meter.commit()
 
+        if tm is not None:
+            tm.event(
+                "run-end", track=telemetry.TRACK_RUNTIME,
+                ts=self.power.timeline, run=self._run_id,
+                completed=completed, failures=self.power.failures,
+                saves=self.meter.saves, restores=self.meter.restores,
+                skips=self.checkpoints_skipped,
+            )
         outputs = {
             name: list(self.memory.nvm[name])
             for name, var in self.module.globals.items()
@@ -607,6 +634,12 @@ class Interpreter:
             self.meter.charge_compute(check_energy)
             if self.power.remaining_fraction > self.policy.skip_threshold:
                 self.checkpoints_skipped += 1
+                if self._tm is not None:
+                    self._tm.event(
+                        "ckpt-skip", track=telemetry.TRACK_RUNTIME,
+                        ts=self.power.timeline, run=self._run_id,
+                        ckpt=inst.ckpt_id,
+                    )
                 frame.index += 1
                 return None
 
@@ -630,6 +663,23 @@ class Interpreter:
         self.active_cycles += save_cycles
         self.meter.charge_save(save_energy)
         self.meter.commit()
+        if self._tm is not None:
+            # The previous snapshot (still in place) opened this window.
+            self._tm.event(
+                "ckpt-save", track=telemetry.TRACK_RUNTIME,
+                ts=self.power.timeline, run=self._run_id,
+                ckpt=inst.ckpt_id,
+                from_ckpt=(
+                    self._snapshot.ckpt_id
+                    if self._snapshot is not None else None
+                ),
+                window_nj=round(
+                    self.meter.breakdown.total - self._seg_anchor, 6
+                ),
+                save_nj=round(save_energy, 6),
+                payload_bytes=payload,
+            )
+        self._seg_anchor = self.meter.breakdown.total
 
         # Snapshot resumes immediately after this checkpoint instruction.
         frame.index += 1
@@ -699,9 +749,15 @@ class Interpreter:
             if self.power.consume(restore_energy, restore_cycles):
                 return self._handle_power_failure()
             self.active_cycles += restore_cycles
+            if self._tm is not None:
+                self._tm.event(
+                    "migrate", track=telemetry.TRACK_RUNTIME,
+                    ts=self.power.timeline, run=self._run_id,
+                    ckpt=inst.ckpt_id, payload_bytes=payload,
+                )
         return True
 
-    def _apply_restore(self, inst) -> bool:
+    def _apply_restore(self, inst, reason: str = "wake") -> bool:
         """Clear VM, load the post-checkpoint VM set, charge the restore.
         Returns False when stuck (restore itself cannot fit the budget)."""
         model = self.model
@@ -725,6 +781,13 @@ class Interpreter:
         if self.power.consume(restore_energy, restore_cycles):
             return self._handle_power_failure()
         self.active_cycles += restore_cycles
+        if self._tm is not None:
+            self._tm.event(
+                "ckpt-restore", track=telemetry.TRACK_RUNTIME,
+                ts=self.power.timeline, run=self._run_id,
+                ckpt=inst.ckpt_id, restore_nj=round(restore_energy, 6),
+                reason=reason,
+            )
         return True
 
     # -- power failures -----------------------------------------------------------
@@ -733,9 +796,18 @@ class Interpreter:
         """Roll back to the last snapshot after an outage. Returns False
         when the execution is stuck (no forward progress)."""
         self._attempts_on_snapshot += 1
+        if self._tm is not None:
+            self._tm.event(
+                "power-failure", track=telemetry.TRACK_RUNTIME,
+                ts=self.power.timeline, run=self._run_id,
+                attempt=self._attempts_on_snapshot,
+            )
         if self._attempts_on_snapshot >= MAX_ATTEMPTS_PER_SNAPSHOT + 1:
             return False
         self.meter.rollback()
+        # The discarded attempt (including any partial save energy) must
+        # not count against the segment that eventually commits.
+        self._seg_anchor = self.meter.breakdown.total
         self.memory.clear_vm()
         self.power.recharge_full()
 
@@ -752,6 +824,11 @@ class Interpreter:
                     "boot-restore", self.model.restore_cycles(0)
                 )
             self.power.consume(restore_energy, self.model.restore_cycles(0))
+            if self._tm is not None:
+                self._tm.event(
+                    "reboot", track=telemetry.TRACK_RUNTIME,
+                    ts=self.power.timeline, run=self._run_id,
+                )
             if self.config.trace is not None:
                 self.config.trace(entry.name, entry.entry.label)
             return True
@@ -768,7 +845,7 @@ class Interpreter:
             )
             for f in snapshot.frames
         ]
-        return self._apply_restore(self._snapshot_inst)
+        return self._apply_restore(self._snapshot_inst, reason="rollback")
 
 
 # -- drivers ---------------------------------------------------------------------

@@ -16,9 +16,11 @@ variant compared against full SCHEMATIC at TBPF = 10k:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.baselines.common import compile_schematic
 from repro.core.placement import SchematicConfig
 from repro.emulator import PowerManager, run_intermittent
@@ -107,7 +109,8 @@ def compute_cell(
         "ablation", variant, name, ctx._module_fp(name), ctx._platform_fp(),
         tbpf, repr(config), ctx._inputs_fp(name), ctx.profile_runs,
     )
-    cell = ctx._cache_get("ablation", parts)
+    tm = telemetry.get()
+    cell = ctx._cache_get("ablation", parts) if tm is None else None
     if cell is None:
         bench = ctx.benchmark(name)
         eb = ctx.eb_for_tbpf(name, tbpf)
@@ -115,14 +118,24 @@ def compute_cell(
         compiled = compile_schematic(
             bench.module, platform, profile=ctx.profile(name), config=config
         )
-        report = run_intermittent(
-            compiled.module,
-            platform.model,
-            compiled.policy,
-            PowerManager.energy_budget(eb),
-            vm_size=platform.vm_size,
-            inputs=bench.default_inputs(),
-        )
+        if tm is not None:
+            scope = tm.scope(
+                benchmark=name, technique=f"ablation:{variant}",
+                eb=round(eb, 3), tbpf=tbpf,
+            )
+        else:
+            scope = nullcontext()
+        with scope:
+            if tm is not None:
+                ctx._emit_segment_bounds(tm, compiled, eb)
+            report = run_intermittent(
+                compiled.module,
+                platform.model,
+                compiled.policy,
+                PowerManager.energy_budget(eb),
+                vm_size=platform.vm_size,
+                inputs=bench.default_inputs(),
+            )
         ok = report.completed and report.outputs == ctx.reference(name).outputs
         cell = AblationCell(variant=variant, benchmark=name, completed=ok)
         if ok:

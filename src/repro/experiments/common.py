@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.baselines import COMPILERS, CompiledTechnique
 from repro.core.tracing import Profile, collect_profile
 from repro.emulator import PowerManager, run_continuous, run_intermittent
@@ -45,6 +46,30 @@ PROFILE_RUNS = 2
 def check(flag: bool) -> str:
     """Render the paper's check/cross marks."""
     return "Y" if flag else "x"
+
+
+def emit_segment_bounds(tm, compiled, model, eb: float) -> None:
+    """Emit the static certifier's per-checkpoint window bounds as
+    ``segment-bound`` events — wait-mode placements only (roll-back
+    baselines have no segment-fits-EB obligation to certify). Callers
+    are expected to hold a :meth:`Telemetry.scope` carrying the grid
+    coordinates (benchmark, technique, eb) so the bounds join up with
+    the runtime's ``ckpt-save`` events in the headroom report."""
+    if not compiled.policy.wait_for_full_recharge:
+        return
+    from repro.analysis.ranges import infer_module_bounds
+    from repro.staticcheck.common import FindingSink
+    from repro.staticcheck.energy import certify_energy
+
+    certifier = certify_energy(
+        compiled.module, model, eb, FindingSink(),
+        inferred_bounds=infer_module_bounds(compiled.module),
+    )
+    for ckpt_id, bound in sorted(certifier.segment_bounds.items()):
+        tm.event(
+            "segment-bound", track=telemetry.TRACK_STATIC,
+            ckpt=ckpt_id, bound_nj=round(bound, 6), eb_nj=eb,
+        )
 
 
 @dataclass
@@ -268,9 +293,41 @@ class EvaluationContext:
             tbpf if self.failure_model == "cycles" else None,
             self._inputs_fp(benchmark), self.profile_runs,
         )
-        cached = self._cache_get("run", parts)
+        tm = telemetry.get()
+        if tm is not None:
+            # Grid coordinates for every span/event of this cell.
+            attrs = {
+                "benchmark": benchmark, "technique": technique,
+                "eb": round(eb, 3),
+            }
+            if tbpf is not None:
+                attrs["tbpf"] = tbpf
+            with tm.scope(**attrs):
+                outcome = self._run_impl(
+                    technique, benchmark, eb, tbpf, parts, tm
+                )
+        else:
+            outcome = self._run_impl(
+                technique, benchmark, eb, tbpf, parts, None
+            )
+        self._runs[key] = outcome
+        return outcome
+
+    def _run_impl(
+        self,
+        technique: str,
+        benchmark: str,
+        eb: float,
+        tbpf: Optional[int],
+        parts: Tuple,
+        tm,
+    ) -> RunOutcome:
+        # When tracing, skip the persistent-cache read so the emulation
+        # actually happens and the trace carries its runtime events; the
+        # outcome is deterministic, so the results are unchanged (the
+        # re-computed value is re-stored over the identical entry).
+        cached = self._cache_get("run", parts) if tm is None else None
         if cached is not None:
-            self._runs[key] = cached
             return cached
         bench = self.benchmark(benchmark)
         platform = self.platform_proto.with_eb(eb)
@@ -287,6 +344,8 @@ class EvaluationContext:
         else:
             power = PowerManager.energy_budget(eb)
         if compiled.feasible:
+            if tm is not None:
+                self._emit_segment_bounds(tm, compiled, eb)
             report = run_intermittent(
                 compiled.module,
                 platform.model,
@@ -299,8 +358,11 @@ class EvaluationContext:
             outcome.completed = report.completed
             outcome.correct = report.outputs == self.reference(benchmark).outputs
         self._cache_put("run", parts, outcome)
-        self._runs[key] = outcome
         return outcome
+
+    def _emit_segment_bounds(self, tm, compiled: CompiledTechnique,
+                             eb: float) -> None:
+        emit_segment_bounds(tm, compiled, self.platform_proto.model, eb)
 
     def run_tbpf(self, technique: str, benchmark: str, tbpf: int) -> RunOutcome:
         return self.run(

@@ -27,9 +27,11 @@ others — and for every later run.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.experiments.common import (
     PROFILE_RUNS,
     TBPF_VALUES,
@@ -155,36 +157,43 @@ def _init_worker(
     )
 
 
-def _compute_cell(cell: Cell) -> Tuple[Cell, object]:
+def _compute_cell(cell: Cell) -> Tuple[Cell, object, int]:
+    """Compute one cell; the worker pid rides along so the parent can
+    report how evenly the pool spread the work (manifest / telemetry)."""
     ctx = _WORKER_CTX
     assert ctx is not None, "worker context not initialized"
+    value: object
     if cell.kind == "reference":
-        return cell, ctx.reference(cell.benchmark)
-    if cell.kind == "vm_reference":
-        return cell, ctx.vm_reference(cell.benchmark)
-    if cell.kind == "profile":
-        return cell, ctx.profile(cell.benchmark)
-    if cell.kind == "run":
-        return cell, ctx.run(
+        value = ctx.reference(cell.benchmark)
+    elif cell.kind == "vm_reference":
+        value = ctx.vm_reference(cell.benchmark)
+    elif cell.kind == "profile":
+        value = ctx.profile(cell.benchmark)
+    elif cell.kind == "run":
+        value = ctx.run(
             cell.technique, cell.benchmark, cell.eb, tbpf=cell.tbpf
         )
-    if cell.kind == "ablation":
+    elif cell.kind == "ablation":
         from repro.experiments.ablations import compute_cell
 
-        return cell, compute_cell(ctx, cell.variant, cell.benchmark, cell.tbpf)
-    raise ValueError(f"unknown cell kind {cell.kind!r}")
+        value = compute_cell(ctx, cell.variant, cell.benchmark, cell.tbpf)
+    else:
+        raise ValueError(f"unknown cell kind {cell.kind!r}")
+    return cell, value, os.getpid()
 
 
 # ------------------------------------------------------------------ merging
 
 
 def merge_results(
-    ctx: EvaluationContext, results: Sequence[Tuple[Cell, object]]
+    ctx: EvaluationContext, results: Sequence[Tuple]
 ) -> None:
     """Install worker results into the parent context's caches. Results
     arrive in submission order, and the emulator is deterministic, so the
-    merged state is identical to what serial evaluation would build."""
-    for cell, value in results:
+    merged state is identical to what serial evaluation would build.
+    Accepts both ``(cell, value)`` and ``(cell, value, worker_pid)``
+    records."""
+    for cell, value, *_ in results:
         if cell.kind == "reference":
             ctx._references[cell.benchmark] = value
         elif cell.kind == "vm_reference":
@@ -208,11 +217,16 @@ def prefill(
     tbpf_values: Sequence[int] = TBPF_VALUES,
     figure8_benchmark: str = "crc",
     log: Optional[Callable[[str], None]] = None,
+    stats_out: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Compute every cell of the full evaluation with ``jobs`` workers and
     merge the results into ``ctx``; returns the number of cells computed.
     ``jobs <= 1`` is a no-op: the serial path stays byte-for-byte the
-    code that has always run."""
+    code that has always run.
+
+    ``stats_out``, when given, receives ``{"artifact_cells", "run_cells",
+    "jobs", "worker_cells": {pid: count}}`` — how evenly the pool spread
+    the grid (surfaces in the ``--json`` manifest and the trace)."""
     jobs = resolve_jobs(jobs)
     if jobs <= 1:
         return 0
@@ -230,17 +244,40 @@ def prefill(
     artifacts = plan_artifacts(ctx, extra_benchmarks=[figure8_benchmark])
     if log is not None:
         log(f"prefill: {len(artifacts)} artifact cells on {jobs} workers")
-    merge_results(ctx, parallel_map(
-        _compute_cell, artifacts, jobs,
-        initializer=_init_worker, initargs=initargs,
-    ))
+    with telemetry.span("engine.prefill.artifacts", cells=len(artifacts),
+                        jobs=jobs):
+        artifact_results = parallel_map(
+            _compute_cell, artifacts, jobs,
+            initializer=_init_worker, initargs=initargs,
+        )
+    merge_results(ctx, artifact_results)
     runs = plan_run_all_cells(
         ctx, tbpf_values=tbpf_values, figure8_benchmark=figure8_benchmark
     )
     if log is not None:
         log(f"prefill: {len(runs)} run cells on {jobs} workers")
-    merge_results(ctx, parallel_map(
-        _compute_cell, runs, jobs,
-        initializer=_init_worker, initargs=initargs, chunksize=2,
-    ))
+    with telemetry.span("engine.prefill.runs", cells=len(runs), jobs=jobs):
+        run_results = parallel_map(
+            _compute_cell, runs, jobs,
+            initializer=_init_worker, initargs=initargs, chunksize=2,
+        )
+    merge_results(ctx, run_results)
+
+    worker_cells: Dict[int, int] = {}
+    for record in list(artifact_results) + list(run_results):
+        if len(record) >= 3:
+            pid = record[2]
+            worker_cells[pid] = worker_cells.get(pid, 0) + 1
+    if stats_out is not None:
+        stats_out.update(
+            artifact_cells=len(artifacts),
+            run_cells=len(runs),
+            jobs=jobs,
+            worker_cells=dict(sorted(worker_cells.items())),
+        )
+    tm = telemetry.get()
+    if tm is not None:
+        tm.counter("engine.cells").add(len(artifacts) + len(runs))
+        for count in worker_cells.values():
+            tm.histogram("engine.cells_per_worker").record(count)
     return len(artifacts) + len(runs)

@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments.run_all [--quick] [--jobs N|auto]
                                         [--no-cache] [--cache-dir DIR]
                                         [--benchmarks a,b,c]
+                                        [--trace] [--trace-dir DIR]
+                                        [--json PATH]
 
 ``--quick`` restricts to the four fastest benchmarks (crc, randmath,
 basicmath, fft) so the whole sweep finishes in a couple of minutes.
@@ -15,15 +17,31 @@ byte-identical to a serial run. ``--no-cache`` disables the persistent
 artifact cache under ``.repro-cache/`` (see docs/performance.md); with the
 cache enabled, a warm re-run skips compilation and emulation entirely.
 Progress and cache statistics go to stderr, results to stdout.
+
+``--trace`` records a telemetry trace of the whole evaluation — compiler
+phase spans, runtime checkpoint/power events and static segment bounds —
+and writes ``run_all.jsonl`` + ``run_all.trace.json`` (Chrome trace
+viewer / Perfetto) under ``--trace-dir`` (default ``traces/``); a given
+``--trace-dir`` implies ``--trace``. Render the headroom report with
+``python -m repro.telemetry report traces/run_all.jsonl``. Worker
+processes do not feed the parent's trace: use ``--jobs 1`` for full
+runtime-event capture (see docs/observability.md).
+
+``--json PATH`` writes a machine-readable manifest of the run: per-section
+wall-clock, cache statistics, prefill worker balance, and the platform,
+module and input fingerprints that key the artifact cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.experiments import common, engine
 from repro.experiments import (
     ablations,
@@ -51,6 +69,9 @@ SECTIONS = [
     ("Ablations", ablations),
 ]
 
+#: Manifest format version (the ``--json`` output).
+MANIFEST_SCHEMA = 1
+
 
 def _csv(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
@@ -73,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None,
                         help="artifact cache directory (default "
                         ".repro-cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a telemetry trace (JSONL + Chrome "
+                        "trace JSON)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="trace output directory (default traces/; "
+                        "implies --trace)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a machine-readable run manifest")
     return parser
 
 
@@ -84,10 +113,17 @@ def make_context(args: argparse.Namespace) -> common.EvaluationContext:
     return common.EvaluationContext(benchmarks=benchmarks, cache=cache)
 
 
-def render_sections(ctx: common.EvaluationContext, out=sys.stdout) -> None:
+def render_sections(
+    ctx: common.EvaluationContext, out=None
+) -> List[Tuple[str, float]]:
+    """Run and print every section; returns (title, seconds) per section
+    for the ``--json`` manifest."""
+    out = out if out is not None else sys.stdout
+    timings: List[Tuple[str, float]] = []
     for title, module in SECTIONS:
         start = time.perf_counter()
-        result = module.run(ctx)
+        with telemetry.span("experiments.section", section=title):
+            result = module.run(ctx)
         elapsed = time.perf_counter() - start
         print("=" * 72, file=out)
         print(result.render(), file=out)
@@ -96,24 +132,108 @@ def render_sections(ctx: common.EvaluationContext, out=sys.stdout) -> None:
             print(result.render_chart(), file=out)
         print(f"[{title} regenerated in {elapsed:.1f}s]", file=out)
         print(file=out)
+        timings.append((title, elapsed))
+    return timings
+
+
+def build_manifest(
+    ctx: common.EvaluationContext,
+    jobs: int,
+    timings: List[Tuple[str, float]],
+    prefill_stats: Dict[str, Any],
+    total_seconds: float,
+    trace_paths: Optional[Dict[str, Path]],
+) -> Dict[str, Any]:
+    """Everything needed to compare two runs: what ran, how long each
+    piece took, how the cache behaved, and the content fingerprints that
+    key the artifacts (platform constants, module text, inputs)."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "tool": "repro.experiments.run_all",
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "jobs": jobs,
+        "failure_model": ctx.failure_model,
+        "profile_runs": ctx.profile_runs,
+        "benchmarks": list(ctx.benchmark_names),
+        "fingerprints": {
+            "platform": ArtifactCache.text_fingerprint(ctx._platform_fp()),
+            "modules": {
+                name: ctx._module_fp(name) for name in ctx.benchmark_names
+            },
+            "inputs": {
+                name: ctx._inputs_fp(name) for name in ctx.benchmark_names
+            },
+        },
+        "sections": [
+            {"title": title, "seconds": round(seconds, 3)}
+            for title, seconds in timings
+        ],
+        "prefill": prefill_stats or None,
+        "cache": ctx.cache.stats_dict() if ctx.cache is not None else None,
+        "trace": (
+            {key: str(path) for key, path in trace_paths.items()}
+            if trace_paths
+            else None
+        ),
+        "total_seconds": round(total_seconds, 3),
+    }
 
 
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
+    started = time.perf_counter()
+    tracing = args.trace or args.trace_dir is not None
+    tm = None
+    if tracing:
+        tm = telemetry.enable(meta={
+            "tool": "repro.experiments.run_all",
+            "argv": list(argv) if argv is not None else sys.argv[1:],
+        })
     ctx = make_context(args)
     jobs = resolve_jobs(args.jobs)
+    prefill_stats: Dict[str, Any] = {}
     if jobs > 1:
         start = time.perf_counter()
         cells = engine.prefill(
-            ctx, jobs, log=lambda msg: print(msg, file=sys.stderr)
+            ctx, jobs, log=lambda msg: print(msg, file=sys.stderr),
+            stats_out=prefill_stats,
         )
+        prefill_stats["seconds"] = round(time.perf_counter() - start, 3)
         print(
             f"prefilled {cells} cells in {time.perf_counter() - start:.1f}s",
             file=sys.stderr,
         )
-    render_sections(ctx)
+    timings = render_sections(ctx)
     if ctx.cache is not None:
         print(ctx.cache.stats_line(), file=sys.stderr)
+
+    trace_paths: Optional[Dict[str, Path]] = None
+    if tm is not None:
+        if ctx.cache is not None:
+            # Mirror the cache counters into the trace's metrics block so
+            # the trace is self-contained.
+            for name, value in ctx.cache.stats_dict().items():
+                if isinstance(value, int):
+                    tm.counter(f"cache.{name}").add(value)
+        telemetry.disable()
+        from repro.telemetry import exporters
+
+        trace_paths = exporters.export(
+            tm, args.trace_dir or "traces", prefix="run_all"
+        )
+        print(f"trace (events):       {trace_paths['jsonl']}", file=sys.stderr)
+        print(f"trace (chrome/perfetto): {trace_paths['chrome']}",
+              file=sys.stderr)
+
+    if args.json:
+        manifest = build_manifest(
+            ctx, jobs, timings, prefill_stats,
+            time.perf_counter() - started, trace_paths,
+        )
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        print(f"manifest: {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

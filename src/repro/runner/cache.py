@@ -32,7 +32,7 @@ import os
 import pickle
 import sys
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 #: Bump whenever the meaning of cached values changes (e.g. a report field
 #: is added or an emulator semantic is fixed): old entries become misses.
@@ -66,6 +66,17 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.pruned = 0
+        #: category -> {"hits": n, "misses": n, "stores": n, "pruned": n}.
+        self.by_category: Dict[str, Dict[str, int]] = {}
+
+    def _bump(self, category: str, field: str) -> None:
+        stats = self.by_category.get(category)
+        if stats is None:
+            stats = self.by_category[category] = {
+                "hits": 0, "misses": 0, "stores": 0, "pruned": 0,
+            }
+        stats[field] += 1
 
     @classmethod
     def default(cls, root: Optional[str] = None) -> Optional["ArtifactCache"]:
@@ -111,15 +122,18 @@ class ArtifactCache:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            self._bump(category, "misses")
             return None
         except Exception:
             self.misses += 1
+            self._bump(category, "misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        self._bump(category, "hits")
         return value
 
     def put(self, category: str, key: str, value: Any) -> bool:
@@ -141,6 +155,7 @@ class ArtifactCache:
                 pass
             return False
         self.stores += 1
+        self._bump(category, "stores")
         return True
 
     # ------------------------------------------------------------- upkeep
@@ -171,6 +186,13 @@ class ArtifactCache:
                 continue
             total -= size
             evicted += 1
+            self.pruned += 1
+            # <root>/<category>/<key[:2]>/<key>.pkl
+            try:
+                category = path.relative_to(self.root).parts[0]
+            except (ValueError, IndexError):
+                category = "?"
+            self._bump(category, "pruned")
         return evicted
 
     def clear(self) -> None:
@@ -179,7 +201,31 @@ class ArtifactCache:
         shutil.rmtree(self.root, ignore_errors=True)
 
     def stats_line(self) -> str:
-        return (
+        line = (
             f"cache {self.root}: {self.hits} hits, {self.misses} misses, "
             f"{self.stores} stores"
         )
+        if self.pruned:
+            line += f", {self.pruned} pruned"
+        if self.by_category:
+            per_cat = ", ".join(
+                f"{category} {stats['hits']}/{stats['misses']}"
+                f"/{stats['stores']}"
+                for category, stats in sorted(self.by_category.items())
+            )
+            line += f" ({per_cat} h/m/s)"
+        return line
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Machine-readable counters for run manifests and traces."""
+        return {
+            "root": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "pruned": self.pruned,
+            "categories": {
+                category: dict(stats)
+                for category, stats in sorted(self.by_category.items())
+            },
+        }

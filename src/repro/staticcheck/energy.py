@@ -79,11 +79,21 @@ class StepEffect:
     #: Max absolute window on exit for paths whose last taken checkpoint
     #: is internal to the step (None if no such path).
     tail: Optional[float]
+    #: Per-checkpoint breakdown of ``peek``: ckpt_id -> max checkpoint-free
+    #: prefix energy for windows *closing at that save* (save included).
+    #: Lets a caller attribute the absolute bound ``b + peek_by[id]`` to
+    #: the specific internal checkpoint instead of only to the aggregate.
+    peek_by: Dict[int, float] = field(default_factory=dict)
 
 
 def _max_opt(*values: Optional[float]) -> Optional[float]:
     alive = [v for v in values if v is not None]
     return max(alive) if alive else None
+
+
+def _bump_close(store: Dict[int, float], close_id: int, value: float) -> None:
+    if value > store.get(close_id, 0.0):
+        store[close_id] = value
 
 
 @dataclass
@@ -100,6 +110,8 @@ class _RegionResult:
     """Worst-case state at the boundaries of one region."""
 
     peek: float
+    #: Per-closing-checkpoint breakdown of ``peek`` (see StepEffect).
+    peek_by: Dict[int, float] = field(default_factory=dict)
     #: Container exit edges (u, v) -> joined (a, b) at the edge.
     exits: Dict[Tuple[str, str], Tuple[Optional[float], Optional[float]]] = field(
         default_factory=dict
@@ -119,6 +131,8 @@ class _LoopEffect:
     peek: float
     #: Exit edge (u, v) -> per-edge effect.
     exits: Dict[Tuple[str, str], StepEffect] = field(default_factory=dict)
+    #: Per-closing-checkpoint breakdown of ``peek`` (see StepEffect).
+    peek_by: Dict[int, float] = field(default_factory=dict)
 
 
 class EnergyCertifier:
@@ -144,6 +158,12 @@ class EnergyCertifier:
         self.summaries: Dict[str, StepEffect] = {}
         #: Largest certified absolute window — the margin statistic.
         self.worst_window = 0.0
+        #: ckpt_id -> largest certified absolute window *closing* at that
+        #: checkpoint's save. Any dynamic wait-mode window that commits at
+        #: checkpoint C (restore + compute + save) is bounded by
+        #: ``segment_bounds[C]``; the telemetry headroom report
+        #: cross-validates observed windows against these.
+        self.segment_bounds: Dict[int, float] = {}
         self._tol = 1e-6 + abs(eb) * 1e-9
         self._itercheck = COND_CHECK_CYCLES * model.energy_per_cycle
 
@@ -176,7 +196,12 @@ class EnergyCertifier:
             func, cfg, nest, None, loop_effects, entry_state
         )
         returns = result.returns or (None, None)
-        return StepEffect(nock=returns[0], peek=result.peek, tail=returns[1])
+        return StepEffect(
+            nock=returns[0],
+            peek=result.peek,
+            tail=returns[1],
+            peek_by=dict(result.peek_by),
+        )
 
     # -- region propagation ------------------------------------------------
 
@@ -331,10 +356,12 @@ class EnergyCertifier:
                 )
                 if a is not None:
                     result.peek = max(result.peek, a + save)
+                    _bump_close(result.peek_by, inst.ckpt_id, a + save)
                 self._check_window(
                     b, save, location,
                     f"window closing at checkpoint #{inst.ckpt_id} "
                     f"(save {save:.1f} nJ)",
+                    close_id=inst.ckpt_id,
                 )
                 a = None
                 b = restore
@@ -368,16 +395,35 @@ class EnergyCertifier:
                     # fire on any visit, or not at all.
                     if a is not None:
                         result.peek = max(result.peek, a + save)
+                        _bump_close(result.peek_by, inst.ckpt_id, a + save)
                     self._check_window(
                         b, save, location,
                         f"window closing at conditional checkpoint "
                         f"#{inst.ckpt_id} (save {save:.1f} nJ)",
+                        close_id=inst.ckpt_id,
                     )
                     b = _max_opt(b, restore)
             elif isinstance(inst, Call):
                 effect = self.summaries[inst.callee]
+                # The dispatch itself costs energy (call_cycles) before
+                # any callee instruction runs; the emulator charges it
+                # inside the window, so the certifier must too (the
+                # telemetry headroom report falsifies bounds without it).
+                dispatch = self.model.instruction_energy(inst)
+                if a is not None:
+                    a += dispatch
+                if b is not None:
+                    b += dispatch
                 if a is not None:
                     result.peek = max(result.peek, a + effect.peek)
+                    for cid, p in effect.peek_by.items():
+                        _bump_close(result.peek_by, cid, a + p)
+                if b is not None:
+                    # Attribute absolute windows closing at the callee's
+                    # internal checkpoints; the aggregate check below
+                    # already flags any EB violation among them.
+                    for cid, p in effect.peek_by.items():
+                        self._note_close(cid, b + p)
                 self._check_window(
                     b, effect.peek, location,
                     f"window through call to @{inst.callee}",
@@ -415,6 +461,11 @@ class EnergyCertifier:
         location = Location(func.name, effect.header)
         if a is not None:
             result.peek = max(result.peek, a + effect.peek)
+            for cid, p in effect.peek_by.items():
+                _bump_close(result.peek_by, cid, a + p)
+        if b is not None:
+            for cid, p in effect.peek_by.items():
+                self._note_close(cid, b + p)
         self._check_window(
             b, effect.peek, location,
             f"window through the loop at .{effect.header}",
@@ -470,18 +521,35 @@ class EnergyCertifier:
             )
             it = None  # already reported; avoid cascading window errors
 
-        # Max checkpoint-free *additional* full iterations before a fire,
-        # an exit, or the trip bound.
+        # Max checkpoint-free full iterations, from two viewpoints:
+        #
+        # - ``spins``/``growth`` — *additional* iterations after a window
+        #   (re)opened inside the loop (an internal close consumed one of
+        #   the ``trips`` passes, a fire resets the counter): trips - 1,
+        #   or every - 1 once a conditional latch checkpoint is in play;
+        # - ``entry_spins``/``entry_growth`` — iterations on a traversal
+        #   that *enters and leaves* the loop without checkpointing. A
+        #   while-shaped loop runs all ``trips`` full iterations and then
+        #   exits from the header, so the exit-edge state (header-only)
+        #   must ride on trips full iterations, not trips - 1 (using
+        #   trips - 1 under-counted every nock/tail/peek by one iteration
+        #   — falsified by the telemetry headroom report).
         if it is None:
             spins = 0
+            entry_spins = 0
         elif cond is not None:
             spins = cond.every - 1
+            entry_spins = cond.every - 1
             if trips is not None:
                 spins = min(spins, trips - 1)
+                entry_spins = min(entry_spins, trips)
         else:
             spins = (trips or 1) - 1
+            entry_spins = trips or 1
         spins = max(spins, 0)
+        entry_spins = max(entry_spins, 0)
         growth = spins * it if it is not None else 0.0
+        entry_growth = entry_spins * it if it is not None else 0.0
 
         # Absolute windows that live entirely inside the loop.
         starts = [ltb]
@@ -493,6 +561,8 @@ class EnergyCertifier:
                 start + growth, body.peek, header_loc,
                 f"window re-entering the loop at .{loop.header}",
             )
+            for cid, p in body.peek_by.items():
+                self._note_close(cid, start + growth + p)
             if fire_possible and cond is not None:
                 per_round = cond.every if trips is None else min(cond.every, trips)
                 fire_base = start + (per_round * it if it is not None else 0.0)
@@ -501,16 +571,23 @@ class EnergyCertifier:
                     f"window closing at conditional checkpoint "
                     f"#{cond.ckpt_id} (fires every {cond.every} "
                     f"iterations; save {cond.save:.1f} nJ)",
+                    close_id=cond.ckpt_id,
                 )
 
-        # Checkpoint-free prefix exposure seen from the loop entry.
-        peek = body.peek + growth
+        # Checkpoint-free prefix exposure seen from the loop entry. The
+        # in-pass prefix ``body.peek`` belongs to one of the body-running
+        # passes, so it rides on ``growth``; the conservative
+        # ``entry_growth`` also covers a header-only prefix after the
+        # final full iteration.
+        peek = body.peek + entry_growth
+        peek_by = {cid: p + growth for cid, p in body.peek_by.items()}
         if fire_possible and cond is not None and it is not None:
             peek = max(peek, growth + it + cond.save)
+            _bump_close(peek_by, cond.ckpt_id, growth + it + cond.save)
 
         exits: Dict[Tuple[str, str], StepEffect] = {}
         for edge, (a_e, b_e) in body.exits.items():
-            nock_e = a_e + growth if a_e is not None else None
+            nock_e = a_e + entry_growth if a_e is not None else None
             tail_parts = [b_e]
             if a_e is not None:
                 if ltb is not None:
@@ -518,11 +595,23 @@ class EnergyCertifier:
                 if fire_possible and cond is not None:
                     tail_parts.append(cond.restore + growth + a_e)
             exits[edge] = StepEffect(
-                nock=nock_e, peek=peek, tail=_max_opt(*tail_parts)
+                nock=nock_e, peek=peek, tail=_max_opt(*tail_parts),
+                peek_by=peek_by,
             )
-        return _LoopEffect(header=loop.header, peek=peek, exits=exits)
+        return _LoopEffect(
+            header=loop.header, peek=peek, exits=exits, peek_by=peek_by
+        )
 
     # -- window accounting -------------------------------------------------
+
+    def _note_close(self, close_id: int, total: float) -> None:
+        """Attribute an absolute window closing at ``close_id`` without
+        re-checking it against EB: the enclosing aggregate peek check at
+        the same program point already reports any violation, so this
+        only sharpens :attr:`segment_bounds` attribution."""
+        self.worst_window = max(self.worst_window, total)
+        if total > self.segment_bounds.get(close_id, 0.0):
+            self.segment_bounds[close_id] = total
 
     def _check_window(
         self,
@@ -530,12 +619,20 @@ class EnergyCertifier:
         extra: float,
         location: Location,
         context: str,
+        close_id: Optional[int] = None,
     ) -> None:
-        """Record/flag the absolute window ``window + extra``."""
+        """Record/flag the absolute window ``window + extra``.
+
+        ``close_id`` marks windows that *close* at a checkpoint save:
+        their totals also feed :attr:`segment_bounds` under that id."""
         if window is None:
             return
         total = window + extra
         self.worst_window = max(self.worst_window, total)
+        if close_id is not None:
+            previous = self.segment_bounds.get(close_id, 0.0)
+            if total > previous:
+                self.segment_bounds[close_id] = total
         if total > self.eb + self._tol:
             rule = RULES["ENER001"]
             self.sink.add(

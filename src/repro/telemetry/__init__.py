@@ -1,0 +1,51 @@
+"""Telemetry: spans, events, metrics and trace exporters.
+
+Instrumentation sites use the tiny module-level surface::
+
+    from repro import telemetry
+
+    tm = telemetry.get()            # None when disabled -> emit nothing
+    with telemetry.span("placer.profile", runs=4):
+        ...
+
+Drivers opt in with :func:`enable` (or ``--trace`` on
+``repro.experiments.run_all`` / ``repro.testkit``) and export via
+:mod:`repro.telemetry.exporters`; ``python -m repro.telemetry report``
+renders a trace. See docs/observability.md.
+"""
+
+from repro.telemetry.core import (
+    NULL_SPAN,
+    SCHEMA_VERSION,
+    TRACK_COMPILER,
+    TRACK_RUNTIME,
+    TRACK_STATIC,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    count,
+    disable,
+    enable,
+    enabled,
+    get,
+    span,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "TRACK_COMPILER",
+    "TRACK_RUNTIME",
+    "TRACK_STATIC",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "get",
+    "span",
+]

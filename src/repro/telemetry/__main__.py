@@ -1,0 +1,82 @@
+"""Trace tooling CLI.
+
+Usage::
+
+    # Render the headroom / traffic / phase report of a trace:
+    python -m repro.telemetry report traces/run_all.jsonl [--top N]
+
+    # Convert a JSONL trace to Chrome trace-event JSON (Perfetto):
+    python -m repro.telemetry convert traces/run_all.jsonl -o out.json
+
+``report`` exits 1 when any observed segment window exceeds its
+certified static bound (the cross-validation contract), 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.telemetry.events import TraceSchemaError
+from repro.telemetry.exporters import read_jsonl, write_chrome
+from repro.telemetry.report import analyze, headroom_violations, render
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="render a trace as text")
+    report.add_argument("trace", help="JSONL trace file")
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="hottest segments to show (0 = all; default 10)",
+    )
+
+    convert = sub.add_parser(
+        "convert", help="JSONL trace -> Chrome trace-event JSON"
+    )
+    convert.add_argument("trace", help="JSONL trace file")
+    convert.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        records = read_jsonl(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace {args.trace}", file=sys.stderr)
+        return 2
+    except (TraceSchemaError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "convert":
+        output = args.output or str(
+            Path(args.trace).with_suffix("")
+        ) + ".chrome.json"
+        path = write_chrome(records, output)
+        print(f"wrote {path}")
+        return 0
+
+    summary = analyze(records)
+    try:
+        print(render(summary, top=args.top or None))
+    except BrokenPipeError:
+        # Reader (e.g. ``| head``) went away; the verdict still stands.
+        sys.stderr.close()
+    return 1 if headroom_violations(summary) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

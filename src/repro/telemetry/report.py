@@ -1,0 +1,233 @@
+"""The human-readable trace report.
+
+Distills a JSONL trace into the three things a person tunes with:
+
+1. **segment-energy headroom** — per checkpoint: the observed maximum
+   committed window energy across all runs vs the static certifier's
+   proven bound vs EB, with an EB-utilisation bar. Observed must never
+   exceed the bound (that would falsify the certifier), and the bound
+   never exceeds EB on a feasible placement; a violation renders with
+   ``!!`` and makes :func:`headroom_violations` non-empty (the CLI turns
+   that into exit status 1).
+2. **checkpoint traffic** — save/restore/skip/failure/reboot totals.
+3. **phase-time breakdown** — where compile time went, summed per span
+   name (nested spans each report their own inclusive time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Slack for float round-trips through JSON; observed windows exceeding
+#: the certified bound by more than this are real violations.
+HEADROOM_TOL = 1e-6
+
+#: Width of the EB-utilisation bar, in characters.
+BAR_WIDTH = 24
+
+
+@dataclass
+class SegmentStat:
+    """One checkpoint's windows, aggregated over every traced run."""
+
+    benchmark: str
+    technique: str
+    eb: Optional[float]
+    ckpt: Any
+    observed_max: float = 0.0
+    closes: int = 0
+    #: Static certifier's worst case for windows closing here (None when
+    #: the trace carries no segment-bound events for this placement).
+    bound: Optional[float] = None
+
+    @property
+    def utilization(self) -> Optional[float]:
+        if not self.eb:
+            return None
+        return self.observed_max / self.eb
+
+    @property
+    def violates(self) -> bool:
+        return (
+            self.bound is not None
+            and self.observed_max > self.bound + HEADROOM_TOL
+        )
+
+
+@dataclass
+class TraceSummary:
+    meta: Dict[str, Any] = field(default_factory=dict)
+    segments: List[SegmentStat] = field(default_factory=list)
+    totals: Dict[str, int] = field(default_factory=dict)
+    #: span name -> (count, total microseconds), insertion-ordered.
+    phases: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    runs: int = 0
+
+
+def _seg_key(attrs: Dict[str, Any]) -> Tuple[str, str, Optional[float], Any]:
+    return (
+        str(attrs.get("benchmark", "?")),
+        str(attrs.get("technique", "?")),
+        attrs.get("eb"),
+        attrs.get("ckpt"),
+    )
+
+
+def analyze(records: List[Dict[str, Any]]) -> TraceSummary:
+    """Aggregate validated trace records into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    segments: Dict[Tuple, SegmentStat] = {}
+    run_ids = set()
+
+    for record in records:
+        kind = record.get("kind")
+        if kind == "header":
+            summary.meta = record.get("meta", {})
+            continue
+        if kind == "span":
+            count, total = summary.phases.get(record["name"], (0, 0))
+            summary.phases[record["name"]] = (
+                count + 1, total + record.get("dur", 0)
+            )
+            continue
+        if kind != "event":
+            continue
+        name = record["name"]
+        attrs = record.get("attrs", {})
+        if record.get("track") == "runtime":
+            summary.totals[name] = summary.totals.get(name, 0) + 1
+            if "run" in attrs:
+                run_ids.add(attrs["run"])
+        if name == "ckpt-save":
+            key = _seg_key(attrs)
+            stat = segments.get(key)
+            if stat is None:
+                stat = segments[key] = SegmentStat(
+                    benchmark=key[0], technique=key[1], eb=key[2],
+                    ckpt=key[3],
+                )
+            stat.closes += 1
+            window = float(attrs.get("window_nj", 0.0))
+            stat.observed_max = max(stat.observed_max, window)
+        elif name == "segment-bound":
+            key = _seg_key(attrs)
+            stat = segments.get(key)
+            if stat is None:
+                stat = segments[key] = SegmentStat(
+                    benchmark=key[0], technique=key[1], eb=key[2],
+                    ckpt=key[3],
+                )
+            bound = float(attrs.get("bound_nj", 0.0))
+            stat.bound = max(stat.bound or 0.0, bound)
+            if stat.eb is None and "eb_nj" in attrs:
+                stat.eb = float(attrs["eb_nj"])
+
+    summary.segments = sorted(
+        segments.values(),
+        key=lambda s: s.observed_max,
+        reverse=True,
+    )
+    summary.runs = len(run_ids)
+    return summary
+
+
+def headroom_violations(summary: TraceSummary) -> List[SegmentStat]:
+    """Segments whose observed max exceeds the certified static bound."""
+    return [seg for seg in summary.segments if seg.violates]
+
+
+# ---------------------------------------------------------------- render
+
+
+def _bar(fraction: Optional[float]) -> str:
+    if fraction is None:
+        return " " * BAR_WIDTH
+    filled = min(max(int(round(fraction * BAR_WIDTH)), 0), BAR_WIDTH)
+    return "#" * filled + "." * (BAR_WIDTH - filled)
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:10.1f}" if value is not None else " " * 10
+
+
+def render(summary: TraceSummary, top: Optional[int] = 10) -> str:
+    """The text report; ``top`` limits the headroom table (None = all)."""
+    lines: List[str] = []
+    if summary.meta:
+        described = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary.meta.items())
+        )
+        lines.append(f"trace: {described}")
+        lines.append("")
+
+    lines.append(
+        "segment-energy headroom "
+        "(observed max vs certified bound vs EB, hottest first)"
+    )
+    shown = summary.segments if top is None else summary.segments[:top]
+    bench_w = max([len("benchmark")] + [len(s.benchmark) for s in shown]) + 2
+    tech_w = max([len("technique")] + [len(s.technique) for s in shown]) + 2
+    header = (
+        f"{'benchmark':<{bench_w}}{'technique':<{tech_w}}{'ckpt':>5}"
+        f"{'observed':>11}{'bound':>11}{'EB':>11}  EB utilisation"
+    )
+    lines.append(header)
+    for seg in shown:
+        flag = " !!" if seg.violates else ""
+        util = seg.utilization
+        pct = f" {util * 100:5.1f}%" if util is not None else ""
+        lines.append(
+            f"{seg.benchmark:<{bench_w}}{seg.technique:<{tech_w}}"
+            f"{str(seg.ckpt):>5}"
+            f"{seg.observed_max:>11.1f}{_fmt(seg.bound)}"
+            f"{_fmt(seg.eb)}  |{_bar(util)}|{pct}{flag}"
+        )
+    if len(summary.segments) > len(shown):
+        lines.append(
+            f"... {len(summary.segments) - len(shown)} cooler segments "
+            f"not shown (--top)"
+        )
+    if not summary.segments:
+        lines.append("(no checkpoint saves in this trace)")
+
+    violations = headroom_violations(summary)
+    lines.append("")
+    if violations:
+        lines.append(
+            f"!! {len(violations)} segment(s) exceed their certified "
+            f"bound — the static certifier is falsified"
+        )
+    else:
+        certified = sum(1 for s in summary.segments if s.bound is not None)
+        lines.append(
+            f"headroom ok: {certified} certified segment(s), every "
+            f"observed window <= its static bound"
+        )
+
+    lines.append("")
+    lines.append(f"checkpoint traffic across {summary.runs} run(s)")
+    for name in (
+        "ckpt-save", "ckpt-restore", "ckpt-skip", "migrate",
+        "power-failure", "reboot",
+    ):
+        if name in summary.totals:
+            lines.append(f"  {name:<14}{summary.totals[name]:>8}")
+    if not any(
+        name in summary.totals
+        for name in ("ckpt-save", "ckpt-restore", "power-failure")
+    ):
+        lines.append("  (no runtime events in this trace)")
+
+    if summary.phases:
+        lines.append("")
+        lines.append("compile-phase breakdown (inclusive, per span name)")
+        width = max(len(name) for name in summary.phases) + 2
+        for name, (count, total_us) in sorted(
+            summary.phases.items(), key=lambda kv: kv[1][1], reverse=True
+        ):
+            lines.append(
+                f"  {name:<{width}}{total_us / 1000:>9.1f} ms"
+                f"  x{count}"
+            )
+    return "\n".join(lines)

@@ -28,8 +28,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 from typing import List, Optional
 
+from repro import telemetry
 from repro.testkit.corpus import available_programs
 from repro.testkit.differential import (
     DEFAULT_MODES,
@@ -66,8 +68,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Telemetry options shared by every subcommand (see
+    # docs/observability.md); a given --trace-dir implies --trace.
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument("--trace", action="store_true",
+                         help="record a telemetry trace (JSONL + Chrome "
+                         "trace JSON)")
+    tracing.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="trace output directory (default traces/; "
+                         "implies --trace)")
+
     sweep = sub.add_parser(
-        "sweep", help="exhaustive failure injection at instruction boundaries"
+        "sweep", parents=[tracing],
+        help="exhaustive failure injection at instruction boundaries",
     )
     sweep.add_argument(
         "--program", required=True,
@@ -93,7 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the injection schedules")
 
     diff = sub.add_parser(
-        "diff", help="technique x power-mode x TBPF differential grid"
+        "diff", parents=[tracing],
+        help="technique x power-mode x TBPF differential grid",
     )
     diff.add_argument("--programs", type=_csv, default=None,
                       help="comma list (default: the eight benchmarks)")
@@ -108,7 +122,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="worker processes (one per program)")
 
     fuzz = sub.add_parser(
-        "fuzz", help="seeded stochastic (RF-harvesting) schedules"
+        "fuzz", parents=[tracing],
+        help="seeded stochastic (RF-harvesting) schedules",
     )
     fuzz.add_argument("--programs", type=_csv,
                       default=list(DEFAULT_FUZZ_PROGRAMS))
@@ -127,12 +142,30 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     started = time.time()
+    tm = None
+    if args.trace or args.trace_dir is not None:
+        tm = telemetry.enable(meta={
+            "tool": f"repro.testkit.{args.command}",
+            "argv": list(argv) if argv is not None else sys.argv[1:],
+        })
     try:
         return _run(args, started)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+    finally:
+        if tm is not None:
+            telemetry.disable()
+            from repro.telemetry import exporters
+
+            paths = exporters.export(
+                tm, args.trace_dir or "traces",
+                prefix=f"testkit_{args.command}",
+            )
+            print(f"trace (events):       {paths['jsonl']}", file=sys.stderr)
+            print(f"trace (chrome/perfetto): {paths['chrome']}",
+                  file=sys.stderr)
 
 
 def _run(args: argparse.Namespace, started: float) -> int:
@@ -146,17 +179,25 @@ def _run(args: argparse.Namespace, started: float) -> int:
                 last[0] = now
                 print(f"  ... {i}/{total} injections", file=sys.stderr)
 
-        result = sweep_technique(
-            args.program,
-            args.technique,
-            eb=args.eb,
-            vm_size=args.vm_size,
-            granularity=args.granularity,
-            failures=args.failures,
-            sabotage=args.sabotage,
-            progress=progress,
-            jobs=resolve_jobs(args.jobs),
+        tm = telemetry.get()
+        scope = (
+            tm.scope(benchmark=args.program, technique=args.technique,
+                     eb=round(args.eb, 3))
+            if tm is not None
+            else nullcontext()
         )
+        with scope:
+            result = sweep_technique(
+                args.program,
+                args.technique,
+                eb=args.eb,
+                vm_size=args.vm_size,
+                granularity=args.granularity,
+                failures=args.failures,
+                sabotage=args.sabotage,
+                progress=progress,
+                jobs=resolve_jobs(args.jobs),
+            )
         print(result.render())
         print(f"({time.time() - started:.1f}s)")
         if args.sabotage:

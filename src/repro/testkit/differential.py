@@ -31,9 +31,11 @@ failing run replays deterministically.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.baselines import CompiledTechnique
 from repro.core.verify import run_against_reference
 from repro.emulator import PowerManager, run_continuous
@@ -236,12 +238,26 @@ def _run_program(
                     ))
                     continue
                 power = _power_for(mode, tbpf, eb, seed)
-                run = run_against_reference(
-                    comp.module, bench.module, plat.model, comp.policy,
-                    power, vm_size=plat.vm_size, inputs=inputs,
-                    max_instructions=max_instructions,
-                    reference_report=reference,
+                tm = telemetry.get()
+                scope = (
+                    tm.scope(benchmark=program, technique=technique,
+                             eb=round(eb, 3), tbpf=tbpf, mode=mode)
+                    if tm is not None
+                    else nullcontext()
                 )
+                with scope:
+                    if tm is not None:
+                        from repro.experiments.common import (
+                            emit_segment_bounds,
+                        )
+
+                        emit_segment_bounds(tm, comp, plat.model, eb)
+                    run = run_against_reference(
+                        comp.module, bench.module, plat.model, comp.policy,
+                        power, vm_size=plat.vm_size, inputs=inputs,
+                        max_instructions=max_instructions,
+                        reference_report=reference,
+                    )
                 result.runs += 1
                 guarantee = (
                     technique in WAIT_MODE_TECHNIQUES

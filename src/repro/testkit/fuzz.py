@@ -17,9 +17,11 @@ schedules that compound rollback upon rollback.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.baselines import CompiledTechnique
 from repro.core.verify import run_against_reference
 from repro.emulator import PowerManager, run_continuous
@@ -107,6 +109,13 @@ def run_fuzz(
                     result.outcomes.get("infeasible", 0) + 1
                 )
                 continue
+            tm = telemetry.get()
+            if tm is not None:
+                from repro.experiments.common import emit_segment_bounds
+
+                with tm.scope(benchmark=program, technique=technique,
+                              eb=round(eb, 3)):
+                    emit_segment_bounds(tm, compiled, plat.model, eb)
             for mean in mean_cycles:
                 for seed in range(seeds):
                     if progress is not None:
@@ -116,12 +125,20 @@ def run_fuzz(
                     power = PowerManager.stochastic(
                         mean_cycles=mean, seed=seed, eb=eb
                     )
-                    run = run_against_reference(
-                        compiled.module, bench.module, plat.model,
-                        compiled.policy, power, vm_size=plat.vm_size,
-                        inputs=inputs, max_instructions=max_instructions,
-                        reference_report=reference,
+                    tm = telemetry.get()
+                    scope = (
+                        tm.scope(benchmark=program, technique=technique,
+                                 eb=round(eb, 3), mean=mean, seed=seed)
+                        if tm is not None
+                        else nullcontext()
                     )
+                    with scope:
+                        run = run_against_reference(
+                            compiled.module, bench.module, plat.model,
+                            compiled.policy, power, vm_size=plat.vm_size,
+                            inputs=inputs, max_instructions=max_instructions,
+                            reference_report=reference,
+                        )
                     result.cases += 1
                     result.runs += 1
                     outcome = classify(run, guarantee=False)

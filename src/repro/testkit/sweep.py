@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.baselines import CompiledTechnique
 from repro.emulator import PowerManager, run_intermittent
 from repro.emulator.report import ExecutionReport
@@ -205,6 +206,11 @@ def sweep_technique(
         )
         result.outcomes["infeasible"] = 1
         return result
+    tm = telemetry.get()
+    if tm is not None:
+        from repro.experiments.common import emit_segment_bounds
+
+        emit_segment_bounds(tm, compiled, plat.model, eb)
     inputs = bench.default_inputs()
     reference = run_continuous(
         bench.module, plat.model, inputs=inputs,

@@ -122,6 +122,72 @@ def test_schema_version_is_part_of_the_key(tmp_path, monkeypatch):
     assert ArtifactCache.key("x") != before
 
 
+# -- statistics ---------------------------------------------------------------
+
+
+def test_stats_track_per_category(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    run_key = ArtifactCache.key("r")
+    assert cache.get("run", run_key) is None  # miss
+    cache.put("run", run_key, 1)
+    assert cache.get("run", run_key) == 1  # hit
+    assert cache.get("compile", ArtifactCache.key("other")) is None  # miss
+
+    assert cache.by_category["run"] == {
+        "hits": 1, "misses": 1, "stores": 1, "pruned": 0,
+    }
+    assert cache.by_category["compile"] == {
+        "hits": 0, "misses": 1, "stores": 0, "pruned": 0,
+    }
+    # Per-category counts sum to the totals.
+    for field in ("hits", "misses", "stores"):
+        assert getattr(cache, field) == sum(
+            stats[field] for stats in cache.by_category.values()
+        )
+
+
+def test_stats_line_renders_totals_and_categories(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    key = ArtifactCache.key("x")
+    cache.get("run", key)
+    cache.put("run", key, 1)
+    cache.get("run", key)
+    line = cache.stats_line()
+    assert "1 hits, 1 misses, 1 stores" in line
+    assert "run 1/1/1" in line and "h/m/s" in line
+    assert "pruned" not in line, "pruned only appears once eviction happened"
+
+
+def test_prune_is_attributed_to_categories(tmp_path):
+    cache = ArtifactCache(tmp_path / "c")
+    for i in range(4):
+        cache.put("run", ArtifactCache.key("r", i), b"x" * 200)
+        cache.put("ref", ArtifactCache.key("f", i), b"y" * 200)
+    evicted = cache.prune(0)
+    assert evicted == 8
+    assert cache.pruned == 8
+    assert (
+        cache.by_category["run"]["pruned"]
+        + cache.by_category["ref"]["pruned"]
+    ) == 8
+    assert f"{cache.pruned} pruned" in cache.stats_line()
+
+
+def test_stats_dict_is_manifest_ready(tmp_path):
+    import json
+
+    cache = ArtifactCache(tmp_path / "c")
+    key = ArtifactCache.key("x")
+    cache.get("run", key)
+    cache.put("run", key, 1)
+    stats = cache.stats_dict()
+    assert stats["root"] == str(tmp_path / "c")
+    assert stats["hits"] == 0 and stats["misses"] == 1
+    assert stats["stores"] == 1 and stats["pruned"] == 0
+    assert stats["categories"]["run"]["misses"] == 1
+    json.dumps(stats)  # must serialize as-is into the --json manifest
+
+
 # -- pool ---------------------------------------------------------------------
 
 
