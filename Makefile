@@ -33,8 +33,9 @@ bench:
 bench-full:
 	REPRO_FULL_BENCH=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Engine timing harness: cold vs warm cache vs parallel prefill, plus the
-# interpreter pre-decode micro-benchmark; writes BENCH_pr3.json.
+# Engine timing harness: cold vs warm cache vs parallel prefill, the
+# differential-emulation grid and the interpreter pre-decode
+# micro-benchmark; writes BENCH_pr6.json.
 bench-engine:
 	$(PYTHON) tools/bench_engine.py
 

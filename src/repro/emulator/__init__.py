@@ -24,7 +24,21 @@ from repro.emulator.meter import EnergyBreakdown, EnergyMeter
 from repro.emulator.power import PowerManager, PowerMode
 from repro.emulator.runtime import CheckpointPolicy, MEMENTOS_THRESHOLD
 from repro.emulator.report import ExecutionReport
-from repro.emulator.interpreter import Interpreter, run_continuous, run_intermittent
+from repro.emulator.interpreter import (
+    EmulatorSnapshot,
+    Interpreter,
+    run_continuous,
+    run_intermittent,
+)
+from repro.emulator.diffemu import (
+    DiffEmuStats,
+    PowerSpec,
+    SnapshotTape,
+    TapeStore,
+    plan_cell,
+    record_tape,
+    run_cell,
+)
 
 __all__ = [
     "MemoryState",
@@ -35,7 +49,15 @@ __all__ = [
     "CheckpointPolicy",
     "MEMENTOS_THRESHOLD",
     "ExecutionReport",
+    "EmulatorSnapshot",
     "Interpreter",
     "run_continuous",
     "run_intermittent",
+    "DiffEmuStats",
+    "PowerSpec",
+    "SnapshotTape",
+    "TapeStore",
+    "plan_cell",
+    "record_tape",
+    "run_cell",
 ]

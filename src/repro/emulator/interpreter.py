@@ -111,6 +111,48 @@ class InterpreterConfig:
     #: False selects the original per-step loop (kept as the differential
     #: reference implementation and for micro-benchmarks).
     predecode: bool = True
+    #: Called as commit_hook(interpreter, ckpt_id) after a checkpoint has
+    #: fully committed — the save persisted *and* the wait-mode
+    #: recharge/restore (or roll-back migration) completed. This is the
+    #: exact point :meth:`Interpreter.capture_snapshot` is designed for:
+    #: the differential-emulation recorder captures a resumable
+    #: :class:`EmulatorSnapshot` here (:mod:`repro.emulator.diffemu`).
+    #: Only checkpoint commits pay for the check; the hot loop never sees
+    #: it.
+    commit_hook: Optional[Callable[["Interpreter", int], None]] = None
+
+
+@dataclass
+class EmulatorSnapshot:
+    """Complete, detached interpreter state at a checkpoint commit.
+
+    Restoring one of these into a fresh :class:`Interpreter` (same module,
+    model, policy and power *configuration*) and calling
+    :meth:`Interpreter.resume` replays the remainder of the run
+    bit-identically — reports, failure logs, telemetry events and
+    step_hook streams all match the cold run's suffix. Every container is
+    a deep copy: a snapshot can seed any number of forks.
+    """
+
+    ckpt_id: int
+    #: Call stack at the commit (register files detached).
+    frames: List[FrameSnapshot]
+    #: ``payload_bytes`` of the interpreter's live rollback snapshot.
+    snapshot_payload_bytes: int
+    #: ``{"nvm": {...}, "vm": {...}}`` from MemoryState.snapshot_images.
+    images: Dict[str, Dict[str, List[int]]]
+    meter_state: dict
+    power_state: dict
+    instructions_executed: int
+    active_cycles: int
+    checkpoints_skipped: int
+    peak_vm_bytes: int
+    #: Committed meter total at the open telemetry segment's boundary.
+    seg_anchor: float
+    attempts_on_snapshot: int
+    #: Telemetry run id of the recording run, re-pinned on resume so a
+    #: forked run's events align with the cold run's suffix.
+    run_id: int
 
 
 class Interpreter:
@@ -302,7 +344,30 @@ class Interpreter:
                 ts=self.power.timeline, run=self._run_id,
                 technique=self.policy.name, power_mode=self.power.mode.value,
             )
+        return self._drive()
 
+    def resume(self, snapshot: EmulatorSnapshot) -> ExecutionReport:
+        """Restore a captured snapshot and replay the rest of the run.
+
+        The interpreter must have been constructed over the same module,
+        model, policy and an identically-configured power manager as the
+        recording run; only the *dynamic* state comes from the snapshot.
+        Telemetry marks the fork (``diffemu-fork``) instead of emitting a
+        second ``run-begin``.
+        """
+        self.restore_snapshot(snapshot)
+        tm = self._tm
+        if tm is not None:
+            tm.event(
+                "diffemu-fork", track=telemetry.TRACK_RUNTIME,
+                ts=self.power.timeline, run=self._run_id,
+                ckpt=snapshot.ckpt_id,
+                technique=self.policy.name,
+                power_mode=self.power.mode.value,
+            )
+        return self._drive()
+
+    def _drive(self) -> ExecutionReport:
         completed = False
         failure_reason = ""
         try:
@@ -316,6 +381,7 @@ class Interpreter:
         if completed:
             self.meter.commit()
 
+        tm = self._tm
         if tm is not None:
             tm.event(
                 "run-end", track=telemetry.TRACK_RUNTIME,
@@ -709,12 +775,12 @@ class Interpreter:
             self.power.recharge_full()
             if not self._apply_restore(inst):
                 return False, "no forward progress"
-            return None
-
         # Roll-back mode: execution continues with VM intact; only an
         # allocation *change* moves data (none for the baselines).
-        if not self._apply_migration(inst):
+        elif not self._apply_migration(inst):
             return False, "no forward progress"
+        if self.config.commit_hook is not None:
+            self.config.commit_hook(self, inst.ckpt_id)
         return None
 
     def _apply_migration(self, inst) -> bool:
@@ -846,6 +912,101 @@ class Interpreter:
             for f in snapshot.frames
         ]
         return self._apply_restore(self._snapshot_inst, reason="rollback")
+
+    # -- snapshot / fork --------------------------------------------------------
+
+    def capture_snapshot(self) -> EmulatorSnapshot:
+        """Capture the complete dynamic state at a checkpoint commit.
+
+        Meant to be called from :attr:`InterpreterConfig.commit_hook`
+        (i.e. with the last checkpoint fully committed); raises
+        :class:`EmulationError` before the first commit, when there is no
+        consistent resume point yet."""
+        if self._snapshot is None:
+            raise EmulationError(
+                "capture_snapshot before any checkpoint commit"
+            )
+        return EmulatorSnapshot(
+            ckpt_id=self._snapshot.ckpt_id,
+            frames=[
+                FrameSnapshot(
+                    function=f.function.name,
+                    block=f.block,
+                    index=f.index,
+                    registers=dict(f.registers),
+                    ref_bindings=dict(f.ref_bindings),
+                    ret_target=f.ret_target,
+                )
+                for f in self.frames
+            ],
+            snapshot_payload_bytes=self._snapshot.payload_bytes,
+            images=self.memory.snapshot_images(),
+            meter_state=self.meter.state_dict(),
+            power_state=self.power.state_dict(),
+            instructions_executed=self.instructions_executed,
+            active_cycles=self.active_cycles,
+            checkpoints_skipped=self.checkpoints_skipped,
+            peak_vm_bytes=self.peak_vm_bytes,
+            seg_anchor=self._seg_anchor,
+            attempts_on_snapshot=self._attempts_on_snapshot,
+            run_id=self._run_id,
+        )
+
+    def restore_snapshot(self, snap: EmulatorSnapshot) -> None:
+        """Load a captured snapshot into this (freshly built) interpreter.
+
+        Validates that the snapshot's program position actually names the
+        checkpoint it claims (a corrupted or mismatched snapshot raises
+        :class:`EmulationError` instead of silently resuming wrong)."""
+        if not snap.frames:
+            raise EmulationError("snapshot has no frames")
+        top = snap.frames[-1]
+        try:
+            function = self.module.function(top.function)
+            block = function.blocks[top.block]
+            inst = block.instructions[top.index - 1]
+        except (KeyError, IndexError) as exc:
+            raise EmulationError(
+                f"snapshot position {top.function}:{top.block}:"
+                f"{top.index - 1} does not exist in this module ({exc})"
+            ) from None
+        if (
+            top.index < 1
+            or not isinstance(inst, (Checkpoint, CondCheckpoint))
+            or inst.ckpt_id != snap.ckpt_id
+        ):
+            raise EmulationError(
+                f"snapshot claims checkpoint {snap.ckpt_id} but the "
+                f"instruction before {top.function}:{top.block}:"
+                f"{top.index} is {type(inst).__name__}"
+            )
+        self.frames = [
+            _Frame(
+                self.module.function(f.function),
+                f.block,
+                f.index,
+                registers=dict(f.registers),
+                ref_bindings=dict(f.ref_bindings),
+                ret_target=f.ret_target,
+            )
+            for f in snap.frames
+        ]
+        self.memory.restore_images(snap.images)
+        self.meter.restore_state(snap.meter_state)
+        self.power.restore_state(snap.power_state)
+        self.instructions_executed = snap.instructions_executed
+        self.active_cycles = snap.active_cycles
+        self.checkpoints_skipped = snap.checkpoints_skipped
+        self.peak_vm_bytes = snap.peak_vm_bytes
+        self._seg_anchor = snap.seg_anchor
+        self._attempts_on_snapshot = snap.attempts_on_snapshot
+        self._run_id = snap.run_id
+        self._snapshot = Snapshot(
+            ckpt_id=snap.ckpt_id,
+            frames=list(snap.frames),
+            payload_bytes=snap.snapshot_payload_bytes,
+        )
+        self._snapshot_inst = inst
 
 
 # -- drivers ---------------------------------------------------------------------

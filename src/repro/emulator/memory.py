@@ -115,6 +115,25 @@ class MemoryState:
     def restore_vm(self, snapshot: Dict[str, List[int]]) -> None:
         self.vm = {name: list(values) for name, values in snapshot.items()}
 
+    def snapshot_images(self) -> Dict[str, Dict[str, List[int]]]:
+        """Detached deep copies of both images, for snapshot/fork
+        emulation. The returned dict never aliases live state."""
+        return {
+            "nvm": {name: list(values) for name, values in self.nvm.items()},
+            "vm": {name: list(values) for name, values in self.vm.items()},
+        }
+
+    def restore_images(self, images: Dict[str, Dict[str, List[int]]]) -> None:
+        """Replace both images with deep copies of a prior
+        :meth:`snapshot_images` capture; the snapshot stays pristine for
+        reuse by later forks."""
+        self.nvm = {
+            name: list(values) for name, values in images["nvm"].items()
+        }
+        self.vm = {
+            name: list(values) for name, values in images["vm"].items()
+        }
+
     def size_of(self, name: str) -> int:
         return self._sizes[name]
 

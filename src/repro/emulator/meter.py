@@ -130,6 +130,45 @@ class EnergyMeter:
         self.breakdown.restore += energy
         self.restores += 1
 
+    # -- snapshot/fork support ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full meter state as plain floats/ints, for snapshot/fork
+        emulation (detached — mutating the meter later does not touch a
+        returned dict)."""
+        b, p = self.breakdown, self.pending
+        return {
+            "breakdown": {
+                "computation": b.computation,
+                "save": b.save,
+                "restore": b.restore,
+                "reexecution": b.reexecution,
+                "cpu": b.cpu,
+                "vm_access": b.vm_access,
+                "nvm_access": b.nvm_access,
+            },
+            "pending": {
+                "computation": p.computation,
+                "cpu": p.cpu,
+                "vm_access": p.vm_access,
+                "nvm_access": p.nvm_access,
+                "vm_accesses": p.vm_accesses,
+                "nvm_accesses": p.nvm_accesses,
+            },
+            "vm_accesses": self.vm_accesses,
+            "nvm_accesses": self.nvm_accesses,
+            "saves": self.saves,
+            "restores": self.restores,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.breakdown = EnergyBreakdown(**state["breakdown"])
+        self.pending = _Pending(**state["pending"])
+        self.vm_accesses = state["vm_accesses"]
+        self.nvm_accesses = state["nvm_accesses"]
+        self.saves = state["saves"]
+        self.restores = state["restores"]
+
     # -- queries -----------------------------------------------------------------
 
     @property

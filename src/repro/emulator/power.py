@@ -84,6 +84,13 @@ class PowerManager:
     timeline: int = 0
     failure_log: List[int] = field(default_factory=list)
     record: Optional[List[int]] = None
+    #: When set to a list, :meth:`recharge_full` appends one
+    #: ``(consumed_since_recharge, cycles_since_recharge, timeline)``
+    #: triple *before* resetting the counters — the per-window peak
+    #: aggregates the differential-emulation planner replays failure
+    #: predicates against (:mod:`repro.emulator.diffemu`). Only the cold
+    #: recharge path pays for this; :meth:`consume` is untouched.
+    span_log: Optional[List] = None
     _schedule_pos: int = 0
     _window_anchor: int = 0  # timeline at the last recharge (SCHEDULED)
     _window: int = 0  # current stochastic inter-failure window
@@ -196,12 +203,58 @@ class PowerManager:
     def recharge_full(self) -> None:
         """Sleep until the capacitor is fully charged (or: the device
         restarts after an outage with a replenished capacitor)."""
+        if self.span_log is not None:
+            self.span_log.append((
+                self.consumed_since_recharge,
+                self.cycles_since_recharge,
+                self.timeline,
+            ))
         self.consumed_since_recharge = 0.0
         self.cycles_since_recharge = 0
         self.recharges += 1
         self._window_anchor = self.timeline
         if self.mode is PowerMode.STOCHASTIC:
             self._window = self._draw_window()
+
+    def state_dict(self) -> dict:
+        """All dynamic state, for snapshot/fork emulation. The static
+        configuration (mode, eb, schedule, ...) is deliberately excluded:
+        a snapshot restores onto a manager built from the same spec, and
+        :meth:`restore_state` enforces that."""
+        return {
+            "mode": self.mode.value,
+            "consumed_since_recharge": self.consumed_since_recharge,
+            "cycles_since_recharge": self.cycles_since_recharge,
+            "failures": self.failures,
+            "recharges": self.recharges,
+            "timeline": self.timeline,
+            "failure_log": list(self.failure_log),
+            "_schedule_pos": self._schedule_pos,
+            "_window_anchor": self._window_anchor,
+            "_window": self._window,
+            "_rng_state": (
+                self._rng.getstate() if self._rng is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["mode"] != self.mode.value:
+            raise ValueError(
+                f"power snapshot for mode {state['mode']!r} cannot restore "
+                f"onto a {self.mode.value!r} manager"
+            )
+        self.consumed_since_recharge = state["consumed_since_recharge"]
+        self.cycles_since_recharge = state["cycles_since_recharge"]
+        self.failures = state["failures"]
+        self.recharges = state["recharges"]
+        self.timeline = state["timeline"]
+        self.failure_log = list(state["failure_log"])
+        self._schedule_pos = state["_schedule_pos"]
+        self._window_anchor = state["_window_anchor"]
+        self._window = state["_window"]
+        if state["_rng_state"] is not None:
+            assert self._rng is not None
+            self._rng.setstate(state["_rng_state"])
 
     @classmethod
     def continuous(cls) -> "PowerManager":

@@ -142,6 +142,7 @@ def _init_worker(
     profile_runs: int,
     failure_model: str,
     cache_root: Optional[str],
+    diff_emulation: bool = True,
 ) -> None:
     """Build the per-process context (idempotent: the serial fallback of
     parallel_map may call it in a process that already has one)."""
@@ -154,6 +155,7 @@ def _init_worker(
         profile_runs=profile_runs,
         failure_model=failure_model,
         cache=cache,
+        diff_emulation=diff_emulation,
     )
 
 
@@ -240,6 +242,7 @@ def prefill(
         ctx.profile_runs,
         ctx.failure_model,
         str(ctx.cache.root) if ctx.cache is not None else None,
+        ctx.diff_emulation,
     )
     artifacts = plan_artifacts(ctx, extra_benchmarks=[figure8_benchmark])
     if log is not None:

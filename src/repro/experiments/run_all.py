@@ -91,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the evaluation cells")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent artifact cache")
+    parser.add_argument("--diff-emulation", dest="diff_emulation",
+                        action="store_true", default=True,
+                        help="differential emulation: record one snapshot "
+                        "tape per column and replay only each cell's "
+                        "failure suffix (default; see docs/performance.md)")
+    parser.add_argument("--no-diff-emulation", dest="diff_emulation",
+                        action="store_false",
+                        help="escape hatch: cold-emulate every cell")
     parser.add_argument("--cache-dir", default=None,
                         help="artifact cache directory (default "
                         ".repro-cache or $REPRO_CACHE_DIR)")
@@ -110,7 +118,10 @@ def make_context(args: argparse.Namespace) -> common.EvaluationContext:
     if benchmarks is None and args.quick:
         benchmarks = QUICK_BENCHMARKS
     cache = None if args.no_cache else ArtifactCache.default(args.cache_dir)
-    return common.EvaluationContext(benchmarks=benchmarks, cache=cache)
+    return common.EvaluationContext(
+        benchmarks=benchmarks, cache=cache,
+        diff_emulation=args.diff_emulation,
+    )
 
 
 def render_sections(
@@ -170,6 +181,12 @@ def build_manifest(
         ],
         "prefill": prefill_stats or None,
         "cache": ctx.cache.stats_dict() if ctx.cache is not None else None,
+        # Parent-process counters: workers keep their own stores, so under
+        # --jobs N most cells are counted in the workers, not here.
+        "diff_emulation": {
+            "enabled": ctx.diff_emulation,
+            **ctx.diffemu_stats.as_dict(),
+        },
         "trace": (
             {key: str(path) for key, path in trace_paths.items()}
             if trace_paths
@@ -206,6 +223,14 @@ def main(argv=None) -> None:
     timings = render_sections(ctx)
     if ctx.cache is not None:
         print(ctx.cache.stats_line(), file=sys.stderr)
+    if ctx.diff_emulation:
+        st = ctx.diffemu_stats
+        print(
+            f"diffemu: {st.tapes_recorded} tapes recorded, "
+            f"{st.tape_cache_hits} tape hits, {st.synthesized} synthesized, "
+            f"{st.forked} forked, {st.cold} cold, "
+            f"{st.invalid_tapes} invalid", file=sys.stderr,
+        )
 
     trace_paths: Optional[Dict[str, Path]] = None
     if tm is not None:

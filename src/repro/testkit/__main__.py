@@ -117,6 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--modes", type=_csv, default=list(DEFAULT_MODES),
                       help="subset of energy,periodic,stochastic")
     diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument("--diff-emulation", action="store_true",
+                      help="run every cell twice — cold and via the "
+                      "snapshot/fork path — and convict any report "
+                      "divergence (doubles the grid)")
     diff.add_argument("--no-shrink", action="store_true")
     diff.add_argument("--jobs", default="1", metavar="N|auto",
                       help="worker processes (one per program)")
@@ -220,6 +224,7 @@ def _run(args: argparse.Namespace, started: float) -> int:
             seed=args.seed,
             shrink=not args.no_shrink,
             jobs=resolve_jobs(args.jobs),
+            diff_emulation=args.diff_emulation,
         )
         print(result.render())
         print(f"({time.time() - started:.1f}s)")

@@ -27,6 +27,14 @@ recharge contract: their anomalies there are recorded as
 ``anomaly-outside-contract`` and excluded from the agreement check.
 Violations are shrunk to a minimal ``SCHEDULED`` failure list when the
 failing run replays deterministically.
+
+With ``diff_emulation=True`` every cell additionally becomes a *pair*:
+the cold emulation and a differential one (snapshot tape recorded once
+per technique x TBPF column, the cell resumed from the last safe
+snapshot — see :mod:`repro.emulator.diffemu`). The two full
+:class:`~repro.emulator.report.ExecutionReport` objects must match
+bit-for-bit; a divergence is recorded as a disagreement, exactly like a
+cross-technique one.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro import telemetry
 from repro.baselines import CompiledTechnique
 from repro.core.verify import run_against_reference
 from repro.emulator import PowerManager, run_continuous
+from repro.emulator.diffemu import PowerSpec, record_tape, run_cell
 from repro.emulator.report import ExecutionReport
 from repro.energy import msp430fr5969_platform
 from repro.programs import BENCHMARK_NAMES
@@ -77,6 +86,10 @@ class DiffResult:
     #: Cross-technique disagreements: human-readable descriptions.
     disagreements: List[str] = field(default_factory=list)
     runs: int = 0
+    #: Forked-vs-cold pairs checked (``diff_emulation=True``) and how the
+    #: differential side planned each one (synthesize / fork / cold).
+    diffemu_cells: int = 0
+    diffemu_kinds: Dict[str, int] = field(default_factory=dict)
 
     @property
     def violations(self) -> List[OracleVerdict]:
@@ -96,6 +109,14 @@ class DiffResult:
             f"techniques x TBPF {self.tbpf_values} x modes {self.modes}",
             f"  {len(self.verdicts)} cells, {self.runs} oracle runs",
         ]
+        if self.diffemu_cells:
+            kinds = ", ".join(
+                f"{kind}: {count}"
+                for kind, count in sorted(self.diffemu_kinds.items())
+            )
+            lines.append(
+                f"  diff-emulation pairs: {self.diffemu_cells} ({kinds})"
+            )
         for outcome, count in sorted(counts.items()):
             lines.append(f"  {outcome}: {count}")
         if self.disagreements:
@@ -121,6 +142,17 @@ def _power_for(mode: str, tbpf: int, eb: float, seed: int) -> PowerManager:
     raise ValueError(f"unknown power mode {mode!r}")
 
 
+def _spec_for(mode: str, tbpf: int, eb: float, seed: int) -> PowerSpec:
+    """The :class:`PowerSpec` equivalent of :func:`_power_for`."""
+    if mode == "energy":
+        return PowerSpec.energy_budget(eb)
+    if mode == "periodic":
+        return PowerSpec.periodic(tbpf=tbpf, eb=eb)
+    if mode == "stochastic":
+        return PowerSpec.stochastic(mean_cycles=tbpf, seed=seed, eb=eb)
+    raise ValueError(f"unknown power mode {mode!r}")
+
+
 def run_differential(
     programs: Optional[Sequence[str]] = None,
     techniques: Sequence[str] = DEFAULT_TECHNIQUES,
@@ -131,13 +163,17 @@ def run_differential(
     shrink: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
+    diff_emulation: bool = False,
 ) -> DiffResult:
     """Run the full grid; see the module docstring for the oracle.
 
     ``jobs > 1`` fans the per-program grids across worker processes
     (each program's technique x TBPF x mode block is independent) and
     merges the partial results in program order, so the combined result
-    is identical to a serial run."""
+    is identical to a serial run.
+
+    ``diff_emulation=True`` runs every cell twice — cold and through the
+    snapshot/fork path — and convicts any report divergence."""
     programs = list(programs if programs is not None else BENCHMARK_NAMES)
     result = DiffResult(
         programs=programs,
@@ -150,13 +186,14 @@ def run_differential(
             _diff_one_program, programs, jobs,
             initializer=_init_diff_worker,
             initargs=(list(techniques), list(tbpf_values), list(modes),
-                      seed, max_instructions, shrink),
+                      seed, max_instructions, shrink, diff_emulation),
         )
     else:
         partials = [
             _run_program(
                 program, techniques, tbpf_values, modes, seed,
                 max_instructions, shrink, progress,
+                diff_emulation=diff_emulation,
             )
             for program in programs
         ]
@@ -164,6 +201,11 @@ def run_differential(
         result.verdicts.extend(partial.verdicts)
         result.disagreements.extend(partial.disagreements)
         result.runs += partial.runs
+        result.diffemu_cells += partial.diffemu_cells
+        for kind, count in partial.diffemu_kinds.items():
+            result.diffemu_kinds[kind] = (
+                result.diffemu_kinds.get(kind, 0) + count
+            )
     return result
 
 
@@ -171,20 +213,20 @@ _DIFF_STATE: Optional[Tuple] = None
 
 
 def _init_diff_worker(
-    techniques, tbpf_values, modes, seed, max_instructions, shrink
+    techniques, tbpf_values, modes, seed, max_instructions, shrink,
+    diff_emulation=False,
 ) -> None:
     global _DIFF_STATE
     _DIFF_STATE = (techniques, tbpf_values, modes, seed, max_instructions,
-                   shrink)
+                   shrink, diff_emulation)
 
 
 def _diff_one_program(program: str) -> DiffResult:
-    techniques, tbpf_values, modes, seed, max_instructions, shrink = (
-        _DIFF_STATE
-    )
+    (techniques, tbpf_values, modes, seed, max_instructions, shrink,
+     diff_emulation) = _DIFF_STATE
     return _run_program(
         program, techniques, tbpf_values, modes, seed, max_instructions,
-        shrink, progress=None,
+        shrink, progress=None, diff_emulation=diff_emulation,
     )
 
 
@@ -197,6 +239,7 @@ def _run_program(
     max_instructions: int,
     shrink: bool,
     progress: Optional[Callable[[str], None]],
+    diff_emulation: bool = False,
 ) -> DiffResult:
     """One program's technique x TBPF x mode block as a partial result."""
     result = DiffResult(
@@ -223,6 +266,9 @@ def _run_program(
                 technique, bench.module, plat,
                 input_generator=bench.input_generator(),
             )
+        # One snapshot tape per technique column, shared by every power
+        # mode of this TBPF (recorded lazily on first eligible cell).
+        tapes: Dict[str, object] = {}
         for mode in modes:
             group: Dict[str, ExecutionReport] = {}
             for technique in techniques:
@@ -259,6 +305,34 @@ def _run_program(
                         reference_report=reference,
                     )
                 result.runs += 1
+                if (
+                    diff_emulation
+                    and comp.policy.skip_threshold is None
+                    and not run.crashed
+                ):
+                    tape = tapes.get(technique)
+                    if tape is None:
+                        tape = tapes[technique] = record_tape(
+                            comp.module, plat.model, comp.policy,
+                            vm_size=plat.vm_size, inputs=inputs,
+                            max_instructions=max_instructions,
+                        )
+                    paired, plan = run_cell(
+                        comp.module, plat.model, comp.policy,
+                        _spec_for(mode, tbpf, eb, seed), tape,
+                        vm_size=plat.vm_size, inputs=inputs,
+                        max_instructions=max_instructions,
+                    )
+                    result.diffemu_cells += 1
+                    result.diffemu_kinds[plan.kind] = (
+                        result.diffemu_kinds.get(plan.kind, 0) + 1
+                    )
+                    if repr(paired) != repr(run.report):
+                        result.disagreements.append(
+                            f"{program}/{technique} under {desc}: "
+                            f"diff-emulation ({plan.kind}) diverges "
+                            "from cold emulation"
+                        )
                 guarantee = (
                     technique in WAIT_MODE_TECHNIQUES
                     and mode in ("energy", "periodic")

@@ -1,0 +1,359 @@
+"""Unit tests for differential-emulation planning, caching and fallback.
+
+Covers the parts of :mod:`repro.emulator.diffemu` the identity suite
+exercises only end-to-end:
+
+- :func:`plan_cell` window math per power mode against a real recorded
+  tape (synthesize / fork / cold selection, fork-point safety);
+- column sharing: one tape serves every mode of its column;
+- cache-key discipline: :meth:`PowerSpec.key_parts` is a pinned schema
+  (mode, seed and schedule always included — a SCHEDULED and a
+  STOCHASTIC cell must never share), and tape keys are stable across
+  processes;
+- sabotage: a corrupted stored snapshot fails digest verification and
+  the engine falls back to cold emulation with the correct report.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.emulator import run_continuous, run_intermittent
+from repro.emulator.diffemu import (
+    TAPE_SCHEMA,
+    DiffEmuStats,
+    PowerSpec,
+    SnapshotTape,
+    TapeStore,
+    plan_cell,
+    record_tape,
+    run_cell,
+)
+from repro.energy import msp430fr5969_platform
+from repro.experiments.common import EvaluationContext
+from repro.runner.cache import ArtifactCache
+from repro.testkit.corpus import compile_for, load_program
+
+TBPF = 10_000
+
+#: The fixture column's budget is derived from a *small* period so the
+#: recording commits many checkpoints — the planner tests need a tape
+#: with several recharge windows and snapshots.
+COLUMN_TBPF = 500
+
+
+@pytest.fixture(scope="module")
+def column():
+    """One schematic column (the ``calls`` corpus program) compiled at a
+    tight budget, and its recorded tape."""
+    bench = load_program("calls")
+    proto = msp430fr5969_platform()
+    ref = run_continuous(
+        bench.module, proto.model, inputs=bench.default_inputs()
+    )
+    eb = ref.energy.total / max(ref.active_cycles, 1) * COLUMN_TBPF
+    plat = msp430fr5969_platform(eb=eb)
+    compiled = compile_for(
+        "schematic", bench.module, plat,
+        input_generator=bench.input_generator(),
+    )
+    tape = record_tape(
+        compiled.module, plat.model, compiled.policy,
+        vm_size=plat.vm_size, inputs=bench.default_inputs(),
+    )
+    return plat, bench, compiled, eb, tape
+
+
+# -- planning -----------------------------------------------------------------
+
+
+def test_plan_synthesize_when_predicate_never_fires(column):
+    *_, tape = column
+    ample = max(c for c, _, _ in tape.recharge_spans) * 2
+    plan = plan_cell(tape, PowerSpec.energy_budget(ample))
+    assert plan.kind == "synthesize"
+
+
+def test_plan_cold_when_first_window_fires(column):
+    """A budget below window 0's consumption fails before any snapshot
+    (the first capture happens at the first commit, after window 0)."""
+    *_, tape = column
+    tiny = tape.recharge_spans[0][0] * 0.5
+    plan = plan_cell(tape, PowerSpec.energy_budget(tiny))
+    assert plan.kind == "cold"
+    assert plan.first_failure_window == 0
+
+
+def test_plan_fork_picks_last_safe_snapshot(column):
+    """Failing a late window forks from a snapshot strictly before it."""
+    *_, tape = column
+    spans = tape.recharge_spans
+    assert len(spans) >= 3, "recording too short for this test"
+    # A window whose consumption strictly exceeds every earlier window:
+    # a budget between the two fails there first, and snapshots up to it
+    # are safe.
+    target = next(
+        j for j in range(1, len(spans))
+        if spans[j][0] > max(c for c, _, _ in spans[:j])
+    )
+    eb = max(c for c, _, _ in spans[:target]) + 1e-9
+    plan = plan_cell(tape, PowerSpec.energy_budget(eb))
+    assert plan.kind == "fork"
+    assert plan.first_failure_window == target
+    entry = tape.entries[plan.entry_index]
+    assert entry.point.recharges <= target
+    assert entry.point.consumed <= eb
+
+
+def test_plan_periodic_and_scheduled_windows(column):
+    *_, tape = column
+    slow = max(cy for _, cy, _ in tape.recharge_spans) + 1
+    assert plan_cell(tape, PowerSpec.periodic(tbpf=slow)).kind == "synthesize"
+    fast = min(cy for _, cy, _ in tape.recharge_spans) - 1
+    assert plan_cell(tape, PowerSpec.periodic(tbpf=fast)).kind in (
+        "cold", "fork",
+    )
+    beyond = tape.final.timeline + 1
+    assert (
+        plan_cell(tape, PowerSpec.scheduled((beyond,))).kind == "synthesize"
+    )
+    assert plan_cell(tape, PowerSpec.scheduled((0,))).kind == "cold"
+
+
+def test_plan_is_deterministic_for_stochastic_specs(column):
+    *_, tape = column
+    spec = PowerSpec.stochastic(mean_cycles=TBPF, seed=5)
+    assert plan_cell(tape, spec) == plan_cell(tape, spec)
+
+
+def test_one_tape_serves_every_mode_of_its_column(column):
+    """Column sharing: the same tape object answers energy, periodic and
+    stochastic cells, each matching its cold run."""
+    plat, bench, compiled, eb, tape = column
+    inputs = bench.default_inputs()
+    for spec in (
+        PowerSpec.energy_budget(eb),
+        PowerSpec.periodic(tbpf=TBPF, eb=eb),
+        PowerSpec.stochastic(mean_cycles=TBPF, seed=1, eb=eb),
+    ):
+        cold = run_intermittent(
+            compiled.module, plat.model, compiled.policy, spec.build(),
+            vm_size=plat.vm_size, inputs=inputs,
+        )
+        got, _ = run_cell(
+            compiled.module, plat.model, compiled.policy, spec, tape,
+            vm_size=plat.vm_size, inputs=inputs,
+        )
+        assert repr(got) == repr(cold)
+
+
+# -- cache-key discipline -----------------------------------------------------
+
+
+def test_power_spec_key_parts_schema_is_pinned():
+    """The snapshot/run cache identity. Changing this tuple silently
+    invalidates (or worse, aliases) stored artifacts — bump TAPE_SCHEMA
+    alongside any edit here."""
+    assert PowerSpec.stochastic(5000.0, seed=7, eb=123.0).key_parts() == (
+        "power-spec", "stochastic", "123.0", 0, "5000.0", 7, (),
+    )
+    assert PowerSpec.scheduled((5000,), eb=123.0).key_parts() == (
+        "power-spec", "scheduled", "123.0", 0, "0.0", 0, (5000,),
+    )
+    assert PowerSpec.periodic(tbpf=5000, eb=123.0).key_parts() == (
+        "power-spec", "periodic-cycles", "123.0", 5000, "0.0", 0, (),
+    )
+    assert PowerSpec.energy_budget(123.0).key_parts() == (
+        "power-spec", "energy-budget", "123.0", 0, "0.0", 0, (),
+    )
+
+
+def test_scheduled_and_stochastic_never_share():
+    """The regression the schema above prevents: a SCHEDULED and a
+    STOCHASTIC spec with otherwise equal numbers must key differently,
+    as must two stochastic seeds."""
+    sched = PowerSpec.scheduled((5000,), eb=100.0)
+    stoch = PowerSpec.stochastic(5000.0, seed=0, eb=100.0)
+    assert sched.key_parts() != stoch.key_parts()
+    assert ArtifactCache.key(*sched.key_parts()) != ArtifactCache.key(
+        *stoch.key_parts()
+    )
+    assert (
+        PowerSpec.stochastic(5000.0, seed=0).key_parts()
+        != PowerSpec.stochastic(5000.0, seed=1).key_parts()
+    )
+
+
+def test_run_spec_keys_scheduled_and_stochastic_apart():
+    """EvaluationContext.run_spec memoizes the two modes independently
+    even when their numeric parameters coincide."""
+    ctx = EvaluationContext(benchmarks=["crc"])
+    eb = ctx.eb_for_tbpf("crc", TBPF)
+    sched = ctx.run_spec(
+        "schematic", "crc", eb, PowerSpec.scheduled((5000,), eb=eb)
+    )
+    stoch = ctx.run_spec(
+        "schematic", "crc", eb, PowerSpec.stochastic(5000.0, seed=0, eb=eb)
+    )
+    spec_keys = [k for k in ctx._runs if k and k[0] == "spec"]
+    assert len(spec_keys) == 2
+    assert sched.report is not None and stoch.report is not None
+    assert sched.report.power_mode != stoch.report.power_mode
+
+
+def test_tape_cache_key_is_stable_across_processes():
+    """Tape keys must survive process boundaries (parallel prefill
+    workers share the artifact-cache directory)."""
+    parts = PowerSpec.stochastic(5000.0, seed=7, eb=123.0).key_parts()
+    here = ArtifactCache.key(TapeStore.CATEGORY, TAPE_SCHEMA, *parts)
+    code = (
+        "from repro.emulator.diffemu import PowerSpec, TapeStore, "
+        "TAPE_SCHEMA\n"
+        "from repro.runner.cache import ArtifactCache\n"
+        "parts = PowerSpec.stochastic(5000.0, seed=7, eb=123.0).key_parts()\n"
+        "print(ArtifactCache.key(TapeStore.CATEGORY, TAPE_SCHEMA, *parts))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        env=dict(os.environ), check=True,
+    )
+    assert out.stdout.strip() == here
+
+
+# -- tape store ---------------------------------------------------------------
+
+
+def test_tape_store_memoizes_and_hits_disk(tmp_path, column):
+    plat, bench, compiled, _, _ = column
+
+    def recorder():
+        return record_tape(
+            compiled.module, plat.model, compiled.policy,
+            vm_size=plat.vm_size, inputs=bench.default_inputs(),
+        )
+
+    key = ("tape-test", "warloop", "schematic")
+    store1 = TapeStore(ArtifactCache(tmp_path / "cache"))
+    t1 = store1.get(key, recorder)
+    assert store1.stats.tapes_recorded == 1
+    assert store1.get(key, recorder) is t1  # in-process memo
+    assert store1.stats.tapes_recorded == 1
+
+    store2 = TapeStore(ArtifactCache(tmp_path / "cache"))
+    t2 = store2.get(key, recorder)
+    assert store2.stats.tape_cache_hits == 1
+    assert store2.stats.tapes_recorded == 0
+    assert t2.digest == t1.digest
+
+
+def test_tape_store_rejects_corrupt_stored_tape(tmp_path, column):
+    """A stored tape with a flipped value unpickles fine but fails the
+    digest check: the store counts it invalid and re-records."""
+    plat, bench, compiled, _, _ = column
+
+    def recorder():
+        return record_tape(
+            compiled.module, plat.model, compiled.policy,
+            vm_size=plat.vm_size, inputs=bench.default_inputs(),
+        )
+
+    key = ("tape-test", "warloop", "schematic")
+    cache = ArtifactCache(tmp_path / "cache")
+    store = TapeStore(cache)
+    tape = store.get(key, recorder)
+
+    # Corrupt one NVM word inside a stored snapshot and re-store.
+    evil = recorder()
+    images = evil.entries[-1].snapshot.images
+    name = sorted(images["nvm"])[0]
+    images["nvm"][name][0] ^= 1
+    cache_key = ArtifactCache.key(TapeStore.CATEGORY, TAPE_SCHEMA, *key)
+    cache.put(TapeStore.CATEGORY, cache_key, evil)
+
+    fresh = TapeStore(ArtifactCache(tmp_path / "cache"))
+    recovered = fresh.get(key, recorder)
+    assert fresh.stats.invalid_tapes == 1
+    assert fresh.stats.tapes_recorded == 1
+    assert recovered.verify()
+    assert recovered.digest == tape.digest
+
+
+# -- sabotage: corrupted snapshots fall back cold -----------------------------
+
+
+def test_corrupt_snapshot_falls_back_to_cold(column):
+    plat, bench, compiled, eb, _ = column
+    inputs = bench.default_inputs()
+    tape = record_tape(
+        compiled.module, plat.model, compiled.policy,
+        vm_size=plat.vm_size, inputs=inputs,
+    )
+    images = tape.entries[-1].snapshot.images
+    name = sorted(images["nvm"])[0]
+    images["nvm"][name][0] ^= 1
+    assert not tape.verify()
+
+    spec = PowerSpec.energy_budget(eb)
+    stats = DiffEmuStats()
+    got, plan = run_cell(
+        compiled.module, plat.model, compiled.policy, spec, tape,
+        vm_size=plat.vm_size, inputs=inputs, stats=stats,
+    )
+    assert plan.kind == "cold"
+    assert "verification" in plan.reason
+    assert stats.invalid_tapes == 1 and stats.cold == 1
+    cold = run_intermittent(
+        compiled.module, plat.model, compiled.policy, spec.build(),
+        vm_size=plat.vm_size, inputs=inputs,
+    )
+    assert repr(got) == repr(cold)
+
+
+def test_cross_module_snapshot_is_rejected_not_miscomputed(column):
+    """A tape recorded for a *different* module cannot resume: the
+    restore validation rejects it and the cell runs cold."""
+    plat, bench, compiled, eb, _ = column
+    other_bench = load_program("sumloop")
+    other = compile_for(
+        "schematic", other_bench.module, plat,
+        input_generator=other_bench.input_generator(),
+    )
+    foreign = record_tape(
+        other.module, plat.model, other.policy,
+        vm_size=plat.vm_size, inputs=other_bench.default_inputs(),
+    )
+    # Pick a spec that forces a fork on the foreign tape: fail the first
+    # window that out-consumes every earlier one.
+    spans = foreign.recharge_spans
+    target = next(
+        j for j in range(1, len(spans))
+        if spans[j][0] > max(c for c, _, _ in spans[:j])
+    )
+    spec = PowerSpec.energy_budget(
+        max(c for c, _, _ in spans[:target]) + 1e-9
+    )
+    assert plan_cell(foreign, spec).kind == "fork"
+    stats = DiffEmuStats()
+    got, plan = run_cell(
+        compiled.module, plat.model, compiled.policy, spec, foreign,
+        vm_size=plat.vm_size, inputs=bench.default_inputs(), stats=stats,
+    )
+    assert plan.kind == "cold"
+    assert "snapshot rejected" in plan.reason
+    cold = run_intermittent(
+        compiled.module, plat.model, compiled.policy, spec.build(),
+        vm_size=plat.vm_size, inputs=bench.default_inputs(),
+    )
+    assert repr(got) == repr(cold)
+
+
+def test_diffemu_stats_merge_and_dict():
+    a = DiffEmuStats(tapes_recorded=1, synthesized=2, forked=3)
+    b = DiffEmuStats(tape_cache_hits=4, invalid_tapes=5, cold=6)
+    a.merge(b)
+    assert a.as_dict() == {
+        "tapes_recorded": 1, "tape_cache_hits": 4, "invalid_tapes": 5,
+        "synthesized": 2, "forked": 3, "cold": 6,
+    }

@@ -1,19 +1,24 @@
 """Timing harness for the evaluation engine: cold vs warm vs parallel.
 
-Produces ``BENCH_pr3.json`` with wall-clock timings for
+Produces ``BENCH_pr6.json`` with wall-clock timings for
 
 - a **cold** serial evaluation (empty artifact cache),
 - a **warm** serial re-run (same cache; everything is a disk hit),
 - a **parallel** cold evaluation (``engine.prefill`` with N workers,
   empty cache),
+- the **differential-emulation grid**: each wait-mode technique column
+  compiled once and swept across capacitor sizes, recharge periods and
+  stochastic power traces — cold emulation of every cell vs one snapshot
+  tape per column plus synthesized/forked cells
+  (:mod:`repro.emulator.diffemu`),
 - the interpreter **pre-decode micro-benchmark**: the aes continuous
   reference with the pre-decoded hot loop vs the legacy undecoded loop,
 
-asserting along the way that all three evaluation paths render
-byte-identical tables. Run from the repository root::
+asserting along the way that all evaluation paths produce byte-identical
+output. Run from the repository root::
 
     python tools/bench_engine.py [--benchmarks crc,randmath]
-                                 [--jobs auto] [--out BENCH_pr3.json]
+                                 [--jobs auto] [--out BENCH_pr6.json]
 
 The evaluation workload is the forward-progress table plus the ablation
 grid over the selected benchmarks — the same cells `run_all` spends most
@@ -34,7 +39,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.emulator.interpreter import run_continuous  # noqa: E402
+from repro.emulator.diffemu import PowerSpec, record_tape, run_cell  # noqa: E402
+from repro.emulator.interpreter import run_continuous, run_intermittent  # noqa: E402
 from repro.energy import msp430fr5969_platform  # noqa: E402
 from repro.experiments import ablations, engine, table3_forward_progress  # noqa: E402
 from repro.experiments.common import EvaluationContext  # noqa: E402
@@ -59,6 +65,99 @@ def _evaluate(benchmarks, cache_root, jobs: int):
         engine.prefill(ctx, jobs, figure8_benchmark=benchmarks[0])
     text = _render_workload(ctx)
     return time.perf_counter() - start, text
+
+
+# --- differential-emulation grid -------------------------------------------
+#
+# The workload diff emulation targets: one compiled placement (a *column*)
+# evaluated under many power configurations. Wait-mode techniques are the
+# paper's design space (SCHEMATIC, ROCKCLIMB, All-NVM); each column is
+# compiled once at the EB-for-TBPF budget and swept across capacitor
+# headroom multipliers (a Figure-8-style sizing sweep), slower recharge
+# periods and seeded stochastic traces. Roll-back baselines gain nothing
+# here (their first failure lands near the start, so the replayed suffix
+# is the whole run) and are measured by the main workload above, where
+# the engine routes them through the same API at cost parity.
+
+DIFFEMU_TECHNIQUES = ("schematic", "rockclimb", "allnvm")
+DIFFEMU_COLUMN_TBPF = 10_000
+EB_MULTIPLIERS = (0.6, 0.8, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0)
+PERIODIC_TBPF = (20_000, 50_000, 100_000)
+STOCHASTIC_MEAN = 30_000.0
+STOCHASTIC_SEEDS = (0, 1, 2, 3)
+
+
+def _diffemu_specs(eb: float):
+    specs = [PowerSpec.energy_budget(eb * m) for m in EB_MULTIPLIERS]
+    specs += [PowerSpec.periodic(tbpf=t, eb=eb) for t in PERIODIC_TBPF]
+    specs += [
+        PowerSpec.stochastic(mean_cycles=STOCHASTIC_MEAN, seed=s, eb=eb)
+        for s in STOCHASTIC_SEEDS
+    ]
+    return specs
+
+
+def _bench_diffemu(benchmarks):
+    """Cold-emulate the grid, then diff-emulate it, asserting every cell's
+    report is byte-identical. Returns the timing/plan summary."""
+    ctx = EvaluationContext(benchmarks=benchmarks)
+    columns = []
+    for name in ctx.benchmark_names:
+        bench = ctx.benchmark(name)
+        eb = ctx.eb_for_tbpf(name, DIFFEMU_COLUMN_TBPF)
+        platform = ctx.platform_proto.with_eb(eb)
+        for technique in DIFFEMU_TECHNIQUES:
+            compiled = ctx.compile(technique, name, eb)
+            if compiled.feasible:
+                columns.append((name, technique, eb, bench, platform,
+                                compiled))
+
+    start = time.perf_counter()
+    cold_reports = {}
+    for name, technique, eb, bench, platform, compiled in columns:
+        for i, spec in enumerate(_diffemu_specs(eb)):
+            cold_reports[(name, technique, i)] = run_intermittent(
+                compiled.module, platform.model, compiled.policy,
+                spec.build(), vm_size=platform.vm_size,
+                inputs=bench.default_inputs(),
+            )
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    kinds = {}
+    for name, technique, eb, bench, platform, compiled in columns:
+        tape = record_tape(
+            compiled.module, platform.model, compiled.policy,
+            vm_size=platform.vm_size, inputs=bench.default_inputs(),
+        )
+        for i, spec in enumerate(_diffemu_specs(eb)):
+            report, plan = run_cell(
+                compiled.module, platform.model, compiled.policy, spec,
+                tape, vm_size=platform.vm_size,
+                inputs=bench.default_inputs(),
+            )
+            kinds[plan.kind] = kinds.get(plan.kind, 0) + 1
+            assert repr(report) == repr(cold_reports[(name, technique, i)]), (
+                f"diffemu diverged from cold: {name}/{technique} "
+                f"{spec.describe()}"
+            )
+    diff_s = time.perf_counter() - start
+    return {
+        "columns": len(columns),
+        "cells": len(cold_reports),
+        "techniques": list(DIFFEMU_TECHNIQUES),
+        "column_tbpf": DIFFEMU_COLUMN_TBPF,
+        "eb_multipliers": list(EB_MULTIPLIERS),
+        "periodic_tbpf": list(PERIODIC_TBPF),
+        "stochastic": {
+            "mean_cycles": STOCHASTIC_MEAN, "seeds": list(STOCHASTIC_SEEDS),
+        },
+        "cold_grid_seconds": round(cold_s, 3),
+        "diff_grid_seconds": round(diff_s, 3),
+        "speedup": round(cold_s / diff_s, 2) if diff_s else None,
+        "plans": kinds,
+        "reports_byte_identical": True,
+    }
 
 
 def _bench_predecode(benchmark: str, repeats: int = 3):
@@ -86,7 +185,7 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", default="auto", metavar="N|auto")
     parser.add_argument("--micro-benchmark", default="aes",
                         help="benchmark for the pre-decode micro-benchmark")
-    parser.add_argument("--out", default="BENCH_pr3.json")
+    parser.add_argument("--out", default="BENCH_pr6.json")
     args = parser.parse_args(argv)
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
     jobs = max(2, resolve_jobs(args.jobs))
@@ -107,6 +206,16 @@ def main(argv=None) -> int:
         par_s, par_text = _evaluate(benchmarks, cache_root, jobs=jobs)
         print(f"  {par_s:.2f}s", file=sys.stderr)
         assert par_text == cold_text, "parallel render diverged from serial"
+
+        print("differential-emulation grid (cold vs diff) ...",
+              file=sys.stderr)
+        diffemu = _bench_diffemu(benchmarks)
+        print(
+            f"  cold {diffemu['cold_grid_seconds']:.2f}s, "
+            f"diff {diffemu['diff_grid_seconds']:.2f}s "
+            f"({diffemu['speedup']}x, {diffemu['cells']} cells)",
+            file=sys.stderr,
+        )
 
         print(f"pre-decode micro-benchmark ({args.micro_benchmark}) ...",
               file=sys.stderr)
@@ -136,6 +245,7 @@ def main(argv=None) -> int:
             "warm_vs_cold": round(cold_s / warm_s, 2) if warm_s else None,
             "parallel_vs_serial": round(cold_s / par_s, 2) if par_s else None,
         },
+        "diff_emulation": diffemu,
         "interpreter_predecode": {
             "benchmark": args.micro_benchmark,
             "predecoded_seconds": round(micro["predecoded"], 4),
