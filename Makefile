@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test sweep check check-bounds fuzz bench bench-full bench-engine experiments experiments-quick trace export examples clean
+.PHONY: test sweep check check-bounds check-consistency fuzz bench bench-full bench-engine experiments experiments-quick trace export examples clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -23,6 +23,16 @@ check:
 # placement pass): unsound @maxiter, dead branches, provable OOB.
 check-bounds:
 	$(PYTHON) -m repro.staticcheck --bounds --programs all
+
+# Memory-consistency certification (CONS rules) over the full matrix,
+# emitting the SARIF document CI uploads as an artifact. Caching is
+# disabled so the proof is re-derived from nothing on every run.
+check-consistency:
+	REPRO_CACHE=0 $(PYTHON) -m repro.staticcheck --programs all \
+		--techniques all --consistency --no-cache
+	REPRO_CACHE=0 $(PYTHON) -m repro.staticcheck --programs all \
+		--techniques all --consistency --no-cache --format sarif \
+		> staticcheck.sarif
 
 fuzz:
 	$(PYTHON) -m repro.testkit fuzz

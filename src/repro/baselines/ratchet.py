@@ -160,11 +160,14 @@ def compile_ratchet(module: Module, platform: Platform) -> CompiledTechnique:
                     return a_start
             return idx
 
+        # Deduplicate post-legalization, then iterate sorted: set order is
+        # hash-randomized across processes, and checkpoint ids must not be
+        # (the printed module is a content-address for cached reports).
         by_label: Dict[str, List[int]] = {}
-        for label, idx in {
+        for label, idx in sorted({
             (label, legalize(label, idx))
             for label, idx in analysis.checkpoint_before
-        }:
+        }):
             by_label.setdefault(label, []).append(idx)
         for label, indices in by_label.items():
             block = func.blocks[label]

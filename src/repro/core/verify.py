@@ -74,6 +74,7 @@ def run_against_reference(
     inputs: Optional[Dict[str, List[int]]] = None,
     max_instructions: int = 100_000_000,
     reference_report: Optional[ExecutionReport] = None,
+    restore_fidelity: str = "image",
 ) -> VerificationResult:
     """Run ``transformed`` under ``power`` and compare the final NVM state
     against the continuously powered ``reference`` module.
@@ -81,6 +82,10 @@ def run_against_reference(
     ``reference_report`` caches the ground-truth run across many injected
     schedules of the same program/inputs (the testkit sweep reruns the
     transformed module hundreds of times against one reference).
+    ``restore_fidelity="metadata"`` selects the strict restore semantics
+    (see :class:`repro.emulator.interpreter.InterpreterConfig`), under
+    which a checkpoint whose restore set misses live VM state is
+    dynamically convicted instead of silently healed.
     """
     if reference_report is None:
         reference_report = run_continuous(
@@ -95,6 +100,7 @@ def run_against_reference(
             vm_size=vm_size,
             inputs=inputs,
             max_instructions=max_instructions,
+            restore_fidelity=restore_fidelity,
         )
     except EmulationError as exc:
         return VerificationResult(

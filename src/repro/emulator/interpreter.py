@@ -60,6 +60,12 @@ COND_CHECK_CYCLES = 2
 #: execution stuck (2 identical deterministic failures imply forever).
 MAX_ATTEMPTS_PER_SNAPSHOT = 2
 
+#: The value a ``restore_fidelity="metadata"`` restore writes into every
+#: element of a VM variable the checkpoint's restore set misses —
+#: recognizable in dumps (0x5AA55AA5 wrapped to the variable's type) and
+#: guaranteed not to silently reproduce a correct run.
+RESTORE_POISON = 0x5AA55AA5
+
 
 class _Frame:
     __slots__ = ("function", "block", "index", "registers", "ref_bindings",
@@ -120,6 +126,17 @@ class InterpreterConfig:
     #: Only checkpoint commits pay for the check; the hot loop never sees
     #: it.
     commit_hook: Optional[Callable[["Interpreter", int], None]] = None
+    #: What a checkpoint restore actually rebuilds. ``"image"`` (the
+    #: legacy behaviour) reloads every post-checkpoint VM variable from
+    #: its NVM home — a forgiving runtime whose NVM copies happen to be
+    #: right for these programs. ``"metadata"`` models a runtime that
+    #: restores exactly ``restore_vars``: every other VM-mapped,
+    #: non-const variable comes back *poisoned*, so a read of state the
+    #: checkpoint metadata misses (static rule CONS003) is dynamically
+    #: visible instead of silently healed. Restore energy/cycles are
+    #: billed from ``restore_vars`` in both modes — fidelity changes
+    #: visibility, not cost.
+    restore_fidelity: str = "image"
 
 
 @dataclass
@@ -216,6 +233,21 @@ class Interpreter:
         # binds costs to instruction objects once, at construction — and
         # tests/test_interpreter_decode.py pins both properties down.
         self._costs: Dict[int, Tuple[int, float, float, bool, bool]] = {}
+        if self.config.restore_fidelity not in ("image", "metadata"):
+            raise EmulationError(
+                f"unknown restore_fidelity "
+                f"{self.config.restore_fidelity!r}; "
+                f"choose 'image' or 'metadata'"
+            )
+        #: Per-variable monotone sample counters for volatile environment
+        #: inputs. The world does not roll back with the program: the
+        #: counters survive power failures and snapshot restores, so a
+        #: replayed region re-samples different values (the dynamic
+        #: ground truth for static rule CONS002).
+        self._env_counts: Dict[str, int] = {}
+        self._has_env = any(
+            var.volatile_input for var in module.all_variables()
+        )
         #: type-keyed dispatch table — measurably faster than an
         #: isinstance chain in the hot loop.
         self._dispatch = {
@@ -229,6 +261,11 @@ class Interpreter:
             Call: self._do_call,
             Ret: self._do_ret,
         }
+        if self._has_env:
+            # The undecoded loop (and _apply) must re-check per Load;
+            # modules without environment inputs keep the direct handler
+            # and pay nothing.
+            self._dispatch[Load] = self._apply_load_auto
         self._code = self._decode_module() if self.config.predecode else None
 
     # -- pre-decoding ----------------------------------------------------------
@@ -245,13 +282,12 @@ class Interpreter:
         starts everywhere in this codebase).
         """
         code: Dict[Tuple[str, str], list] = {}
-        dispatch = self._dispatch
         for func in self.module.functions.values():
             fname = func.name
             for label, block in func.blocks.items():
                 code[(fname, label)] = [
                     (
-                        dispatch.get(type(inst)),  # None => checkpoint
+                        self._handler_for(inst),  # None => checkpoint
                         self._compute_cost(inst),
                         inst,
                         f"{fname}:{label}:{index}",
@@ -259,6 +295,17 @@ class Interpreter:
                     for index, inst in enumerate(block.instructions)
                 ]
         return code
+
+    def _handler_for(self, inst: Instruction):
+        """Decode-time handler selection: environment-input Loads bind
+        directly to the sampling handler, so the pre-decoded hot loop
+        never re-tests ``volatile_input`` per step."""
+        if type(inst) is Load and inst.var.volatile_input:
+            return self._apply_load_env
+        handler = self._dispatch.get(type(inst))
+        if handler is self._apply_load_auto:
+            return self._apply_load
+        return handler
 
     # -- cost cache ------------------------------------------------------------
 
@@ -528,6 +575,29 @@ class Interpreter:
         raw = self.memory.read(name, index, self._space_of(inst))
         frame.registers[inst.dest.name] = inst.dest.type.wrap(raw)
         frame.index += 1
+
+    def _apply_load_env(self, frame: _Frame, inst: Load) -> None:
+        """Sample a volatile environment input: the stored image is the
+        base reading, offset by a per-variable monotone sample counter.
+        The counter is world state — it advances on every sample and is
+        never rolled back, so two executions of the same region observe
+        different samples (what CONS002 is about), while a replay-free
+        run samples the same sequence as the continuous reference."""
+        name = frame.ref_bindings.get(inst.var.name, inst.var.name)
+        index = 0 if inst.index is None else self._value(frame, inst.index)
+        raw = self.memory.read(name, index, self._space_of(inst))
+        count = self._env_counts.get(name, 0)
+        self._env_counts[name] = count + 1
+        frame.registers[inst.dest.name] = inst.dest.type.wrap(raw + count)
+        frame.index += 1
+
+    def _apply_load_auto(self, frame: _Frame, inst: Load) -> None:
+        """Undecoded-loop Load dispatch for modules with environment
+        inputs (the pre-decoded path binds the right handler up front)."""
+        if inst.var.volatile_input:
+            self._apply_load_env(frame, inst)
+        else:
+            self._apply_load(frame, inst)
 
     def _apply_store(self, frame: _Frame, inst: Store) -> None:
         name = frame.ref_bindings.get(inst.var.name, inst.var.name)
@@ -836,6 +906,18 @@ class Interpreter:
         payload = 0
         for name in vm_vars:
             self.memory.load_into_vm(name)
+        if self.config.restore_fidelity == "metadata":
+            restored = set(inst.restore_vars)
+            for name in vm_vars:
+                if name in restored:
+                    continue
+                var = self.module.find_variable(name)
+                if var.is_const:
+                    # Immutable NVM home: any runtime can refetch it, so
+                    # even a strict restore gets consts right.
+                    continue
+                poison = var.type.wrap(RESTORE_POISON)
+                self.memory.vm[name] = [poison] * len(self.memory.vm[name])
         for name in inst.restore_vars:
             payload += self.memory.size_of(name)
         self.peak_vm_bytes = max(self.peak_vm_bytes, self.memory.vm_bytes_used())
@@ -925,6 +1007,15 @@ class Interpreter:
         if self._snapshot is None:
             raise EmulationError(
                 "capture_snapshot before any checkpoint commit"
+            )
+        if self._has_env:
+            # The environment's sample counters are world state, outside
+            # the program state a snapshot captures; forking such a run
+            # would replay the world, which is exactly what volatile
+            # inputs model as impossible.
+            raise EmulationError(
+                "capture_snapshot on a module with volatile environment "
+                "inputs"
             )
         return EmulatorSnapshot(
             ckpt_id=self._snapshot.ckpt_id,
@@ -1053,6 +1144,7 @@ def run_intermittent(
     max_instructions: int = 200_000_000,
     step_hook: Optional[Callable[[str, int], None]] = None,
     predecode: bool = True,
+    restore_fidelity: str = "image",
 ) -> ExecutionReport:
     """Run a transformed module under intermittent power."""
     config = InterpreterConfig(
@@ -1061,6 +1153,7 @@ def run_intermittent(
         vm_size=vm_size,
         step_hook=step_hook,
         predecode=predecode,
+        restore_fidelity=restore_fidelity,
     )
     interp = Interpreter(module, model, policy, power, config)
     return interp.run()

@@ -17,6 +17,8 @@ def _format_variable(var: Variable) -> str:
         flags.append("ref")
     if var.pinned_nvm:
         flags.append("pinned_nvm")
+    if var.volatile_input:
+        flags.append("volatile_input")
     flag_str = f" [{', '.join(flags)}]" if flags else ""
     init_str = ""
     if var.init is not None:

@@ -73,6 +73,7 @@ def _parse_flags(raw: Optional[str]) -> Dict[str, bool]:
         "is_const": "const" in flags,
         "is_ref": "ref" in flags,
         "pinned_nvm": "pinned_nvm" in flags,
+        "volatile_input": "volatile_input" in flags,
     }
 
 

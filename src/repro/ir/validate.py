@@ -208,6 +208,14 @@ def validate_module(module: Module) -> Module:
             "entry function must take no parameters "
             "(inputs are provided through global variables)",
         )
+    for var in module.all_variables():
+        if var.volatile_input and (var.is_const or var.is_ref):
+            _fail(
+                f"module {module.name}",
+                f"variable @{var.name} is volatile_input but also "
+                f"{'const' if var.is_const else 'a by-reference formal'}; "
+                "environment inputs must be plain mutable variables",
+            )
     module_ckpt_ids: Set[int] = set()
     for func in module.functions.values():
         _validate_function(module, func, module_ckpt_ids)

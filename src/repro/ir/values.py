@@ -80,6 +80,15 @@ class Variable:
         init: optional initial values (length ``count``), stored in NVM at
             program load.
         is_global: module-level variable (False for function locals).
+        volatile_input: the variable models an environment input (sensor,
+            ADC, RTC): every executed load is a fresh sample, so two loads
+            of the same element may observe different values. The emulator
+            advances a per-variable sample counter on each load — a counter
+            that survives power failures, because the outside world does
+            not roll back with the program. Re-executing a region that
+            samples a volatile input is therefore observable (Surbatovich
+            et al.'s repeated-input-read condition; staticcheck rule
+            CONS002).
     """
 
     name: str
@@ -90,6 +99,7 @@ class Variable:
     pinned_nvm: bool = False
     init: Optional[List[int]] = None
     is_global: bool = False
+    volatile_input: bool = False
 
     def __post_init__(self) -> None:
         if self.count < 1:

@@ -12,7 +12,12 @@ Certifies a transformed module *without executing it*:
 - :mod:`repro.staticcheck.bounds` — loop-bound verification on the
   interprocedural value-range analysis: unsound ``@maxiter``
   annotations, inferred bounds, dead branches and provable
-  out-of-bounds array accesses.
+  out-of-bounds array accesses;
+- :mod:`repro.staticcheck.consistency` — machine-checked
+  memory-consistency certification (the CONS rule family): the
+  Surbatovich-style correctness conditions checked against each
+  technique's semantic model (:mod:`.techmodel`), with per-region proof
+  certificates.
 
 Findings are classified by the rule catalog (:mod:`.rules`), carry
 precise locations, and render as text or JSON. Entry points:
@@ -28,8 +33,26 @@ from repro.staticcheck.checker import (
     check_compiled,
     check_module,
 )
-from repro.staticcheck.findings import Finding, Location, Severity
-from repro.staticcheck.rules import RULES, Rule, RuleConfig, get_rule
+from repro.staticcheck.consistency import Certificate, certify_consistency
+from repro.staticcheck.findings import (
+    Finding,
+    Location,
+    Severity,
+    sarif_document,
+)
+from repro.staticcheck.rules import (
+    RULES,
+    RULE_SCHEMA_VERSION,
+    Rule,
+    RuleConfig,
+    get_rule,
+)
+from repro.staticcheck.techmodel import (
+    TechniqueModel,
+    available_models,
+    model_for,
+    register_model,
+)
 from repro.staticcheck.war import WarSummary, analyze_war
 from repro.staticcheck.alloc import ResidencySummary, analyze_residency
 from repro.staticcheck.bounds import analyze_bounds
@@ -42,10 +65,18 @@ __all__ = [
     "Finding",
     "Location",
     "Severity",
+    "sarif_document",
     "RULES",
+    "RULE_SCHEMA_VERSION",
     "Rule",
     "RuleConfig",
     "get_rule",
+    "Certificate",
+    "certify_consistency",
+    "TechniqueModel",
+    "available_models",
+    "model_for",
+    "register_model",
     "WarSummary",
     "analyze_war",
     "ResidencySummary",

@@ -16,6 +16,9 @@ Examples::
     # placement pass; what `make check-bounds` runs):
     python -m repro.staticcheck --bounds --programs all
 
+    # Machine-check the memory-consistency conditions too, as SARIF:
+    python -m repro.staticcheck --consistency --format sarif
+
     # Show the rule catalog:
     python -m repro.staticcheck --list-rules
 
@@ -25,13 +28,22 @@ flagged), 1 otherwise, 2 on usage errors (unknown program, technique,
 rule or severity — the message lists the valid choices).
 
 Wait-mode techniques (:data:`repro.testkit.corpus.WAIT_MODE_TECHNIQUES`)
-get their WAR rules downgraded to *info*: under the compile-time budget
-the runtime was built for, a wait-mode system never loses power
-mid-segment (the §II-B guarantee — which is exactly what the energy
-certifier proves here), so replay regions are never re-executed
-in-contract and WAR exposure is informational. Roll-back techniques
-replay as their *normal* recovery path, so for them WAR keeps its
-default severity — it is the contract RATCHET exists to discharge.
+get their WAR rules — and with ``--consistency`` the replay-semantics
+CONS rules CONS001/CONS002 — downgraded to *info*: under the
+compile-time budget the runtime was built for, a wait-mode system never
+loses power mid-segment (the §II-B guarantee — which is exactly what
+the energy certifier proves here), so replay regions are never
+re-executed in-contract and WAR exposure is informational. CONS003 and
+CONS004 keep their severity even in wait mode: the wake-path restore
+runs on *every* recharge, squarely inside the contract. Roll-back
+techniques replay as their *normal* recovery path, so for them every
+replay rule keeps its default severity — it is the contract RATCHET
+exists to discharge.
+
+Reports are cached content-addressed (category ``staticcheck``, keyed
+on the printed module, the rule-schema version, platform and rule
+configuration); ``--no-cache`` disables it, ``--cache-dir`` relocates
+it, and the hit/miss line lands on stderr.
 """
 
 from __future__ import annotations
@@ -39,14 +51,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines import COMPILERS
 from repro.energy import msp430fr5969_platform
 from repro.errors import ReproError
 from repro.programs import BENCHMARK_NAMES
+from repro.runner.cache import ArtifactCache
 from repro.staticcheck.checker import CheckReport, check_bounds, check_compiled
-from repro.staticcheck.findings import Severity
+from repro.staticcheck.findings import Finding, Severity, sarif_document
 from repro.staticcheck.rules import RuleConfig, get_rule, render_catalog
 from repro.testkit.corpus import (
     WAIT_MODE_TECHNIQUES,
@@ -93,8 +106,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="energy budget in nJ (default 3000)")
     parser.add_argument("--vm-size", type=int, default=None,
                         help="override the platform's VM size in bytes")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="output format (default text); 'sarif' emits one SARIF "
+        "2.1.0 document over every checked cell",
+    )
     parser.add_argument("--json", action="store_true",
-                        help="emit one JSON document instead of text")
+                        help="alias for --format json")
+    parser.add_argument("--consistency", action="store_true",
+                        help="also machine-check the memory-consistency "
+                        "conditions (CONS rules) against each technique's "
+                        "semantic model and attach the proof certificate")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed report cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache root (default: REPRO_CACHE_DIR or "
+                        ".repro-cache)")
     parser.add_argument("--sabotage", action="store_true",
                         help="strip a checkpoint from each module first; "
                         "expect every module to be flagged")
@@ -113,10 +140,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _configure(technique: str, suppress: List[str]) -> RuleConfig:
+def _configure(
+    technique: str, suppress: List[str], consistency: bool = False
+) -> RuleConfig:
     overrides: Dict[str, Severity] = {}
     if technique in WAIT_MODE_TECHNIQUES:
         overrides = {"WAR001": Severity.INFO, "WAR002": Severity.INFO}
+        if consistency:
+            # The replay-semantics rules share WAR's contract argument;
+            # the wake-path restore rules (CONS003/CONS004) do not —
+            # restores run on every recharge, inside the contract.
+            overrides["CONS001"] = Severity.INFO
+            overrides["CONS002"] = Severity.INFO
     for rule_id in suppress:
         get_rule(rule_id)  # raises with the valid choices
     return RuleConfig(
@@ -128,6 +163,7 @@ def _check_pair(
     program: str,
     technique: str,
     args: argparse.Namespace,
+    cache: Optional[ArtifactCache] = None,
 ) -> Optional[CheckReport]:
     """Compile and certify one (program, technique) pair; None when the
     technique declares the program infeasible (Table I)."""
@@ -148,7 +184,11 @@ def _check_pair(
         compiled.module = broken
         compiled.extra["sabotaged_checkpoint"] = site
     report = check_compiled(
-        compiled, platform, config=_configure(technique, args.suppress)
+        compiled,
+        platform,
+        config=_configure(technique, args.suppress, args.consistency),
+        consistency=args.consistency,
+        cache=cache,
     )
     report.stats["program"] = program
     if args.sabotage:
@@ -194,6 +234,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(render_catalog())
         return 0
+    fmt = args.format or ("json" if args.json else "text")
+    args.json = fmt == "json"
+    cache = None if args.no_cache else ArtifactCache.default(args.cache_dir)
     try:
         threshold = Severity.parse(args.fail_on)
         if args.bounds:
@@ -202,18 +245,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         techniques = _expand_techniques(args.techniques)
         failures = 0
         documents = []
+        triples: List[Tuple[str, str, Finding]] = []
         for program in programs:
             for technique in techniques:
-                report = _check_pair(program, technique, args)
+                report = _check_pair(program, technique, args, cache)
                 header = f"check {program}/{technique} (eb={args.eb:g} nJ)"
                 if report is None:
-                    if not args.json:
-                        print(f"{header}: infeasible, skipped")
-                    else:
+                    if args.json:
                         documents.append({
                             "program": program, "technique": technique,
                             "infeasible": True,
                         })
+                    elif fmt == "text":
+                        print(f"{header}: infeasible, skipped")
                     continue
                 gated = not report.ok(threshold)
                 if args.sabotage:
@@ -230,6 +274,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     doc["technique"] = technique
                     doc["verdict"] = verdict
                     documents.append(doc)
+                elif fmt == "sarif":
+                    triples.extend(
+                        (program, technique, finding)
+                        for finding in report.findings
+                    )
                 else:
                     print(f"{header}: {verdict}")
                     body = report.render()
@@ -238,6 +287,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump({"reports": documents, "failures": failures},
                       sys.stdout, indent=2)
             print()
+        elif fmt == "sarif":
+            json.dump(sarif_document(triples), sys.stdout, indent=2)
+            print()
+        if cache is not None:
+            print(cache.stats_line(), file=sys.stderr)
         return 1 if failures else 0
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else exc

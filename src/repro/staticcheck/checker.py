@@ -13,6 +13,12 @@ through it. It decides which analyses apply from the runtime policy:
   obligation to certify. The certifier consumes *proven* bounds from the
   range analysis for loops without an ``@maxiter``, so inferable loops
   no longer draw ENER002.
+- memory-consistency certification (the CONS rule family, opt-in via
+  ``consistency=True``) machine-checks the Surbatovich-style conditions
+  per technique semantic model and attaches the proof certificate to
+  the report. Where a CONS001 finding lands on the same write as a
+  WAR001/WAR002 finding, the coarser WAR duplicate is dropped — CONS001
+  carries the element-sensitive evidence and the certificate entry.
 
 Raw findings from the analyzers pass through the :class:`RuleConfig`
 (suppression, severity overrides) and come back sorted most-severe
@@ -38,9 +44,12 @@ from repro.staticcheck.common import (
     FindingSink,
     iter_instructions,
 )
+from repro.runner.cache import ArtifactCache
+from repro.staticcheck.consistency import certify_consistency
 from repro.staticcheck.energy import certify_energy
 from repro.staticcheck.findings import Finding, Severity
-from repro.staticcheck.rules import RuleConfig
+from repro.staticcheck.rules import RULE_SCHEMA_VERSION, RuleConfig
+from repro.staticcheck.techmodel import model_for
 from repro.staticcheck.war import analyze_war
 
 
@@ -89,6 +98,25 @@ class CheckReport:
         }
 
 
+def _subsume_war(findings: List[Finding]) -> List[Finding]:
+    """Drop WAR001/WAR002 findings whose (location, variable) a CONS001
+    finding also covers: same hazard, but the CONS001 carries the
+    element-sensitive evidence and the certificate obligation."""
+    covered = {
+        (f.location, f.details.get("variable"))
+        for f in findings
+        if f.rule_id == "CONS001"
+    }
+    if not covered:
+        return findings
+    return [
+        f
+        for f in findings
+        if f.rule_id not in ("WAR001", "WAR002")
+        or (f.location, f.details.get("variable")) not in covered
+    ]
+
+
 def check_module(
     module: Module,
     model: Optional[EnergyModel] = None,
@@ -98,6 +126,8 @@ def check_module(
     vm_size: Optional[int] = None,
     default_space: MemorySpace = MemorySpace.NVM,
     config: Optional[RuleConfig] = None,
+    consistency: bool = False,
+    technique: Optional[str] = None,
 ) -> CheckReport:
     """Statically certify one transformed module.
 
@@ -105,6 +135,10 @@ def check_module(
     under (wait mode vs roll-back, skippable checkpoints); without one,
     checkpoints are assumed always-taken and energy is not certified.
     ``model`` + ``eb`` enable the energy certifier (wait mode only).
+    ``consistency=True`` adds the memory-consistency certifier (CONS
+    rules) under the semantic model of ``technique`` (resolved through
+    :func:`repro.staticcheck.techmodel.model_for`, falling back to the
+    policy); its proof certificate lands in ``stats["certificate"]``.
     """
     config = config or RuleConfig()
     sink = FindingSink()
@@ -134,6 +168,17 @@ def check_module(
         "checkpoints": checkpoints,
         "analyses": ["metadata", "war", "residency", "bounds"],
     }
+    if consistency:
+        certificate = certify_consistency(
+            module,
+            model_for(technique, policy),
+            sink,
+            policy_may_skip=policy_may_skip,
+            default_space=default_space,
+        )
+        stats["analyses"].append("consistency")
+        stats["consistency"] = certificate.summary()
+        stats["certificate"] = certificate.to_json()
     if wait_mode and model is not None and eb is not None:
         certifier = certify_energy(
             module, model, eb, sink,
@@ -143,8 +188,9 @@ def check_module(
         stats["worst_window_nj"] = round(certifier.worst_window, 3)
         stats["eb_nj"] = eb
 
+    raw = _subsume_war(sink.findings) if consistency else sink.findings
     findings = []
-    for finding in sink.findings:
+    for finding in raw:
         kept = config.apply(finding)
         if kept is not None:
             findings.append(kept)
@@ -152,13 +198,66 @@ def check_module(
     return CheckReport(findings=findings, stats=stats)
 
 
+def _report_cache_key(
+    compiled: CompiledTechnique,
+    platform: Platform,
+    config: RuleConfig,
+    consistency: bool,
+) -> str:
+    """Content-addressed key for one (module, technique, platform,
+    configuration) checking cell. The module enters as a fingerprint of
+    its printed IR, the rule family as :data:`RULE_SCHEMA_VERSION` — so
+    editing a program, changing a rule's semantics or reconfiguring
+    severities each invalidate exactly the affected entries."""
+    from repro.ir.printer import print_module
+
+    return ArtifactCache.key(
+        "staticcheck-report",
+        RULE_SCHEMA_VERSION,
+        ArtifactCache.text_fingerprint(print_module(compiled.module)),
+        compiled.name,
+        {
+            "policy": {
+                "name": compiled.policy.name,
+                "wait": compiled.policy.wait_for_full_recharge,
+                "skip": compiled.policy.skip_threshold,
+                "check_energy": compiled.policy.check_energy,
+            },
+            "eb": platform.eb,
+            "vm_size": platform.vm_size,
+            "consistency": consistency,
+            "suppressed": sorted(config.suppressed),
+            "overrides": {
+                rule_id: int(sev)
+                for rule_id, sev in sorted(config.severity_overrides.items())
+            },
+        },
+    )
+
+
 def check_compiled(
     compiled: CompiledTechnique,
     platform: Platform,
     config: Optional[RuleConfig] = None,
+    *,
+    consistency: bool = False,
+    cache: Optional[ArtifactCache] = None,
 ) -> CheckReport:
     """Certify a :class:`CompiledTechnique` against its own platform —
-    the policy it was compiled for, the platform's EB and VM size."""
+    the policy it was compiled for, the platform's EB and VM size.
+
+    With ``cache``, the whole :class:`CheckReport` is served from the
+    content-addressed artifact cache (category ``staticcheck``) when the
+    printed module, rule-schema version, platform and configuration all
+    match a previous run.
+    """
+    config = config or RuleConfig()
+    key = None
+    if cache is not None:
+        key = _report_cache_key(compiled, platform, config, consistency)
+        hit = cache.get("staticcheck", key)
+        if isinstance(hit, CheckReport):
+            return hit
     report = check_module(
         compiled.module,
         platform.model,
@@ -166,8 +265,12 @@ def check_compiled(
         eb=platform.eb,
         vm_size=platform.vm_size,
         config=config,
+        consistency=consistency,
+        technique=compiled.name,
     )
     report.stats["technique"] = compiled.name
+    if cache is not None and key is not None:
+        cache.put("staticcheck", key, report)
     return report
 
 

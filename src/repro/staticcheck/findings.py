@@ -3,14 +3,15 @@
 A :class:`Finding` pins one rule violation to a precise location
 (``function/block/instruction``) and renders both as a human-readable
 diagnostic line and as a JSON-able dict, so the CLI can serve terminals
-and CI tooling from the same objects.
+and CI tooling from the same objects. :func:`sarif_document` exports a
+batch of findings as SARIF 2.1.0 for code-scanning UIs.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class Severity(enum.IntEnum):
@@ -88,3 +89,98 @@ class Finding:
     def sort_key(self):
         # Most severe first, then stable source order.
         return (-int(self.severity), self.location.sort_key(), self.rule_id)
+
+
+# -- SARIF 2.1.0 export ---------------------------------------------------
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: SARIF result levels for this library's severities.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def sarif_document(
+    findings: Iterable[Tuple[str, str, "Finding"]],
+    *,
+    tool_version: Optional[str] = None,
+) -> Dict[str, object]:
+    """Findings as one SARIF 2.1.0 run.
+
+    ``findings`` yields ``(program, technique, finding)`` triples — the
+    CLI checks a matrix of cells and SARIF wants one flat result list.
+    Results are deduplicated on (rule, logical location, message) and
+    emitted in a stable order (program, technique, severity-major
+    finding order), so reruns produce byte-identical documents and
+    golden-file tests are meaningful.
+    """
+    # Imported lazily: rules.py imports this module for Severity/Finding.
+    from repro.staticcheck.rules import RULE_SCHEMA_VERSION, RULES
+
+    ordered = sorted(
+        findings,
+        key=lambda item: (item[0], item[1], item[2].sort_key()),
+    )
+    results: List[Dict[str, object]] = []
+    seen = set()
+    used_rules: List[str] = []
+    for program, technique, finding in ordered:
+        fqn = f"{program}/{technique}:{finding.location}"
+        dedup = (finding.rule_id, fqn, finding.message)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        if finding.rule_id not in used_rules:
+            used_rules.append(finding.rule_id)
+        results.append({
+            "ruleId": finding.rule_id,
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [{
+                "logicalLocations": [{
+                    "fullyQualifiedName": fqn,
+                    "kind": "function",
+                }],
+            }],
+            "properties": {
+                "program": program,
+                "technique": technique,
+                "function": finding.location.function,
+                "block": finding.location.block,
+                "index": finding.location.index,
+                "details": dict(finding.details),
+            },
+        })
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(used_rules))}
+    for result in results:
+        result["ruleIndex"] = rule_index[result["ruleId"]]
+    rules = [
+        {
+            "id": rule_id,
+            "name": RULES[rule_id].title,
+            "shortDescription": {"text": RULES[rule_id].title},
+            "fullDescription": {"text": RULES[rule_id].description},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[RULES[rule_id].default_severity],
+            },
+        }
+        for rule_id in sorted(used_rules)
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-staticcheck",
+                    "version": tool_version
+                    or f"rules-v{RULE_SCHEMA_VERSION}",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }

@@ -106,6 +106,49 @@ _RULES: List[Rule] = [
         "traps) on any execution that reaches it.",
     ),
     Rule(
+        "CONS001",
+        "non-idempotent region observes its own overwrite",
+        Severity.ERROR,
+        "A re-executed region reads a non-volatile value it already "
+        "overwrote: the first-access ordering has a read of some storage "
+        "before a write of the same storage with no taken checkpoint in "
+        "between (Surbatovich et al.'s WAR/idempotency condition, "
+        "element-sensitive for constant array indices and "
+        "interprocedural through callee-first summaries). The second "
+        "execution observes the first execution's output, so the final "
+        "memory state can differ from a continuous-power run.",
+    ),
+    Rule(
+        "CONS002",
+        "repeated input read in a re-executable region",
+        Severity.ERROR,
+        "A volatile environment input (sensor, ADC, RTC) is sampled "
+        "inside a region a power failure can re-execute. The environment "
+        "does not roll back with the program: the replay re-samples and "
+        "may observe a different value, so the two executions of the "
+        "region can diverge in control flow or memory state.",
+    ),
+    Rule(
+        "CONS003",
+        "post-restore read of unrestored volatile state",
+        Severity.ERROR,
+        "After a checkpoint's wake/rollback restore, a VM-resident "
+        "variable that the checkpoint's restore_vars provably misses is "
+        "read before being fully overwritten. The restore rebuilds "
+        "volatile memory from the checkpoint metadata only, so the read "
+        "observes unrestored (stale or undefined) state.",
+    ),
+    Rule(
+        "CONS004",
+        "checkpointed-data/technique mismatch",
+        Severity.ERROR,
+        "The allocation pass placed a variable in volatile memory that "
+        "the technique's restore set provably misses (or the technique "
+        "cannot restore volatile allocations at all). The checkpoint "
+        "metadata and the runtime's restore semantics disagree about "
+        "who rebuilds this variable after a reboot.",
+    ),
+    Rule(
         "ALLOC001",
         "VM access without residency",
         Severity.ERROR,
@@ -148,6 +191,13 @@ _RULES: List[Rule] = [
 ]
 
 RULES: Dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}
+
+#: Version of the rule family + findings schema. Mixed into the
+#: content-addressed cache key for staticcheck results so adding or
+#: changing a rule invalidates cached reports, and stamped into SARIF
+#: output. Bump whenever a rule's semantics, id set, message format or
+#: the certificate layout changes.
+RULE_SCHEMA_VERSION = 2
 
 
 def get_rule(rule_id: str) -> Rule:

@@ -1,0 +1,114 @@
+"""Per-technique semantic models for the memory-consistency certifier.
+
+The Surbatovich-style rules (:mod:`repro.staticcheck.consistency`) are
+statements about what a runtime does at checkpoints and after power
+failures. Those semantics differ per technique, so each gets a small
+declarative model; new techniques (DiCA-style differential
+checkpointing, Alpaca-style tasks) plug in with :func:`register_model`
+without touching the rule code.
+
+The model answers four questions:
+
+- does the runtime *replay* regions as its normal recovery path
+  (roll-back mode), or only outside its contract (wait mode, whose
+  §II-B guarantee excludes mid-segment failures under the compiled-for
+  budget)?
+- may the allocation map variables into volatile memory at all?
+- is the wake/rollback restore driven by the checkpoint's
+  ``restore_vars`` metadata (so a variable the metadata misses comes
+  back unrestored), or does the runtime rebuild volatile state some
+  other way?
+- are ``const`` variables exempt from restore obligations? (Their NVM
+  home is immutable, so any runtime can refetch them — the default.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.emulator.runtime import CheckpointPolicy
+
+
+@dataclass(frozen=True)
+class TechniqueModel:
+    """Re-execution and restore semantics of one technique."""
+
+    name: str
+    #: Sleeps to full recharge at every checkpoint; replays only happen
+    #: outside the compiled-for contract.
+    wait_mode: bool
+    #: The allocation pass may map variables into VM.
+    supports_vm: bool
+    #: The wake/rollback restore loads exactly ``restore_vars`` — a
+    #: VM-allocated variable the metadata misses is *not* rebuilt.
+    restores_metadata: bool = True
+    #: Region replays occur under the technique's normal contract (the
+    #: roll-back recovery path), not only under out-of-contract
+    #: schedules.
+    replay_in_contract: bool = False
+
+    @property
+    def rolls_back(self) -> bool:
+        return not self.wait_mode
+
+
+_MODELS: Dict[str, TechniqueModel] = {}
+
+
+def register_model(model: TechniqueModel) -> TechniqueModel:
+    """Register (or replace) the semantic model of a technique."""
+    _MODELS[model.name] = model
+    return model
+
+
+register_model(TechniqueModel(
+    "schematic", wait_mode=True, supports_vm=True,
+))
+register_model(TechniqueModel(
+    "rockclimb", wait_mode=True, supports_vm=False,
+))
+register_model(TechniqueModel(
+    "allnvm", wait_mode=True, supports_vm=False,
+))
+register_model(TechniqueModel(
+    "ratchet", wait_mode=False, supports_vm=False,
+    replay_in_contract=True,
+))
+register_model(TechniqueModel(
+    "mementos", wait_mode=False, supports_vm=True,
+    replay_in_contract=True,
+))
+register_model(TechniqueModel(
+    "alfred", wait_mode=False, supports_vm=True,
+    replay_in_contract=True,
+))
+
+
+def available_models() -> Dict[str, TechniqueModel]:
+    return dict(_MODELS)
+
+
+def model_for(
+    name: Optional[str],
+    policy: Optional[CheckpointPolicy] = None,
+) -> TechniqueModel:
+    """Resolve a technique model by name, falling back to a conservative
+    model derived from the runtime policy.
+
+    The fallback assumes VM support and metadata-driven restores — the
+    settings under which every rule stays armed — and takes the
+    wait/roll-back split from ``policy.wait_for_full_recharge``.
+    """
+    if name is not None and name in _MODELS:
+        return _MODELS[name]
+    if policy is not None and policy.name in _MODELS:
+        return _MODELS[policy.name]
+    wait = policy is not None and policy.wait_for_full_recharge
+    return TechniqueModel(
+        name=name or (policy.name if policy is not None else "unknown"),
+        wait_mode=wait,
+        supports_vm=True,
+        restores_metadata=True,
+        replay_in_contract=not wait,
+    )

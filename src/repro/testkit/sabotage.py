@@ -7,6 +7,23 @@ bug the oracles exist for: an inter-checkpoint segment whose worst-case
 energy exceeds the budget (forward-progress violation under the energy
 budget) and/or a non-idempotent re-execution window (memory anomaly under
 injected faults).
+
+The memory-consistency battery extends the idea to the CONS rule family
+(:mod:`repro.staticcheck.consistency`), one generator per failure class:
+
+- :func:`delete_restore` empties a checkpoint's ``restore_vars`` while
+  leaving its VM allocation in place (CONS003/CONS004 — live volatile
+  state the restore provably misses);
+- :func:`inject_repeated_read` marks a pure-input global as a volatile
+  environment input, turning its existing in-region reads into repeated
+  samples (CONS002);
+- :func:`dirty_nv_write` plants a read-increment-write of an NVM scalar
+  right after an existing exposed read, creating a definite
+  non-idempotent replay window (CONS001).
+
+All three follow :func:`strip_checkpoint`'s candidate-order + validate
+idiom, so callers pick victims that are *interesting* (statically
+convictable and dynamically latent) rather than trivially broken.
 """
 
 from __future__ import annotations
@@ -14,8 +31,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.ir.instructions import Checkpoint, CondCheckpoint, Ret
+from repro.ir.instructions import (
+    BinOp,
+    Checkpoint,
+    CondCheckpoint,
+    Load,
+    Opcode,
+    Ret,
+    Store,
+)
 from repro.ir.module import Module
+from repro.ir.values import Const, MemorySpace, Register
 
 
 @dataclass
@@ -106,3 +132,189 @@ def strip_checkpoint(
             if validate(broken):
                 return broken, site
     return _strip_at(module, candidates[0]), candidates[0]
+
+
+# -- memory-consistency battery -------------------------------------------
+
+
+def delete_restore(
+    module: Module,
+    ckpt_id: Optional[int] = None,
+    validate: Optional[Callable[[Module], bool]] = None,
+) -> Tuple[Module, CheckpointSite, Tuple[str, ...]]:
+    """Return a clone with one checkpoint's ``restore_vars`` emptied.
+
+    The VM allocation (``alloc_after``) is left untouched, so the module
+    still runs — under the emulator's forgiving ``"image"`` restore the
+    bug is even invisible, which is the point: only the strict
+    ``"metadata"`` restore semantics (and the CONS003/CONS004 rules)
+    convict it. Candidates are checkpoints whose restore set intersects
+    their VM allocation; returns the broken module, the victim site and
+    the restore set that was deleted.
+    """
+    sites = find_checkpoints(module)
+
+    def removable(site: CheckpointSite) -> Tuple[str, ...]:
+        inst = (
+            module.functions[site.function]
+            .blocks[site.block]
+            .instructions[site.index]
+        )
+        vm_after = {
+            name
+            for name, space in inst.alloc_after.items()
+            if space is MemorySpace.VM
+        }
+        return tuple(n for n in inst.restore_vars if n in vm_after)
+
+    def break_at(site: CheckpointSite) -> Module:
+        broken = module.clone()
+        inst = (
+            broken.functions[site.function]
+            .blocks[site.block]
+            .instructions[site.index]
+        )
+        inst.restore_vars = ()
+        return broken
+
+    if ckpt_id is not None:
+        matches = [s for s in sites if s.ckpt_id == ckpt_id]
+        if not matches:
+            raise ValueError(f"no checkpoint with id {ckpt_id}")
+        return break_at(matches[0]), matches[0], removable(matches[0])
+    candidates = [s for s in sites if removable(s)]
+    if not candidates:
+        raise ValueError("no checkpoint restores any VM-resident variable")
+    if validate is not None:
+        for site in candidates:
+            broken = break_at(site)
+            if validate(broken):
+                return broken, site, removable(site)
+    site = candidates[0]
+    return break_at(site), site, removable(site)
+
+
+def mark_volatile_input(module: Module, name: str) -> Module:
+    """Return a clone with global ``name`` flagged as a volatile
+    environment input. Apply the *same* marking to the reference module
+    when convicting dynamically — both runs must sample the same world.
+    """
+    marked = module.clone()
+    if name not in marked.globals:
+        raise ValueError(f"no global named {name!r}")
+    var = marked.globals[name]
+    if var.is_const:
+        raise ValueError(f"global @{name} is const; cannot be an input")
+    var.volatile_input = True
+    return marked
+
+
+def inject_repeated_read(
+    module: Module,
+    var_name: Optional[str] = None,
+    validate: Optional[Callable[[Module], bool]] = None,
+) -> Tuple[Module, str]:
+    """Return a clone where one pure-input global (loaded somewhere,
+    stored nowhere) is a volatile environment input.
+
+    Every existing read of it becomes an environment sample; any such
+    read inside a re-executable region is a repeated-input-read bug
+    (CONS002) that a replayed schedule convicts dynamically. Candidates
+    are tried in module order through ``validate``.
+    """
+    loaded: List[str] = []
+    stored = set()
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if isinstance(inst, Load):
+                    if (
+                        inst.var.name in module.globals
+                        and inst.var.name not in loaded
+                    ):
+                        loaded.append(inst.var.name)
+                elif isinstance(inst, Store):
+                    stored.add(inst.var.name)
+    candidates = [
+        name
+        for name in loaded
+        if name not in stored and not module.globals[name].is_const
+    ]
+    if var_name is not None:
+        if var_name not in candidates:
+            raise ValueError(
+                f"global @{var_name} is not a pure input "
+                f"(candidates: {candidates})"
+            )
+        candidates = [var_name]
+    if not candidates:
+        raise ValueError("module has no pure-input global to mark")
+    if validate is not None:
+        for name in candidates:
+            marked = mark_volatile_input(module, name)
+            if validate(marked):
+                return marked, name
+    return mark_volatile_input(module, candidates[0]), candidates[0]
+
+
+def dirty_nv_write(
+    module: Module,
+    validate: Optional[Callable[[Module], bool]] = None,
+) -> Tuple[Module, str]:
+    """Return a clone with a read-increment-write of an NVM scalar
+    planted immediately after an existing NVM read of it.
+
+    The injected triplet re-creates the canonical WAR bug *after* the
+    placement pass ran, so no checkpoint separates the existing read
+    from the new write: the region is definitely non-idempotent
+    (CONS001) and a power failure inside it double-increments. Placing
+    the write after an *exposed* read matters — injected after a
+    definite write it would be statically shadowed and dynamically
+    self-healing. Returns the broken module and a ``function/block``
+    description of the injection site.
+    """
+    candidates: List[Tuple[str, str, int, str]] = []
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            for index, inst in enumerate(block.instructions):
+                if not isinstance(inst, Load):
+                    continue
+                var = inst.var
+                if (
+                    inst.space is MemorySpace.NVM
+                    and not var.is_array
+                    and not var.is_ref
+                    and not var.is_const
+                    and not var.volatile_input
+                    and var.name in module.globals
+                ):
+                    candidates.append(
+                        (func.name, block.label, index, var.name)
+                    )
+    if not candidates:
+        raise ValueError("module has no NVM scalar read to dirty")
+
+    def break_at(site: Tuple[str, str, int, str]) -> Module:
+        fname, label, index, name = site
+        broken = module.clone()
+        var = broken.globals[name]
+        t_read = Register("__dirty_r", var.type)
+        t_inc = Register("__dirty_w", var.type)
+        block = broken.functions[fname].blocks[label]
+        block.instructions[index + 1:index + 1] = [
+            Load(dest=t_read, var=var, space=MemorySpace.NVM),
+            BinOp(
+                op=Opcode.ADD, dest=t_inc, lhs=t_read,
+                rhs=Const(1, var.type),
+            ),
+            Store(var=var, index=None, value=t_inc, space=MemorySpace.NVM),
+        ]
+        return broken
+
+    if validate is not None:
+        for site in candidates:
+            broken = break_at(site)
+            if validate(broken):
+                return broken, f"{site[0]}/.{site[1]}[{site[2]}]@{site[3]}"
+    site = candidates[0]
+    return break_at(site), f"{site[0]}/.{site[1]}[{site[2]}]@{site[3]}"

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Regenerate the known-violation corpus in ``tests/corpus_bad/``.
+
+Each entry is a *transformed* module with one deliberately planted
+memory-consistency bug, written as printed IR plus a ``manifest.json``
+describing how it was made, which CONS rule must convict it and how the
+dynamic oracle confirms the conviction. The regression test
+(``tests/test_corpus_bad.py``) parses the checked-in files — it does not
+re-run this generator — so the corpus stays stable under compiler
+changes until someone regenerates it on purpose:
+
+    PYTHONPATH=src python tools/gen_corpus_bad.py
+
+The four cells cover every generator in the sabotage battery and both
+contract families:
+
+- ``warloop_schematic_delete_restore`` — restore-set deletion on a
+  wait-mode placement (CONS003 + CONS004; dynamically visible only
+  under ``restore_fidelity="metadata"``);
+- ``warloop_ratchet_repeated_read`` — a pure input marked volatile on a
+  roll-back placement (CONS002; boundary-sweep anomalies);
+- ``warloop_ratchet_dirty_write`` — an injected read-increment-write on
+  a roll-back placement (CONS001 definite; boundary-sweep anomalies);
+- ``sumloop_schematic_repeated_read`` — the wait-mode contract split:
+  CONS002 fires but is in-contract-informational, the guarantee run is
+  clean, and only out-of-contract schedules convict dynamically.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.energy import msp430fr5969_platform  # noqa: E402
+from repro.ir.printer import print_module  # noqa: E402
+from repro.ir.textparser import parse_ir  # noqa: E402
+from repro.testkit.corpus import compile_for, load_program  # noqa: E402
+from repro.testkit.sabotage import (  # noqa: E402
+    delete_restore,
+    dirty_nv_write,
+    inject_repeated_read,
+)
+
+EB = 3000.0
+OUT = Path(__file__).resolve().parent.parent / "tests" / "corpus_bad"
+
+
+def _compiled(program: str, technique: str):
+    bench = load_program(program)
+    platform = msp430fr5969_platform(eb=EB)
+    return bench, compile_for(
+        technique,
+        bench.module,
+        platform,
+        input_generator=bench.input_generator(),
+    )
+
+
+def main() -> int:
+    OUT.mkdir(parents=True, exist_ok=True)
+    entries = []
+
+    bench, compiled = _compiled("warloop", "schematic")
+    broken, site, removed = delete_restore(compiled.module)
+    entries.append((
+        "warloop_schematic_delete_restore",
+        broken,
+        {
+            "program": "warloop",
+            "technique": "schematic",
+            "sabotage": "delete_restore",
+            "expect_rules": ["CONS003", "CONS004"],
+            "detail": {
+                "checkpoint": site.ckpt_id,
+                "deleted_restore_vars": sorted(removed),
+            },
+            "dynamic": "metadata-fidelity guarantee run diverges; "
+            "image fidelity masks the bug",
+        },
+    ))
+
+    bench, compiled = _compiled("warloop", "ratchet")
+    marked, var = inject_repeated_read(compiled.module)
+    entries.append((
+        "warloop_ratchet_repeated_read",
+        marked,
+        {
+            "program": "warloop",
+            "technique": "ratchet",
+            "sabotage": "inject_repeated_read",
+            "expect_rules": ["CONS002"],
+            "detail": {"volatile_input": var},
+            "dynamic": "boundary-sweep schedules replay the sampling "
+            "region and diverge from the marked reference",
+        },
+    ))
+
+    bench, compiled = _compiled("warloop", "ratchet")
+    dirty, where = dirty_nv_write(compiled.module)
+    entries.append((
+        "warloop_ratchet_dirty_write",
+        dirty,
+        {
+            "program": "warloop",
+            "technique": "ratchet",
+            "sabotage": "dirty_nv_write",
+            "expect_rules": ["CONS001"],
+            "detail": {"injection_site": where},
+            "dynamic": "boundary-sweep schedules double-increment; the "
+            "module's own continuous run is the reference",
+        },
+    ))
+
+    bench, compiled = _compiled("sumloop", "schematic")
+    marked, var = inject_repeated_read(compiled.module)
+    entries.append((
+        "sumloop_schematic_repeated_read",
+        marked,
+        {
+            "program": "sumloop",
+            "technique": "schematic",
+            "sabotage": "inject_repeated_read",
+            "expect_rules": ["CONS002"],
+            "detail": {"volatile_input": var},
+            "in_contract_info": True,
+            "dynamic": "wait-mode split: the guarantee run stays clean, "
+            "out-of-contract schedules diverge",
+        },
+    ))
+
+    manifest = {"eb": EB, "modules": []}
+    for name, module, meta in entries:
+        text = print_module(module)
+        assert print_module(parse_ir(text)) == text, f"{name}: no round-trip"
+        path = OUT / f"{name}.ir"
+        path.write_text(text)
+        manifest["modules"].append({"file": f"{name}.ir", **meta})
+        print(f"wrote {path.relative_to(OUT.parent.parent)}")
+    (OUT / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+    print(f"wrote {(OUT / 'manifest.json').relative_to(OUT.parent.parent)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
