@@ -45,7 +45,7 @@ bench-full:
 
 # Engine timing harness: cold vs warm cache vs parallel prefill, the
 # differential-emulation grid and the interpreter pre-decode
-# micro-benchmark; writes BENCH_pr6.json.
+# micro-benchmark; writes BENCH_pr8.json.
 bench-engine:
 	$(PYTHON) tools/bench_engine.py
 

@@ -75,6 +75,8 @@ def run_against_reference(
     max_instructions: int = 100_000_000,
     reference_report: Optional[ExecutionReport] = None,
     restore_fidelity: str = "image",
+    predecode: bool = True,
+    compiled: bool = True,
 ) -> VerificationResult:
     """Run ``transformed`` under ``power`` and compare the final NVM state
     against the continuously powered ``reference`` module.
@@ -86,6 +88,9 @@ def run_against_reference(
     (see :class:`repro.emulator.interpreter.InterpreterConfig`), under
     which a checkpoint whose restore set misses live VM state is
     dynamically convicted instead of silently healed.
+    ``predecode``/``compiled`` select the interpreter loop for the
+    intermittent run (the testkit's ``--compiled`` axis re-runs cells on
+    the slower loops to cross-check the compiled one).
     """
     if reference_report is None:
         reference_report = run_continuous(
@@ -101,6 +106,8 @@ def run_against_reference(
             inputs=inputs,
             max_instructions=max_instructions,
             restore_fidelity=restore_fidelity,
+            predecode=predecode,
+            compiled=compiled,
         )
     except EmulationError as exc:
         return VerificationResult(

@@ -271,6 +271,7 @@ def record_tape(
     max_instructions: int = 200_000_000,
     max_snapshots: int = DEFAULT_MAX_SNAPSHOTS,
     predecode: bool = True,
+    compiled: bool = True,
 ) -> SnapshotTape:
     """Run the column failure-free and capture its snapshot tape.
 
@@ -312,6 +313,7 @@ def record_tape(
         max_instructions=max_instructions,
         vm_size=vm_size,
         predecode=predecode,
+        compiled=compiled,
         commit_hook=hook,
     )
     interp = Interpreter(module, model, policy, power, config)
@@ -517,6 +519,7 @@ def fork_cell(
     inputs: Optional[Dict[str, List[int]]] = None,
     max_instructions: int = 200_000_000,
     predecode: bool = True,
+    compiled: bool = True,
     step_hook: Optional[Callable[[str, int], None]] = None,
 ) -> ExecutionReport:
     """Resume one cell from ``tape.entries[entry_index]``."""
@@ -530,6 +533,7 @@ def fork_cell(
         max_instructions=max_instructions,
         vm_size=vm_size,
         predecode=predecode,
+        compiled=compiled,
         step_hook=step_hook,
     )
     interp = Interpreter(module, model, policy, spec.build(), config)
@@ -626,6 +630,7 @@ def run_cell(
     inputs: Optional[Dict[str, List[int]]] = None,
     max_instructions: int = 200_000_000,
     predecode: bool = True,
+    compiled: bool = True,
     stats: Optional[DiffEmuStats] = None,
 ) -> Tuple[ExecutionReport, ForkPlan]:
     """Run one grid cell differentially: synthesize, fork or fall back.
@@ -643,6 +648,7 @@ def run_cell(
         return _run_cold(
             module, model, policy, spec, vm_size=vm_size, inputs=inputs,
             max_instructions=max_instructions, predecode=predecode,
+                compiled=compiled,
         ), plan
     plan = plan_cell(tape, spec)
     if plan.kind == "synthesize":
@@ -655,6 +661,7 @@ def run_cell(
                 module, model, policy, spec, tape, plan.entry_index,
                 vm_size=vm_size, inputs=inputs,
                 max_instructions=max_instructions, predecode=predecode,
+                compiled=compiled,
             )
         except EmulationError as exc:
             # A tape recorded for a different module revision (or
@@ -670,6 +677,7 @@ def run_cell(
             return _run_cold(
                 module, model, policy, spec, vm_size=vm_size, inputs=inputs,
                 max_instructions=max_instructions, predecode=predecode,
+                compiled=compiled,
             ), plan
         if stats is not None:
             stats.forked += 1
@@ -679,6 +687,7 @@ def run_cell(
     return _run_cold(
         module, model, policy, spec, vm_size=vm_size, inputs=inputs,
         max_instructions=max_instructions, predecode=predecode,
+                compiled=compiled,
     ), plan
 
 
@@ -692,6 +701,7 @@ def _run_cold(
     inputs: Optional[Dict[str, List[int]]],
     max_instructions: int,
     predecode: bool,
+    compiled: bool,
 ) -> ExecutionReport:
     from repro.emulator.interpreter import run_intermittent
 
@@ -699,4 +709,5 @@ def _run_cold(
         module, model, policy, spec.build(),
         vm_size=vm_size, inputs=inputs,
         max_instructions=max_instructions, predecode=predecode,
+                compiled=compiled,
     )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.emulator import compiled as compiled_blocks
 from repro.emulator.memory import MemoryState
 from repro.emulator.meter import EnergyMeter
 from repro.emulator.power import PowerManager
@@ -117,6 +118,18 @@ class InterpreterConfig:
     #: False selects the original per-step loop (kept as the differential
     #: reference implementation and for micro-benchmarks).
     predecode: bool = True
+    #: Compile straight-line runs of each pre-decoded block into fused
+    #: superinstruction closures executed with zero dispatch, charging
+    #: each run's energy/cycles as one batch (:mod:`repro.emulator.
+    #: compiled`). Semantics are bit-identical: failure points, meter
+    #: totals, reports and diffemu snapshots all match the per-step
+    #: loops, and the interpreter falls back to per-step execution for
+    #: any run that asks for per-step observation (``step_hook``,
+    #: ``trace``, a recording power manager, enabled telemetry) and on
+    #: every cold-path event (checkpoints, predicted in-segment power
+    #: failures, instruction-budget edges, mid-segment resume points).
+    #: Requires ``predecode``; False selects the plain pre-decoded loop.
+    compiled: bool = True
     #: Called as commit_hook(interpreter, ckpt_id) after a checkpoint has
     #: fully committed — the save persisted *and* the wait-mode
     #: recharge/restore (or roll-back migration) completed. This is the
@@ -225,14 +238,17 @@ class Interpreter:
         self._tm = telemetry.get()
         self._run_id = self._tm.next_run_id() if self._tm is not None else 0
         self._seg_anchor = 0.0
-        # id()-keyed cost cache of the undecoded loop. Safe only because
-        # the cache lives and dies with this interpreter, which keeps the
-        # module (and thus every instruction object) alive: a module
-        # rewritten *while an interpreter holds it* could recycle ids and
-        # serve stale costs. The pre-decoded path has no such idiom — it
-        # binds costs to instruction objects once, at construction — and
-        # tests/test_interpreter_decode.py pins both properties down.
-        self._costs: Dict[int, Tuple[int, float, float, bool, bool]] = {}
+        # Cost cache of the undecoded loop, keyed by id(inst) for O(1)
+        # probes but storing (inst, cost) pairs: the held reference pins
+        # each instruction object alive, so an id can never be recycled
+        # by a newer instruction while its entry exists — the lifetime
+        # hazard of the bare id()-keyed cache this replaces (a module
+        # rewritten mid-run could free an instruction and serve a stale
+        # cost for its reused id). tests/test_interpreter_decode.py pins
+        # the pinning down with a freed-id regression test.
+        self._costs: Dict[
+            int, Tuple[Instruction, Tuple[int, float, float, bool, bool]]
+        ] = {}
         if self.config.restore_fidelity not in ("image", "metadata"):
             raise EmulationError(
                 f"unknown restore_fidelity "
@@ -267,6 +283,14 @@ class Interpreter:
             # and pay nothing.
             self._dispatch[Load] = self._apply_load_auto
         self._code = self._decode_module() if self.config.predecode else None
+        #: Compiled segment maps, built lazily on the first execution
+        #: that is eligible for the compiled loop (frames must exist and
+        #: most runs never need it when observation hooks force the
+        #: per-step loops). {(function, label): {index: Segment}}.
+        self._ccode = None
+        #: Which loop the last _execute used: "compiled", "predecoded"
+        #: or "undecoded" (introspection for tests and benchmarks).
+        self.loop_used: Optional[str] = None
 
     # -- pre-decoding ----------------------------------------------------------
 
@@ -310,14 +334,15 @@ class Interpreter:
     # -- cost cache ------------------------------------------------------------
 
     def _cost(self, inst: Instruction) -> Tuple[int, float, float, bool, bool]:
-        """Undecoded-loop accessor: _compute_cost memoized by id(inst)
-        (see the lifetime note on ``_costs``)."""
+        """Undecoded-loop accessor: _compute_cost memoized by id(inst),
+        with the instruction object held in the entry so the id stays
+        pinned (see the lifetime note on ``_costs``)."""
         key = id(inst)
         cached = self._costs.get(key)
         if cached is not None:
-            return cached
+            return cached[1]
         result = self._compute_cost(inst)
-        self._costs[key] = result
+        self._costs[key] = (inst, result)
         return result
 
     def _compute_cost(
@@ -463,8 +488,140 @@ class Interpreter:
 
     def _execute(self) -> Tuple[bool, str]:
         if self._code is None:
+            self.loop_used = "undecoded"
             return self._execute_undecoded()
+        config = self.config
+        if (
+            config.compiled
+            and config.step_hook is None
+            and config.trace is None
+            and self.power.record is None
+            and self._tm is None
+        ):
+            # No per-step observation requested: run the threaded-code
+            # loop. Anything that needs step granularity — the testkit
+            # sweep's step_hook, block tracing, a recording power
+            # manager or enabled telemetry — gets the per-step
+            # pre-decoded loop and bit-identical streams.
+            if self._ccode is None:
+                self._ccode = compiled_blocks.compile_blocks(self, _Frame)
+            self.loop_used = "compiled"
+            return self._execute_compiled()
+        self.loop_used = "predecoded"
+        return self._execute_predecoded()
 
+    def _execute_compiled(self) -> Tuple[bool, str]:
+        """The threaded-code loop: whole segments execute as a handful of
+        fused-closure calls with one batched accounting transaction.
+
+        The batch is provably equivalent to stepping: the per-field
+        energy folds replay the per-step ``+=`` sequences in order
+        (:class:`repro.emulator.compiled.Segment`), and
+        :meth:`PowerManager.peek_block` admits a segment only when no
+        per-step failure predicate could fire inside it — nonnegative
+        float addition is monotone under IEEE round-to-nearest, so a
+        final consumption within budget bounds every prefix, and the
+        cycle-denominated modes compare exact integers. Whenever the
+        fast path cannot run — a checkpoint, a predicted in-segment
+        failure, the instruction-budget edge, a mid-segment resume
+        index — one instruction is executed exactly as the pre-decoded
+        loop would, so every cold-path event observes fully reconciled
+        meter/power state."""
+        frames = self.frames
+        code = self._code
+        ccode = self._ccode
+        power = self.power
+        consume = power.consume
+        peek_block = power.peek_block
+        commit_block = power.commit_block
+        meter = self.meter
+        charge = meter.charge_compute
+        charge_block = meter.charge_block
+        max_instructions = self.config.max_instructions
+
+        cur_frame = None
+        cur_block = None
+        block_code = None
+        seg_map = None
+        while frames:
+            frame = frames[-1]
+            if frame is not cur_frame or frame.block is not cur_block:
+                cur_frame = frame
+                cur_block = frame.block
+                key = (frame.function.name, cur_block)
+                block_code = code[key]
+                seg_map = ccode[key]
+            seg = seg_map.get(frame.index)
+            if (
+                seg is not None
+                and self.instructions_executed + seg.n <= max_instructions
+            ):
+                new_consumed = peek_block(seg.energies, seg.cycles)
+                if new_consumed is not None:
+                    try:
+                        seg.run(frame)
+                    except BaseException as exc:
+                        self._reconcile_segment_fault(frame, seg, exc)
+                        raise
+                    commit_block(new_consumed, seg.cycles)
+                    charge_block(
+                        seg.energies, seg.cpu, seg.vm_e, seg.nvm_e,
+                        seg.vm_n, seg.nvm_n,
+                    )
+                    self.active_cycles += seg.cycles
+                    self.instructions_executed += seg.n
+                    end = seg.end_index
+                    if end is not None:
+                        frame.index = end
+                    continue
+            # Per-step path: checkpoints, a failure predicted inside the
+            # segment, the instruction-budget edge, or a resume index
+            # that is not a segment start. One instruction, executed
+            # exactly as _execute_predecoded would.
+            if self.instructions_executed >= max_instructions:
+                return False, "instruction budget exhausted (runaway program?)"
+            handler, cost, inst, label = block_code[frame.index]
+            if handler is None:  # checkpoint pseudo-instructions
+                outcome = self._do_checkpoint(frame, inst)
+                if outcome is not None:
+                    return outcome
+                cur_frame = None  # may have rolled back / migrated
+                continue
+            cycles, energy, access_energy, is_vm, has_access = cost
+            if consume(energy, cycles):
+                if not self._handle_power_failure():
+                    return False, "no forward progress"
+                cur_frame = None  # frames were rebuilt from the snapshot
+                continue
+            self.active_cycles += cycles
+            self.instructions_executed += 1
+            charge(energy, access_energy, is_vm, has_access)
+            handler(frame, inst)
+        return True, ""
+
+    def _reconcile_segment_fault(self, frame, seg, exc) -> None:
+        """A fused op raised mid-segment before the batch was applied:
+        replay per-step accounting for the completed prefix *plus* the
+        faulting instruction (the per-step loop consumes and charges
+        before the handler runs), and point ``frame.index`` at the
+        faulting instruction — exactly the state the pre-decoded loop
+        leaves behind when a handler raises. peek_block admitted the
+        whole segment, so no consume in this prefix can fail."""
+        pos = getattr(exc, "_seg_pos", 0)
+        sub = getattr(exc, "_seg_sub", 0)
+        fault = sum(seg.widths[:pos]) + sub
+        consume = self.power.consume
+        charge = self.meter.charge_compute
+        for cycles, energy, access_energy, is_vm, has_access in (
+            seg.costs[: fault + 1]
+        ):
+            consume(energy, cycles)
+            self.active_cycles += cycles
+            self.instructions_executed += 1
+            charge(energy, access_energy, is_vm, has_access)
+        frame.index = seg.start + fault
+
+    def _execute_predecoded(self) -> Tuple[bool, str]:
         frames = self.frames
         code = self._code
         consume = self.power.consume
@@ -538,9 +695,8 @@ class Interpreter:
                     return outcome
                 continue
 
-            cost = costs.get(id(inst))
-            if cost is None:
-                cost = compute_cost(inst)
+            entry = costs.get(id(inst))
+            cost = entry[1] if entry is not None else compute_cost(inst)
             cycles, energy, access_energy, is_vm, has_access = cost
             if step_hook is not None:
                 step_hook(
@@ -1111,6 +1267,7 @@ def run_continuous(
     trace: Optional[Callable[[str, str], None]] = None,
     max_instructions: int = 200_000_000,
     predecode: bool = True,
+    compiled: bool = True,
 ) -> ExecutionReport:
     """Run a module under continuous power (reference/profiling runs).
 
@@ -1123,6 +1280,7 @@ def run_continuous(
         trace=trace,
         max_instructions=max_instructions,
         predecode=predecode,
+        compiled=compiled,
     )
     interp = Interpreter(
         module,
@@ -1144,6 +1302,7 @@ def run_intermittent(
     max_instructions: int = 200_000_000,
     step_hook: Optional[Callable[[str, int], None]] = None,
     predecode: bool = True,
+    compiled: bool = True,
     restore_fidelity: str = "image",
 ) -> ExecutionReport:
     """Run a transformed module under intermittent power."""
@@ -1153,6 +1312,7 @@ def run_intermittent(
         vm_size=vm_size,
         step_hook=step_hook,
         predecode=predecode,
+        compiled=compiled,
         restore_fidelity=restore_fidelity,
     )
     interp = Interpreter(module, model, policy, power, config)

@@ -154,6 +154,63 @@ class PowerManager:
                 return self._fail(cycles)
         return False
 
+    def peek_block(
+        self, energies: Sequence[float], cycles: int
+    ) -> Optional[float]:
+        """Pure admission check for one compiled segment: would consuming
+        ``energies`` (one per instruction, in execution order, ``cycles``
+        total) step by step trigger *no* failure? Returns the
+        post-segment ``consumed_since_recharge`` to pass to
+        :meth:`commit_block`, or None when the segment must be executed
+        per step (a failure may strike inside it, or per-step recording
+        was requested). Nothing is mutated either way.
+
+        Why checking only the segment-final state is sound:
+
+        - The energy fold ``sum(energies, consumed_since_recharge)`` is
+          the same left-to-right C-double addition sequence
+          :meth:`consume` performs, so the final value is bit-identical
+          to stepping. Adding nonnegative floats is monotone under IEEE
+          round-to-nearest, so every intermediate prefix is <= the final
+          value: final <= eb implies no prefix exceeded eb (the
+          ENERGY_BUDGET predicate is strict ``>``).
+        - The cycle-denominated modes compare exact integers, and cycle
+          counts are monotone, so the segment-final comparison bounds
+          every prefix exactly.
+        - STOCHASTIC windows are redrawn only in :meth:`recharge_full`
+          (a cold path); no RNG advances during a segment.
+        """
+        if self.record is not None:
+            return None
+        new_consumed = sum(energies, self.consumed_since_recharge)
+        mode = self.mode
+        if mode is PowerMode.ENERGY_BUDGET:
+            if new_consumed > self.eb:
+                return None
+        elif mode is PowerMode.PERIODIC_CYCLES:
+            if self.tbpf > 0 and (
+                self.cycles_since_recharge + cycles > self.tbpf
+            ):
+                return None
+        elif mode is PowerMode.SCHEDULED:
+            if (
+                self._schedule_pos < len(self.schedule)
+                and self.timeline + cycles > self.schedule[self._schedule_pos]
+            ):
+                return None
+        elif mode is PowerMode.STOCHASTIC:
+            if self.cycles_since_recharge + cycles > self._window:
+                return None
+        return new_consumed
+
+    def commit_block(self, new_consumed: float, cycles: int) -> None:
+        """Apply one admitted segment's consumption in a single
+        transaction; ``new_consumed`` is the value :meth:`peek_block`
+        returned (the bit-identical fold, not a re-summation)."""
+        self.consumed_since_recharge = new_consumed
+        self.cycles_since_recharge += cycles
+        self.timeline += cycles
+
     @property
     def next_scheduled(self) -> Optional[int]:
         """The next pending scheduled offset, None when exhausted."""

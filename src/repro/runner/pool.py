@@ -16,14 +16,31 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup CPU set or a restricted scheduler affinity mask (containerized
+    CI, ``taskset``), it overcounts and ``--jobs auto`` would
+    oversubscribe. ``os.sched_getaffinity(0)`` reflects both limits where
+    the platform provides it (Linux); elsewhere fall back to
+    ``os.cpu_count()``."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs) -> int:
     """Parse a ``--jobs`` value: an int, a numeric string, ``"auto"``
-    (one worker per CPU) or None/"" (serial)."""
+    (one worker per *available* CPU) or None/"" (serial)."""
     if jobs is None or jobs == "":
         return 1
     if isinstance(jobs, str):
         if jobs.strip().lower() == "auto":
-            return os.cpu_count() or 1
+            return available_cpus()
         jobs = int(jobs)
     jobs = int(jobs)
     if jobs < 1:

@@ -121,6 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="run every cell twice — cold and via the "
                       "snapshot/fork path — and convict any report "
                       "divergence (doubles the grid)")
+    diff.add_argument("--compiled", action="store_true",
+                      dest="compiled_check",
+                      help="re-run every non-crashed cell on the "
+                      "pre-decoded and undecoded interpreter loops and "
+                      "convict any divergence from the compiled loop "
+                      "(triples the grid)")
     diff.add_argument("--no-shrink", action="store_true")
     diff.add_argument("--jobs", default="1", metavar="N|auto",
                       help="worker processes (one per program)")
@@ -225,6 +231,7 @@ def _run(args: argparse.Namespace, started: float) -> int:
             shrink=not args.no_shrink,
             jobs=resolve_jobs(args.jobs),
             diff_emulation=args.diff_emulation,
+            compiled_check=args.compiled_check,
         )
         print(result.render())
         print(f"({time.time() - started:.1f}s)")

@@ -35,6 +35,14 @@ snapshot — see :mod:`repro.emulator.diffemu`). The two full
 :class:`~repro.emulator.report.ExecutionReport` objects must match
 bit-for-bit; a divergence is recorded as a disagreement, exactly like a
 cross-technique one.
+
+With ``compiled_check=True`` every non-crashed cell is additionally
+re-run on the plain pre-decoded loop (``compiled=False``) and on the
+legacy undecoded loop (``predecode=False``) — three independent
+interpreter hot loops over the same semantics. The primary run uses the
+compiled (threaded-code) loop, so any report divergence convicts the
+batched accounting or the superinstruction codegen; it is recorded as a
+disagreement, exactly like a cross-technique one.
 """
 
 from __future__ import annotations
@@ -90,6 +98,9 @@ class DiffResult:
     #: differential side planned each one (synthesize / fork / cold).
     diffemu_cells: int = 0
     diffemu_kinds: Dict[str, int] = field(default_factory=dict)
+    #: Compiled-vs-predecoded-vs-undecoded triples checked
+    #: (``compiled_check=True``).
+    compiled_cells: int = 0
 
     @property
     def violations(self) -> List[OracleVerdict]:
@@ -116,6 +127,11 @@ class DiffResult:
             )
             lines.append(
                 f"  diff-emulation pairs: {self.diffemu_cells} ({kinds})"
+            )
+        if self.compiled_cells:
+            lines.append(
+                "  compiled-loop triples: "
+                f"{self.compiled_cells} (compiled/predecoded/undecoded)"
             )
         for outcome, count in sorted(counts.items()):
             lines.append(f"  {outcome}: {count}")
@@ -164,6 +180,7 @@ def run_differential(
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
     diff_emulation: bool = False,
+    compiled_check: bool = False,
 ) -> DiffResult:
     """Run the full grid; see the module docstring for the oracle.
 
@@ -173,7 +190,11 @@ def run_differential(
     is identical to a serial run.
 
     ``diff_emulation=True`` runs every cell twice — cold and through the
-    snapshot/fork path — and convicts any report divergence."""
+    snapshot/fork path — and convicts any report divergence.
+
+    ``compiled_check=True`` re-runs every non-crashed cell on the
+    pre-decoded and undecoded interpreter loops and convicts any
+    divergence from the compiled-loop report (triples the grid)."""
     programs = list(programs if programs is not None else BENCHMARK_NAMES)
     result = DiffResult(
         programs=programs,
@@ -186,7 +207,8 @@ def run_differential(
             _diff_one_program, programs, jobs,
             initializer=_init_diff_worker,
             initargs=(list(techniques), list(tbpf_values), list(modes),
-                      seed, max_instructions, shrink, diff_emulation),
+                      seed, max_instructions, shrink, diff_emulation,
+                      compiled_check),
         )
     else:
         partials = [
@@ -194,6 +216,7 @@ def run_differential(
                 program, techniques, tbpf_values, modes, seed,
                 max_instructions, shrink, progress,
                 diff_emulation=diff_emulation,
+                compiled_check=compiled_check,
             )
             for program in programs
         ]
@@ -202,6 +225,7 @@ def run_differential(
         result.disagreements.extend(partial.disagreements)
         result.runs += partial.runs
         result.diffemu_cells += partial.diffemu_cells
+        result.compiled_cells += partial.compiled_cells
         for kind, count in partial.diffemu_kinds.items():
             result.diffemu_kinds[kind] = (
                 result.diffemu_kinds.get(kind, 0) + count
@@ -214,19 +238,20 @@ _DIFF_STATE: Optional[Tuple] = None
 
 def _init_diff_worker(
     techniques, tbpf_values, modes, seed, max_instructions, shrink,
-    diff_emulation=False,
+    diff_emulation=False, compiled_check=False,
 ) -> None:
     global _DIFF_STATE
     _DIFF_STATE = (techniques, tbpf_values, modes, seed, max_instructions,
-                   shrink, diff_emulation)
+                   shrink, diff_emulation, compiled_check)
 
 
 def _diff_one_program(program: str) -> DiffResult:
     (techniques, tbpf_values, modes, seed, max_instructions, shrink,
-     diff_emulation) = _DIFF_STATE
+     diff_emulation, compiled_check) = _DIFF_STATE
     return _run_program(
         program, techniques, tbpf_values, modes, seed, max_instructions,
         shrink, progress=None, diff_emulation=diff_emulation,
+        compiled_check=compiled_check,
     )
 
 
@@ -240,6 +265,7 @@ def _run_program(
     shrink: bool,
     progress: Optional[Callable[[str], None]],
     diff_emulation: bool = False,
+    compiled_check: bool = False,
 ) -> DiffResult:
     """One program's technique x TBPF x mode block as a partial result."""
     result = DiffResult(
@@ -305,6 +331,34 @@ def _run_program(
                         reference_report=reference,
                     )
                 result.runs += 1
+                if compiled_check and not run.crashed:
+                    # Same cell on the two slower interpreter loops: three
+                    # hot-loop implementations must produce the identical
+                    # report (fresh PowerManager per run — a consumed
+                    # manager is not reusable).
+                    for loop, kwargs in (
+                        ("predecoded", {"compiled": False}),
+                        ("undecoded", {"predecode": False,
+                                       "compiled": False}),
+                    ):
+                        alt = run_against_reference(
+                            comp.module, bench.module, plat.model,
+                            comp.policy, _power_for(mode, tbpf, eb, seed),
+                            vm_size=plat.vm_size, inputs=inputs,
+                            max_instructions=max_instructions,
+                            reference_report=reference, **kwargs,
+                        )
+                        result.runs += 1
+                        if (
+                            alt.crashed
+                            or repr(alt.report) != repr(run.report)
+                        ):
+                            result.disagreements.append(
+                                f"{program}/{technique} under {desc}: "
+                                f"{loop} loop diverges from the compiled "
+                                "loop"
+                            )
+                    result.compiled_cells += 1
                 if (
                     diff_emulation
                     and comp.policy.skip_threshold is None

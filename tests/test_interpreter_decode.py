@@ -140,5 +140,53 @@ def test_cost_cache_is_interpreter_local():
     )
 
 
+def test_cost_cache_entries_pin_their_instruction():
+    """Regression for the id()-reuse hazard: the cache is keyed by
+    ``id(inst)``, and it used to store the bare cost tuple. An
+    instruction freed while its entry lived could then hand its recycled
+    id to a *different* instruction, which would be served the stale
+    cost. Entries now store ``(inst, cost)`` — the held reference keeps
+    the keyed object alive, so no live entry's key can ever be recycled.
+    """
+    import gc
+
+    bench = load_program("sumloop")
+    interp = _interp(bench.module, predecode=False)
+    func = bench.module.entry_function
+    proto = next(
+        inst
+        for block in func.blocks.values()
+        for inst in block.instructions
+        if not isinstance(inst, (Checkpoint, CondCheckpoint))
+    )
+
+    def cache_temporary():
+        # A fresh instruction object cached and immediately dropped —
+        # exactly the lifetime the old cache mishandled.
+        temp = dataclasses.replace(proto)
+        interp._cost(temp)
+        return id(temp)
+
+    key = cache_temporary()
+    gc.collect()
+
+    entry = interp._costs[key]
+    pinned_inst = entry[0]
+    assert id(pinned_inst) == key, (
+        "the cache entry must hold the instruction it is keyed by"
+    )
+    # Because the entry pins the object, no newly-allocated instruction
+    # can ever collide with a live key: CPython ids are addresses, and
+    # the pinned object still occupies this one.
+    for _ in range(256):
+        assert id(dataclasses.replace(proto)) != key
+
+    # Dropping the entry releases the pin — the id may then be recycled,
+    # which is fine precisely because the entry is gone.
+    del interp._costs[key], entry, pinned_inst
+    gc.collect()
+    assert key not in interp._costs
+
+
 def test_predecode_flag_defaults_on():
     assert InterpreterConfig().predecode is True

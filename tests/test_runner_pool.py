@@ -1,0 +1,132 @@
+"""Edge cases for the process-pool fan-out helpers.
+
+``resolve_jobs`` parses user-facing ``--jobs`` values and must reject
+nonsense loudly (a silently-wrong worker count skews every timing
+manifest); ``available_cpus`` must respect scheduler affinity, not the
+raw machine size; ``parallel_map`` must behave identically in its
+serial and pooled modes (ordering, initializer semantics, exception
+propagation).
+"""
+
+import os
+
+import pytest
+
+from repro.runner.pool import available_cpus, parallel_map, resolve_jobs
+
+
+class TestAvailableCpus:
+    def test_positive(self):
+        assert available_cpus() >= 1
+
+    def test_respects_affinity_mask(self):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("no sched_getaffinity on this platform")
+        assert available_cpus() == len(os.sched_getaffinity(0))
+
+    def test_never_exceeds_machine(self):
+        assert available_cpus() <= (os.cpu_count() or 1)
+
+
+class TestResolveJobs:
+    def test_none_and_empty_are_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs("") == 1
+
+    def test_plain_ints_and_numeric_strings(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("4") == 4
+
+    def test_whitespace_and_case_insensitive_auto(self):
+        assert resolve_jobs("auto") == available_cpus()
+        assert resolve_jobs("  AuTo  ") == available_cpus()
+
+    def test_auto_matches_affinity_not_machine(self):
+        # The point of the fix: "auto" follows the affinity mask, so a
+        # cgroup-restricted container never oversubscribes.
+        assert resolve_jobs("auto") == available_cpus()
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            resolve_jobs("0")
+        with pytest.raises(ValueError, match="must be >= 1"):
+            resolve_jobs(0)
+        with pytest.raises(ValueError, match="must be >= 1"):
+            resolve_jobs(-2)
+
+    def test_floats_rejected(self):
+        # int("1.5") raises — a fractional worker count must not be
+        # silently truncated.
+        with pytest.raises(ValueError):
+            resolve_jobs("1.5")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise RuntimeError(f"boom at {x}")
+    return x
+
+
+_WORKER_BIAS = 0
+
+
+def _init_bias(value):
+    global _WORKER_BIAS
+    _WORKER_BIAS = value
+
+
+def _biased(x):
+    return x + _WORKER_BIAS
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_empty_items(self, jobs):
+        assert parallel_map(_square, [], jobs=jobs) == []
+
+    def test_empty_items_never_spawn_pool(self):
+        # jobs > 1 with no items must not pay pool startup; the
+        # initializer contract still holds (invoked locally).
+        calls = []
+        assert parallel_map(
+            _square, [], jobs=8, initializer=calls.append, initargs=(1,)
+        ) == []
+        assert calls == [1]
+
+    def test_preserves_order_serial(self):
+        assert parallel_map(_square, range(6), jobs=1) == [
+            0, 1, 4, 9, 16, 25
+        ]
+
+    def test_preserves_order_pooled(self):
+        assert parallel_map(_square, range(6), jobs=2) == [
+            0, 1, 4, 9, 16, 25
+        ]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exception_propagates(self, jobs):
+        with pytest.raises(RuntimeError, match="boom at 3"):
+            parallel_map(_raise_on_three, range(6), jobs=jobs)
+
+    def test_initializer_equivalence(self):
+        # The serial path must run the initializer too, so functions
+        # reading process globals see the same state as pool workers.
+        serial = parallel_map(
+            _biased, range(4), jobs=1, initializer=_init_bias, initargs=(10,)
+        )
+        pooled = parallel_map(
+            _biased, range(4), jobs=2, initializer=_init_bias, initargs=(10,)
+        )
+        assert serial == pooled == [10, 11, 12, 13]
+
+    def test_single_item_runs_inline(self):
+        # One item never justifies a pool: min(jobs, len(items)) == 1.
+        assert parallel_map(_square, [7], jobs=4) == [49]

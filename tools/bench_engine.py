@@ -1,6 +1,6 @@
 """Timing harness for the evaluation engine: cold vs warm vs parallel.
 
-Produces ``BENCH_pr6.json`` with wall-clock timings for
+Produces ``BENCH_pr8.json`` with wall-clock timings for
 
 - a **cold** serial evaluation (empty artifact cache),
 - a **warm** serial re-run (same cache; everything is a disk hit),
@@ -11,14 +11,17 @@ Produces ``BENCH_pr6.json`` with wall-clock timings for
   stochastic power traces — cold emulation of every cell vs one snapshot
   tape per column plus synthesized/forked cells
   (:mod:`repro.emulator.diffemu`),
-- the interpreter **pre-decode micro-benchmark**: the aes continuous
-  reference with the pre-decoded hot loop vs the legacy undecoded loop,
+- the interpreter **loop micro-benchmark**: the aes continuous reference
+  under the compiled (threaded-code/superinstruction) loop vs the plain
+  pre-decoded loop vs the legacy undecoded loop, asserting the three
+  reports are byte-identical,
 
 asserting along the way that all evaluation paths produce byte-identical
 output. Run from the repository root::
 
     python tools/bench_engine.py [--benchmarks crc,randmath]
-                                 [--jobs auto] [--out BENCH_pr6.json]
+                                 [--jobs auto] [--out BENCH_pr8.json]
+                                 [--min-compiled-speedup 2.0]
 
 The evaluation workload is the forward-progress table plus the ablation
 grid over the selected benchmarks — the same cells `run_all` spends most
@@ -46,7 +49,7 @@ from repro.experiments import ablations, engine, table3_forward_progress  # noqa
 from repro.experiments.common import EvaluationContext  # noqa: E402
 from repro.programs import get_benchmark  # noqa: E402
 from repro.runner.cache import ArtifactCache  # noqa: E402
-from repro.runner.pool import resolve_jobs  # noqa: E402
+from repro.runner.pool import available_cpus, resolve_jobs  # noqa: E402
 
 
 def _render_workload(ctx: EvaluationContext) -> str:
@@ -160,21 +163,36 @@ def _bench_diffemu(benchmarks):
     }
 
 
-def _bench_predecode(benchmark: str, repeats: int = 3):
+def _bench_interpreter(benchmark: str, repeats: int = 3):
+    """Time the three interpreter loops on one continuous reference run
+    and assert their reports are byte-identical (the compiled loop's
+    contract)."""
+    import dataclasses
+
     bench = get_benchmark(benchmark)
     model = msp430fr5969_platform().model
     inputs = bench.default_inputs()
+    loops = (
+        ("compiled", {"predecode": True, "compiled": True}),
+        ("predecoded", {"predecode": True, "compiled": False}),
+        ("undecoded", {"predecode": False, "compiled": False}),
+    )
     timings = {}
-    for label, predecode in (("predecoded", True), ("undecoded", False)):
+    reports = {}
+    for label, kwargs in loops:
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
             report = run_continuous(
-                bench.module, model, inputs=inputs, predecode=predecode
+                bench.module, model, inputs=inputs, **kwargs
             )
             best = min(best, time.perf_counter() - start)
             assert report.completed
         timings[label] = best
+        reports[label] = dataclasses.asdict(report)
+    assert reports["compiled"] == reports["predecoded"] == (
+        reports["undecoded"]
+    ), f"interpreter loops diverged on {benchmark}"
     return timings
 
 
@@ -184,8 +202,13 @@ def main(argv=None) -> int:
                         help="comma-separated evaluation subset")
     parser.add_argument("--jobs", default="auto", metavar="N|auto")
     parser.add_argument("--micro-benchmark", default="aes",
-                        help="benchmark for the pre-decode micro-benchmark")
-    parser.add_argument("--out", default="BENCH_pr6.json")
+                        help="benchmark for the interpreter micro-benchmark")
+    parser.add_argument("--min-compiled-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the compiled loop beats the "
+                             "pre-decoded loop by at least this factor "
+                             "(CI regression gate)")
+    parser.add_argument("--out", default="BENCH_pr8.json")
     args = parser.parse_args(argv)
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
     jobs = max(2, resolve_jobs(args.jobs))
@@ -217,17 +240,19 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
-        print(f"pre-decode micro-benchmark ({args.micro_benchmark}) ...",
+        print(f"interpreter micro-benchmark ({args.micro_benchmark}) ...",
               file=sys.stderr)
-        micro = _bench_predecode(args.micro_benchmark)
-        print(f"  predecoded {micro['predecoded']:.3f}s, "
+        micro = _bench_interpreter(args.micro_benchmark)
+        print(f"  compiled {micro['compiled']:.3f}s, "
+              f"predecoded {micro['predecoded']:.3f}s, "
               f"undecoded {micro['undecoded']:.3f}s", file=sys.stderr)
     finally:
         shutil.rmtree(cache_root, ignore_errors=True)
 
+    compiled_speedup = round(micro["predecoded"] / micro["compiled"], 3)
     result = {
         "machine": {
-            "cpu_count": os.cpu_count(),
+            "cpu_count": available_cpus(),
             "python": platform_mod.python_version(),
             "platform": platform_mod.platform(),
         },
@@ -246,17 +271,24 @@ def main(argv=None) -> int:
             "parallel_vs_serial": round(cold_s / par_s, 2) if par_s else None,
         },
         "diff_emulation": diffemu,
-        "interpreter_predecode": {
+        "interpreter_loops": {
             "benchmark": args.micro_benchmark,
+            "compiled_seconds": round(micro["compiled"], 4),
             "predecoded_seconds": round(micro["predecoded"], 4),
             "undecoded_seconds": round(micro["undecoded"], 4),
-            "speedup": round(micro["undecoded"] / micro["predecoded"], 3),
+            "compiled_vs_predecoded": compiled_speedup,
+            "compiled_vs_undecoded": round(
+                micro["undecoded"] / micro["compiled"], 3
+            ),
+            "predecoded_vs_undecoded": round(
+                micro["undecoded"] / micro["predecoded"], 3
+            ),
         },
         "outputs_byte_identical": True,
     }
-    if (os.cpu_count() or 1) < jobs:
+    if available_cpus() < jobs:
         result["note"] = (
-            f"parallel timing ran {jobs} workers on {os.cpu_count()} "
+            f"parallel timing ran {jobs} workers on {available_cpus()} "
             "core(s): process fan-out cannot beat serial without real "
             "parallel hardware; the byte-identical assertion is the "
             "meaningful check here (see docs/performance.md)"
@@ -265,6 +297,16 @@ def main(argv=None) -> int:
         json.dump(result, fh, indent=2)
         fh.write("\n")
     print(json.dumps(result, indent=2))
+    if (
+        args.min_compiled_speedup is not None
+        and compiled_speedup < args.min_compiled_speedup
+    ):
+        print(
+            f"FAIL: compiled loop speedup {compiled_speedup}x is below "
+            f"the required {args.min_compiled_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
