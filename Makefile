@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test sweep check check-bounds check-consistency fuzz bench bench-full bench-engine experiments experiments-quick trace export examples clean
+.PHONY: test sweep check check-bounds check-consistency check-transval fuzz bench bench-full bench-engine experiments experiments-quick trace export examples clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -33,6 +33,17 @@ check-consistency:
 	REPRO_CACHE=0 $(PYTHON) -m repro.staticcheck --programs all \
 		--techniques all --consistency --no-cache --format sarif \
 		> staticcheck.sarif
+
+# Translation validation over the full matrix: every placed module must
+# be a certified refinement of its source (TV rules), folded into the
+# merged every-family report (`--all`), whose SARIF document CI uploads
+# as an artifact. Caching is disabled so every proof is re-derived.
+check-transval:
+	REPRO_CACHE=0 $(PYTHON) -m repro.staticcheck --programs all \
+		--techniques all --all --no-cache
+	REPRO_CACHE=0 $(PYTHON) -m repro.staticcheck --programs all \
+		--techniques all --all --no-cache --format sarif \
+		> staticcheck-all.sarif
 
 fuzz:
 	$(PYTHON) -m repro.testkit fuzz

@@ -18,19 +18,30 @@ Two layers:
 - :func:`verify_forward_progress` specializes it to the paper's §II-B
   statement: wait mode under the compile-time energy budget must complete
   with *zero* power failures and matching outputs.
+
+Every (reference, transformed) pair that enters the dynamic oracle is
+also *statically* translation-validated by default: the simulation
+relation of :mod:`repro.analysis.simrel` is inferred once per module
+pair (memoized on object identity, both modules pinned) and its verdict
+counted in :func:`transval_stats` — surfaced by the ``run_all``
+manifest. The pass is silent on purpose: it never changes a
+:class:`VerificationResult` or any evaluation report, so enabling it
+keeps every report byte-identical. ``REPRO_TRANSVAL=0`` is the escape
+hatch.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.emulator.interpreter import run_continuous, run_intermittent
 from repro.emulator.power import PowerManager
 from repro.emulator.report import ExecutionReport
 from repro.emulator.runtime import CheckpointPolicy
 from repro.energy.model import EnergyModel
-from repro.errors import EmulationError
+from repro.errors import EmulationError, ReproError
 from repro.ir.module import Module
 
 
@@ -64,6 +75,72 @@ class VerificationResult:
         return self.completed and self.outputs_match
 
 
+# -- default-on translation validation ------------------------------------
+
+#: Per-process counters for the silent validation pass; the run_all
+#: manifest mirrors them (workers keep their own, like the cache stats).
+_TRANSVAL_STATS: Dict[str, int] = {
+    "validated": 0,
+    "certified": 0,
+    "violations": 0,
+    "memo_hits": 0,
+    "skipped": 0,
+}
+
+#: Identity-keyed memo: id pair -> (source, transformed, verdict). The
+#: module objects are pinned in the value so a garbage-collected module
+#: cannot hand its id to a different module and alias the entry.
+_TRANSVAL_MEMO: Dict[Tuple[int, int], Tuple[Module, Module, Optional[bool]]] = {}
+_TRANSVAL_MEMO_CAP = 256
+
+
+def transval_enabled() -> bool:
+    """Whether the oracle's validation pass is on (``REPRO_TRANSVAL``,
+    default on; ``0``/``false``/``off`` disable)."""
+    return os.environ.get("REPRO_TRANSVAL", "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+def transval_stats() -> Dict[str, int]:
+    """A snapshot of this process's validation counters."""
+    return dict(_TRANSVAL_STATS)
+
+
+def reset_transval_stats() -> None:
+    for key in _TRANSVAL_STATS:
+        _TRANSVAL_STATS[key] = 0
+    _TRANSVAL_MEMO.clear()
+
+
+def validate_placement(
+    source: Module, transformed: Module
+) -> Optional[bool]:
+    """Infer (memoized) the simulation relation for one module pair and
+    record the verdict; None when the pair is out of the validator's
+    fragment (e.g. recursion)."""
+    key = (id(source), id(transformed))
+    entry = _TRANSVAL_MEMO.get(key)
+    if entry is not None and entry[0] is source and entry[1] is transformed:
+        _TRANSVAL_STATS["memo_hits"] += 1
+        return entry[2]
+    from repro.analysis.simrel import infer_simulation
+
+    _TRANSVAL_STATS["validated"] += 1
+    verdict: Optional[bool]
+    try:
+        verdict = infer_simulation(source, transformed).refines
+    except ReproError:
+        _TRANSVAL_STATS["skipped"] += 1
+        verdict = None
+    else:
+        _TRANSVAL_STATS["certified" if verdict else "violations"] += 1
+    if len(_TRANSVAL_MEMO) >= _TRANSVAL_MEMO_CAP:
+        _TRANSVAL_MEMO.pop(next(iter(_TRANSVAL_MEMO)))
+    _TRANSVAL_MEMO[key] = (source, transformed, verdict)
+    return verdict
+
+
 def run_against_reference(
     transformed: Module,
     reference: Module,
@@ -92,6 +169,8 @@ def run_against_reference(
     intermittent run (the testkit's ``--compiled`` axis re-runs cells on
     the slower loops to cross-check the compiled one).
     """
+    if transval_enabled() and transformed is not reference:
+        validate_placement(reference, transformed)
     if reference_report is None:
         reference_report = run_continuous(
             reference, model, inputs=inputs, max_instructions=max_instructions

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.baselines import COMPILERS, CompiledTechnique
+from repro.core import verify
 from repro.core.tracing import Profile, collect_profile
 from repro.emulator import run_continuous, run_intermittent
 from repro.emulator.diffemu import (
@@ -288,6 +289,13 @@ class EvaluationContext:
                 else:
                     compiled = compiler(bench.module, platform)
                 self._cache_put("compiled", parts, compiled)
+            if compiled.feasible and verify.transval_enabled():
+                # Silent translation validation of every placement that
+                # enters the evaluation (counted in the run_all manifest;
+                # REPRO_TRANSVAL=0 disables). Never changes any report.
+                verify.validate_placement(
+                    self.benchmark(benchmark).module, compiled.module
+                )
             self._compiled[key] = compiled
         return self._compiled[key]
 

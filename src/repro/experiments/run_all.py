@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.core import verify as core_verify
 from repro.experiments import common, engine
 from repro.experiments import (
     ablations,
@@ -186,6 +187,10 @@ def build_manifest(
         "diff_emulation": {
             "enabled": ctx.diff_emulation,
             **ctx.diffemu_stats.as_dict(),
+        },
+        "transval": {
+            "enabled": core_verify.transval_enabled(),
+            **core_verify.transval_stats(),
         },
         "trace": (
             {key: str(path) for key, path in trace_paths.items()}

@@ -17,6 +17,11 @@ Certifies a transformed module *without executing it*:
   memory-consistency certification (the CONS rule family): the
   Surbatovich-style correctness conditions checked against each
   technique's semantic model (:mod:`.techmodel`), with per-region proof
+  certificates;
+- :mod:`repro.staticcheck.transval` — translation validation (the TV
+  rule family): every placed module is certified as a refinement of its
+  source via an inferred simulation relation
+  (:mod:`repro.analysis.simrel`), with per-(function, block-pair) proof
   certificates.
 
 Findings are classified by the rule catalog (:mod:`.rules`), carry
@@ -38,8 +43,10 @@ from repro.staticcheck.findings import (
     Finding,
     Location,
     Severity,
+    merge_findings,
     sarif_document,
 )
+from repro.staticcheck.transval import check_translation, validate_translation
 from repro.staticcheck.rules import (
     RULES,
     RULE_SCHEMA_VERSION,
@@ -86,4 +93,7 @@ __all__ = [
     "certify_energy",
     "analyze_bounds",
     "check_bounds",
+    "check_translation",
+    "validate_translation",
+    "merge_findings",
 ]

@@ -19,6 +19,14 @@ Examples::
     # Machine-check the memory-consistency conditions too, as SARIF:
     python -m repro.staticcheck --consistency --format sarif
 
+    # Every rule family (WAR, energy, bounds, consistency, translation
+    # validation) in one invocation, one merged SARIF report:
+    python -m repro.staticcheck --all --format sarif
+
+    # Validate one transformed IR file as a refinement of its source
+    # (the TV rule family only):
+    python -m repro.staticcheck --transval src.ir placed.ir
+
     # Show the rule catalog:
     python -m repro.staticcheck --list-rules
 
@@ -59,8 +67,14 @@ from repro.errors import ReproError
 from repro.programs import BENCHMARK_NAMES
 from repro.runner.cache import ArtifactCache
 from repro.staticcheck.checker import CheckReport, check_bounds, check_compiled
-from repro.staticcheck.findings import Finding, Severity, sarif_document
+from repro.staticcheck.findings import (
+    Finding,
+    Severity,
+    merge_findings,
+    sarif_document,
+)
 from repro.staticcheck.rules import RuleConfig, get_rule, render_catalog
+from repro.staticcheck.transval import check_translation
 from repro.testkit.corpus import (
     WAIT_MODE_TECHNIQUES,
     available_programs,
@@ -117,6 +131,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also machine-check the memory-consistency "
                         "conditions (CONS rules) against each technique's "
                         "semantic model and attach the proof certificate")
+    parser.add_argument("--all", action="store_true", dest="all_families",
+                        help="run every rule family (WAR, energy, bounds, "
+                        "consistency, translation validation) in one "
+                        "invocation with one merged, stably-ordered report")
+    parser.add_argument("--transval", nargs=2, metavar=("SRC", "XFORMED"),
+                        default=None,
+                        help="validate the transformed IR file XFORMED as a "
+                        "refinement of the source IR file SRC (TV rules "
+                        "only); --programs/--techniques are ignored")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the content-addressed report cache")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -183,19 +206,84 @@ def _check_pair(
         broken, site = strip_checkpoint(compiled.module)
         compiled.module = broken
         compiled.extra["sabotaged_checkpoint"] = site
+    config = _configure(technique, args.suppress, args.consistency)
     report = check_compiled(
         compiled,
         platform,
-        config=_configure(technique, args.suppress, args.consistency),
+        config=config,
         consistency=args.consistency,
         cache=cache,
     )
+    if args.all_families:
+        # One merged report across every family: the per-module rules
+        # above plus translation validation of the placement itself.
+        # merge_findings is the single normalization point (suppression
+        # strictly before severity overrides), so the merge cannot
+        # resurrect a suppressed finding.
+        tv = check_translation(
+            bench.module, compiled.module,
+            config, technique=technique, cache=cache,
+        )
+        report = CheckReport(
+            findings=merge_findings([report.findings, tv.findings]),
+            stats=dict(report.stats),
+        )
+        report.stats["analyses"] = (
+            list(report.stats["analyses"]) + ["transval"]
+        )
+        report.stats["transval"] = tv.stats["transval"]
+        report.stats["transval_certificate"] = tv.stats["certificate"]
     report.stats["program"] = program
     if args.sabotage:
         report.stats["sabotaged_checkpoint"] = (
             f"ckpt{compiled.extra['sabotaged_checkpoint'].ckpt_id}"
         )
     return report
+
+
+def _run_transval(
+    args: argparse.Namespace,
+    threshold: Severity,
+    cache: Optional[ArtifactCache],
+) -> int:
+    """--transval SRC XFORMED mode: certify one module pair from disk."""
+    from repro.ir.textparser import parse_ir
+
+    for rule_id in args.suppress:
+        get_rule(rule_id)  # raises with the valid choices
+    config = RuleConfig(suppressed=frozenset(args.suppress))
+    src_path, xformed_path = args.transval
+    with open(src_path, "r", encoding="utf-8") as handle:
+        source = parse_ir(handle.read())
+    with open(xformed_path, "r", encoding="utf-8") as handle:
+        transformed = parse_ir(handle.read())
+    report = check_translation(source, transformed, config, cache=cache)
+    gated = not report.ok(threshold)
+    verdict = "FAILED" if gated else "certified"
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "json":
+        doc = report.to_json()
+        doc["source"] = src_path
+        doc["transformed"] = xformed_path
+        doc["verdict"] = verdict
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    elif fmt == "sarif":
+        triples = [
+            (src_path, "transval", finding) for finding in report.findings
+        ]
+        json.dump(sarif_document(triples), sys.stdout, indent=2)
+        print()
+    else:
+        summary = report.stats["transval"]
+        print(f"transval {src_path} ~ {xformed_path}: {verdict} "
+              f"({summary['discharged']}/{summary['obligations']} "
+              "obligations discharged)")
+        body = report.render()
+        print("  " + body.replace("\n", "\n  "))
+    if cache is not None:
+        print(cache.stats_line(), file=sys.stderr)
+    return 1 if gated else 0
 
 
 def _run_bounds(args: argparse.Namespace, threshold: Severity) -> int:
@@ -237,8 +325,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     fmt = args.format or ("json" if args.json else "text")
     args.json = fmt == "json"
     cache = None if args.no_cache else ArtifactCache.default(args.cache_dir)
+    if args.all_families:
+        args.consistency = True
     try:
         threshold = Severity.parse(args.fail_on)
+        if args.transval is not None:
+            return _run_transval(args, threshold, cache)
         if args.bounds:
             return _run_bounds(args, threshold)
         programs = _expand_programs(args.programs)
@@ -293,8 +385,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if cache is not None:
             print(cache.stats_line(), file=sys.stderr)
         return 1 if failures else 0
-    except (KeyError, ValueError) as exc:
-        message = exc.args[0] if exc.args else exc
+    except (KeyError, ValueError, OSError) as exc:
+        if isinstance(exc, OSError):
+            message: object = str(exc)
+        else:
+            message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
     except ReproError as exc:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.baselines import CompiledTechnique
 from repro.emulator.runtime import CheckpointPolicy
 from repro.energy.model import EnergyModel
@@ -47,7 +48,7 @@ from repro.staticcheck.common import (
 from repro.runner.cache import ArtifactCache
 from repro.staticcheck.consistency import certify_consistency
 from repro.staticcheck.energy import certify_energy
-from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.findings import Finding, Severity, merge_findings
 from repro.staticcheck.rules import RULE_SCHEMA_VERSION, RuleConfig
 from repro.staticcheck.techmodel import model_for
 from repro.staticcheck.war import analyze_war
@@ -152,16 +153,20 @@ def check_module(
         if isinstance(inst, CHECKPOINT_KINDS)
     )
 
-    check_checkpoint_metadata(module, sink, vm_size=vm_size)
-    analyze_war(
-        module, sink,
-        policy_may_skip=policy_may_skip, default_space=default_space,
-    )
-    analyze_residency(
-        module, sink,
-        policy_may_skip=policy_may_skip, default_space=default_space,
-    )
-    ranges = analyze_bounds(module, sink)
+    with telemetry.span("staticcheck.family", family="metadata"):
+        check_checkpoint_metadata(module, sink, vm_size=vm_size)
+    with telemetry.span("staticcheck.family", family="war"):
+        analyze_war(
+            module, sink,
+            policy_may_skip=policy_may_skip, default_space=default_space,
+        )
+    with telemetry.span("staticcheck.family", family="residency"):
+        analyze_residency(
+            module, sink,
+            policy_may_skip=policy_may_skip, default_space=default_space,
+        )
+    with telemetry.span("staticcheck.family", family="bounds"):
+        ranges = analyze_bounds(module, sink)
 
     stats: Dict[str, object] = {
         "functions": len(module.functions),
@@ -169,32 +174,29 @@ def check_module(
         "analyses": ["metadata", "war", "residency", "bounds"],
     }
     if consistency:
-        certificate = certify_consistency(
-            module,
-            model_for(technique, policy),
-            sink,
-            policy_may_skip=policy_may_skip,
-            default_space=default_space,
-        )
+        with telemetry.span("staticcheck.family", family="consistency"):
+            certificate = certify_consistency(
+                module,
+                model_for(technique, policy),
+                sink,
+                policy_may_skip=policy_may_skip,
+                default_space=default_space,
+            )
         stats["analyses"].append("consistency")
         stats["consistency"] = certificate.summary()
         stats["certificate"] = certificate.to_json()
     if wait_mode and model is not None and eb is not None:
-        certifier = certify_energy(
-            module, model, eb, sink,
-            inferred_bounds=infer_module_bounds(module, ranges),
-        )
+        with telemetry.span("staticcheck.family", family="energy"):
+            certifier = certify_energy(
+                module, model, eb, sink,
+                inferred_bounds=infer_module_bounds(module, ranges),
+            )
         stats["analyses"].append("energy")
         stats["worst_window_nj"] = round(certifier.worst_window, 3)
         stats["eb_nj"] = eb
 
     raw = _subsume_war(sink.findings) if consistency else sink.findings
-    findings = []
-    for finding in raw:
-        kept = config.apply(finding)
-        if kept is not None:
-            findings.append(kept)
-    findings.sort(key=Finding.sort_key)
+    findings = merge_findings([raw], config)
     return CheckReport(findings=findings, stats=stats)
 
 
@@ -291,12 +293,7 @@ def check_bounds(
         len(fr.nest.loops) for fr in ranges.functions.values() if fr.nest
     )
     proven = sum(len(fr.trip_bounds) for fr in ranges.functions.values())
-    findings = []
-    for finding in sink.findings:
-        kept = config.apply(finding)
-        if kept is not None:
-            findings.append(kept)
-    findings.sort(key=Finding.sort_key)
+    findings = merge_findings([sink.findings], config)
     return CheckReport(
         findings=findings,
         stats={

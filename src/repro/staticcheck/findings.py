@@ -91,6 +91,43 @@ class Finding:
         return (-int(self.severity), self.location.sort_key(), self.rule_id)
 
 
+def merge_findings(
+    groups: Iterable[Iterable["Finding"]],
+    config: Optional[object] = None,
+) -> List["Finding"]:
+    """Merge findings from several rule families into one stably-ordered
+    list (most severe first, then source order).
+
+    When ``config`` (a :class:`repro.staticcheck.rules.RuleConfig`, duck-
+    typed here to avoid the import cycle) is given, it is re-applied to
+    the merged list with **suppression decided strictly before severity
+    overrides**. The order matters: an override applied first would
+    rebuild the finding as a new object whose severity no longer matches
+    the suppression decision taken per-family, resurrecting findings the
+    configuration dropped. Every merged path must normalize through this
+    helper rather than re-implementing the two steps.
+    """
+    merged: List[Finding] = []
+    suppressed = getattr(config, "suppressed", frozenset())
+    overrides = getattr(config, "severity_overrides", {})
+    for group in groups:
+        for finding in group:
+            if finding.rule_id in suppressed:
+                continue
+            override = overrides.get(finding.rule_id)
+            if override is not None and override != finding.severity:
+                finding = Finding(
+                    rule_id=finding.rule_id,
+                    severity=override,
+                    location=finding.location,
+                    message=finding.message,
+                    details=finding.details,
+                )
+            merged.append(finding)
+    merged.sort(key=Finding.sort_key)
+    return merged
+
+
 # -- SARIF 2.1.0 export ---------------------------------------------------
 
 _SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"

@@ -188,6 +188,47 @@ _RULES: List[Rule] = [
         "variable that is not supposed to be VM-resident), or its "
         "save_vars includes a variable that cannot be VM-resident.",
     ),
+    Rule(
+        "TV001",
+        "unmatched observable effect",
+        Severity.ERROR,
+        "Translation validation could not match an observable effect "
+        "(a store to corresponding memory, a volatile-input sample, a "
+        "call, or observable control flow) between a matched source/"
+        "transformed block pair: the transformed module drops, adds or "
+        "changes behaviour a continuously powered run can observe, so "
+        "it is not a refinement of its source.",
+    ),
+    Rule(
+        "TV002",
+        "observable-order divergence",
+        Severity.ERROR,
+        "A matched block pair performs the same observable effects in "
+        "a different order. Reordered stores or samples change the "
+        "states a power failure can expose (and, with intervening "
+        "reads, the final memory state), so the inferred simulation "
+        "relation does not hold.",
+    ),
+    Rule(
+        "TV003",
+        "variable-correspondence violation",
+        Severity.ERROR,
+        "The inferred variable correspondence between source and "
+        "transformed module is violated: a private (transformed-only) "
+        "value leaks into an observable effect, a privatized local is "
+        "live across basic blocks or escapes by reference, or matched "
+        "register state diverges at a block exit.",
+    ),
+    Rule(
+        "TV004",
+        "checkpoint at a non-cut point",
+        Severity.ERROR,
+        "A checkpoint was inserted where the simulation relation "
+        "cannot be closed: the block matching cannot align the "
+        "checkpoint-carrying control flow with the source CFG (e.g. an "
+        "edge-split checkpoint block that is not transparent, or a "
+        "checkpoint-only cycle).",
+    ),
 ]
 
 RULES: Dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}
@@ -197,7 +238,7 @@ RULES: Dict[str, Rule] = {rule.rule_id: rule for rule in _RULES}
 #: changing a rule invalidates cached reports, and stamped into SARIF
 #: output. Bump whenever a rule's semantics, id set, message format or
 #: the certificate layout changes.
-RULE_SCHEMA_VERSION = 2
+RULE_SCHEMA_VERSION = 3
 
 
 def get_rule(rule_id: str) -> Rule:

@@ -1,0 +1,230 @@
+"""Translation validation: certify a placed module as a refinement of
+its source (TV rules).
+
+:func:`validate_translation` runs the simulation-relation inference of
+:mod:`repro.analysis.simrel` over a (source, transformed) module pair —
+product-graph block matching with checkpoint erasure, an inferred
+variable correspondence and symbolic straight-line discharge — and turns
+every failed obligation into a finding:
+
+- **TV001** — an observable effect (store to corresponding memory,
+  volatile-input sample, call, observable control flow) of one side has
+  no counterpart on the other, or its value diverges.
+- **TV002** — a matched block pair performs the same observable effects
+  in a different order.
+- **TV003** — the variable correspondence is violated: a private value
+  leaks into an observable effect, a privatized local is live across
+  blocks, or matched register state diverges at a block exit.
+- **TV004** — a checkpoint sits where the simulation relation cannot be
+  closed (non-transparent edge-split block, checkpoint-only cycle,
+  checkpoint-carrying control flow that cannot be aligned).
+
+Like the consistency certifier, a clean run is a checkable artifact: the
+:class:`~repro.staticcheck.consistency.Certificate` carries one proof
+obligation per (function, block pair) with the discharged facts, and
+:func:`check_translation` attaches it to the report's
+``stats["certificate"]``. Reports are served from the content-addressed
+artifact cache keyed on **both** modules' printed text plus the rule
+schema version, so editing either side invalidates exactly the affected
+entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import telemetry
+from repro.analysis.simrel import (
+    KIND_STRUCTURE,
+    ModuleRelation,
+    PairOutcome,
+    infer_simulation,
+)
+from repro.ir.module import Module
+from repro.runner.cache import ArtifactCache
+from repro.staticcheck.checker import CheckReport
+from repro.staticcheck.common import FindingSink
+from repro.staticcheck.consistency import Certificate
+from repro.staticcheck.findings import (
+    Finding,
+    Location,
+    merge_findings,
+)
+from repro.staticcheck.rules import RULE_SCHEMA_VERSION, RULES, RuleConfig
+
+#: Mismatch kind -> rule id (structural failures escalate to TV004 only
+#: when a checkpoint is involved — a plain CFG divergence is TV001).
+_KIND_RULES: Dict[str, str] = {
+    "effect": "TV001",
+    "order": "TV002",
+    "correspondence": "TV003",
+    "structure": "TV004",
+}
+
+
+def rule_for(pair: PairOutcome) -> str:
+    """The TV rule a violated pair outcome falls under."""
+    assert pair.kind is not None
+    if pair.kind == KIND_STRUCTURE and not pair.checkpoint_involved:
+        return "TV001"
+    return _KIND_RULES[pair.kind]
+
+
+def _pair_message(pair: PairOutcome, rule_id: str) -> str:
+    anchor = (
+        f"block pair .{pair.source_block or '?'} ~ "
+        f".{pair.transformed_block or '?'}"
+    )
+    parts = [f"{pair.detail} ({anchor}"]
+    if pair.source_event is not None:
+        parts.append(f"; source: {pair.source_event}")
+    if pair.transformed_event is not None:
+        parts.append(f"; transformed: {pair.transformed_event}")
+    parts.append(")")
+    return "".join(parts)
+
+
+def validate_translation(
+    source: Module,
+    transformed: Module,
+    sink: FindingSink,
+    *,
+    technique: Optional[str] = None,
+    relation: Optional[ModuleRelation] = None,
+) -> Certificate:
+    """Validate ``transformed`` as a refinement of ``source``.
+
+    Emits TV findings into ``sink`` and returns the proof certificate:
+    one obligation per (function, block pair), ``discharged`` when the
+    pair's observable behaviour matched, ``violated`` otherwise.
+    ``relation`` accepts a precomputed simulation relation so callers
+    that need the relation themselves do not infer it twice.
+    """
+    if relation is None:
+        relation = infer_simulation(source, transformed)
+    cert = Certificate(
+        technique=technique or "transval", module=transformed.name
+    )
+    for name in relation.missing_functions:
+        finding = Finding(
+            rule_id="TV001",
+            severity=RULES["TV001"].default_severity,
+            location=Location(function=name),
+            message=(
+                f"function @{name} exists in the source module but not "
+                "in the transformed module: its observable behaviour "
+                "has no counterpart"
+            ),
+            details={"function": name, "missing": True},
+        )
+        sink.add(finding)
+        cert.add(
+            "TV001", name, "violated",
+            {"missing_function": name},
+        )
+    for name, rel in relation.functions.items():
+        for pair in rel.pairs:
+            anchor = (
+                f"{name}:.{pair.source_block or '?'}~"
+                f".{pair.transformed_block or '?'}"
+            )
+            if pair.discharged:
+                cert.add("TV001", name, "discharged", pair.facts(), anchor)
+                continue
+            rule_id = rule_for(pair)
+            cert.add(rule_id, name, "violated", pair.facts(), anchor)
+            sink.add(Finding(
+                rule_id=rule_id,
+                severity=RULES[rule_id].default_severity,
+                location=Location(
+                    function=name,
+                    block=pair.transformed_block or None,
+                    index=pair.at,
+                ),
+                message=_pair_message(pair, rule_id),
+                details=pair.facts(),
+            ))
+    return cert
+
+
+def _translation_cache_key(
+    source: Module,
+    transformed: Module,
+    technique: Optional[str],
+    config: RuleConfig,
+) -> str:
+    """Content-addressed key over *both* modules' printed text, the rule
+    schema version and the rule configuration."""
+    from repro.ir.printer import print_module
+
+    return ArtifactCache.key(
+        "transval-report",
+        RULE_SCHEMA_VERSION,
+        ArtifactCache.text_fingerprint(print_module(source)),
+        ArtifactCache.text_fingerprint(print_module(transformed)),
+        technique or "",
+        {
+            "suppressed": sorted(config.suppressed),
+            "overrides": {
+                rule_id: int(sev)
+                for rule_id, sev in sorted(config.severity_overrides.items())
+            },
+        },
+    )
+
+
+def check_translation(
+    source: Module,
+    transformed: Module,
+    config: Optional[RuleConfig] = None,
+    *,
+    technique: Optional[str] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> CheckReport:
+    """Run only the translation-validation rules over a module pair.
+
+    The report's ``stats["certificate"]`` holds the per-(function,
+    block-pair) proof certificate; ``stats["transval"]`` its summary.
+    With ``cache``, the whole report is served content-addressed.
+    """
+    config = config or RuleConfig()
+    key = None
+    if cache is not None:
+        key = _translation_cache_key(source, transformed, technique, config)
+        hit = cache.get("staticcheck", key)
+        if isinstance(hit, CheckReport):
+            return hit
+    sink = FindingSink()
+    with telemetry.span("staticcheck.family", family="transval"):
+        relation = infer_simulation(source, transformed)
+        cert = validate_translation(
+            source, transformed, sink,
+            technique=technique, relation=relation,
+        )
+    corr = relation.correspondence
+    report = CheckReport(
+        findings=merge_findings([sink.findings], config),
+        stats={
+            "analyses": ["transval"],
+            "functions": len(relation.functions),
+            "matched_pairs": sum(
+                len(rel.pairs) for rel in relation.functions.values()
+            ),
+            "erased_checkpoints": sum(
+                rel.erased_checkpoints
+                for rel in relation.functions.values()
+            ),
+            "private_variables": len(corr.private),
+            "renamed_variables": sum(
+                1 for t, s in corr.to_source.items() if t != s
+            ),
+            "certified_functions": sum(
+                1 for rel in relation.functions.values() if rel.certified
+            ),
+            "transval": cert.summary(),
+            "certificate": cert.to_json(),
+        },
+    )
+    if cache is not None and key is not None:
+        cache.put("staticcheck", key, report)
+    return report

@@ -127,6 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       "pre-decoded and undecoded interpreter loops and "
                       "convict any divergence from the compiled loop "
                       "(triples the grid)")
+    diff.add_argument("--transval", action="store_true",
+                      dest="transval_check",
+                      help="statically certify every feasible placement "
+                      "in the grid as a refinement of its source "
+                      "(translation validation) and convict any TV "
+                      "finding")
     diff.add_argument("--no-shrink", action="store_true")
     diff.add_argument("--jobs", default="1", metavar="N|auto",
                       help="worker processes (one per program)")
@@ -232,6 +238,7 @@ def _run(args: argparse.Namespace, started: float) -> int:
             jobs=resolve_jobs(args.jobs),
             diff_emulation=args.diff_emulation,
             compiled_check=args.compiled_check,
+            transval_check=args.transval_check,
         )
         print(result.render())
         print(f"({time.time() - started:.1f}s)")

@@ -101,6 +101,9 @@ class DiffResult:
     #: Compiled-vs-predecoded-vs-undecoded triples checked
     #: (``compiled_check=True``).
     compiled_cells: int = 0
+    #: (program, technique, TBPF) placements statically certified as
+    #: refinements of their source (``transval_check=True``).
+    transval_cells: int = 0
 
     @property
     def violations(self) -> List[OracleVerdict]:
@@ -132,6 +135,10 @@ class DiffResult:
             lines.append(
                 "  compiled-loop triples: "
                 f"{self.compiled_cells} (compiled/predecoded/undecoded)"
+            )
+        if self.transval_cells:
+            lines.append(
+                f"  translation-validated placements: {self.transval_cells}"
             )
         for outcome, count in sorted(counts.items()):
             lines.append(f"  {outcome}: {count}")
@@ -181,6 +188,7 @@ def run_differential(
     jobs: int = 1,
     diff_emulation: bool = False,
     compiled_check: bool = False,
+    transval_check: bool = False,
 ) -> DiffResult:
     """Run the full grid; see the module docstring for the oracle.
 
@@ -194,7 +202,13 @@ def run_differential(
 
     ``compiled_check=True`` re-runs every non-crashed cell on the
     pre-decoded and undecoded interpreter loops and convicts any
-    divergence from the compiled-loop report (triples the grid)."""
+    divergence from the compiled-loop report (triples the grid).
+
+    ``transval_check=True`` additionally certifies every feasible
+    (program, technique, TBPF) placement *statically* as a refinement of
+    its source (:mod:`repro.staticcheck.transval`) and convicts any TV
+    finding — the static validator cross-checked against the same grid
+    the dynamic oracle judges."""
     programs = list(programs if programs is not None else BENCHMARK_NAMES)
     result = DiffResult(
         programs=programs,
@@ -208,7 +222,7 @@ def run_differential(
             initializer=_init_diff_worker,
             initargs=(list(techniques), list(tbpf_values), list(modes),
                       seed, max_instructions, shrink, diff_emulation,
-                      compiled_check),
+                      compiled_check, transval_check),
         )
     else:
         partials = [
@@ -217,6 +231,7 @@ def run_differential(
                 max_instructions, shrink, progress,
                 diff_emulation=diff_emulation,
                 compiled_check=compiled_check,
+                transval_check=transval_check,
             )
             for program in programs
         ]
@@ -226,6 +241,7 @@ def run_differential(
         result.runs += partial.runs
         result.diffemu_cells += partial.diffemu_cells
         result.compiled_cells += partial.compiled_cells
+        result.transval_cells += partial.transval_cells
         for kind, count in partial.diffemu_kinds.items():
             result.diffemu_kinds[kind] = (
                 result.diffemu_kinds.get(kind, 0) + count
@@ -238,20 +254,20 @@ _DIFF_STATE: Optional[Tuple] = None
 
 def _init_diff_worker(
     techniques, tbpf_values, modes, seed, max_instructions, shrink,
-    diff_emulation=False, compiled_check=False,
+    diff_emulation=False, compiled_check=False, transval_check=False,
 ) -> None:
     global _DIFF_STATE
     _DIFF_STATE = (techniques, tbpf_values, modes, seed, max_instructions,
-                   shrink, diff_emulation, compiled_check)
+                   shrink, diff_emulation, compiled_check, transval_check)
 
 
 def _diff_one_program(program: str) -> DiffResult:
     (techniques, tbpf_values, modes, seed, max_instructions, shrink,
-     diff_emulation, compiled_check) = _DIFF_STATE
+     diff_emulation, compiled_check, transval_check) = _DIFF_STATE
     return _run_program(
         program, techniques, tbpf_values, modes, seed, max_instructions,
         shrink, progress=None, diff_emulation=diff_emulation,
-        compiled_check=compiled_check,
+        compiled_check=compiled_check, transval_check=transval_check,
     )
 
 
@@ -266,6 +282,7 @@ def _run_program(
     progress: Optional[Callable[[str], None]],
     diff_emulation: bool = False,
     compiled_check: bool = False,
+    transval_check: bool = False,
 ) -> DiffResult:
     """One program's technique x TBPF x mode block as a partial result."""
     result = DiffResult(
@@ -292,6 +309,27 @@ def _run_program(
                 technique, bench.module, plat,
                 input_generator=bench.input_generator(),
             )
+        if transval_check:
+            from repro.staticcheck.transval import check_translation
+
+            # Static leg of the cross-check: every feasible placement in
+            # this TBPF column must certify as a refinement of its
+            # source; a TV finding convicts the placement exactly like a
+            # cross-technique disagreement.
+            for technique in techniques:
+                comp = compiled[technique]
+                if not comp.feasible:
+                    continue
+                tv = check_translation(
+                    bench.module, comp.module, technique=technique,
+                )
+                result.transval_cells += 1
+                for finding in tv.findings:
+                    result.disagreements.append(
+                        f"{program}/{technique} tbpf={tbpf}: translation "
+                        f"validation convicts the placement: "
+                        f"{finding.render()}"
+                    )
         # One snapshot tape per technique column, shared by every power
         # mode of this TBPF (recorded lazily on first eligible cell).
         tapes: Dict[str, object] = {}

@@ -24,6 +24,21 @@ The memory-consistency battery extends the idea to the CONS rule family
 All three follow :func:`strip_checkpoint`'s candidate-order + validate
 idiom, so callers pick victims that are *interesting* (statically
 convictable and dynamically latent) rather than trivially broken.
+
+The translation-validation battery extends it again, to the TV rule
+family (:mod:`repro.staticcheck.transval`) — each generator re-creates a
+*transform* bug (a placement pass that changed continuous-power
+semantics while inserting checkpoints), so the sabotaged module both
+fails the static refinement proof and diverges from the reference even
+on the guarantee schedule:
+
+- :func:`reorder_observable_store` moves a store past a dependent load
+  and a later observable effect (TV002 — same effects, wrong order);
+- :func:`leak_privatized_local` privatizes one block's accesses to a
+  global into an unsynchronized function-local copy (TV003 — the
+  correspondence is violated, the private value leaks);
+- :func:`drop_store` deletes a store outright, as if checkpoint motion
+  swallowed it (TV001 — a source effect with no counterpart).
 """
 
 from __future__ import annotations
@@ -41,7 +56,7 @@ from repro.ir.instructions import (
     Store,
 )
 from repro.ir.module import Module
-from repro.ir.values import Const, MemorySpace, Register
+from repro.ir.values import Const, MemorySpace, Register, Variable
 
 
 @dataclass
@@ -318,3 +333,208 @@ def dirty_nv_write(
                 return broken, f"{site[0]}/.{site[1]}[{site[2]}]@{site[3]}"
     site = candidates[0]
     return break_at(site), f"{site[0]}/.{site[1]}[{site[2]}]@{site[3]}"
+
+
+# -- translation-validation battery ----------------------------------------
+
+
+def _observable_scalar(var, module: Module) -> bool:
+    """A store/load target whose accesses are observable effects for the
+    translation validator: a non-const, non-ref global scalar."""
+    return (
+        var.name in module.globals
+        and not var.is_array
+        and not var.is_ref
+        and not var.is_const
+        and not var.volatile_input
+    )
+
+
+def _redefines(inst, reg) -> bool:
+    return isinstance(reg, Register) and reg in getattr(inst, "defs", list)()
+
+
+def reorder_observable_store(
+    module: Module,
+    validate: Optional[Callable[[Module], bool]] = None,
+) -> Tuple[Module, str]:
+    """Return a clone with one observable store moved later in its block,
+    past a dependent load and past another observable effect.
+
+    This is the transform bug a store-motion pass with a broken
+    dependence check would produce: the moved store still happens, with
+    the same value, but (a) an intervening load of the same variable now
+    observes the *old* value — the continuous-power outputs change, so
+    the dynamic oracle convicts on any schedule — and (b) the block's
+    observable effects occur in a different order than the source's, so
+    translation validation convicts the pair as TV002.
+    """
+    candidates: List[Tuple[str, str, int, int, str]] = []
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            insts = block.instructions
+            for i, first in enumerate(insts):
+                if not isinstance(first, Store) or first.index is not None:
+                    continue
+                if not _observable_scalar(first.var, module):
+                    continue
+                saw_load = None
+                for k in range(i + 1, len(insts)):
+                    inst = insts[k]
+                    # The motion must not change the moved store's value.
+                    if _redefines(inst, first.value):
+                        break
+                    if (
+                        isinstance(inst, Load)
+                        and inst.var.name == first.var.name
+                        and inst.index is None
+                    ):
+                        saw_load = k
+                        continue
+                    if isinstance(inst, Store) and inst.var.name == first.var.name:
+                        break  # a second store to @X would change the multiset
+                    if (
+                        saw_load is not None
+                        and isinstance(inst, Store)
+                        and _observable_scalar(inst.var, module)
+                    ):
+                        candidates.append(
+                            (func.name, block.label, i, k, first.var.name)
+                        )
+                        break
+
+    if not candidates:
+        raise ValueError(
+            "module has no store/dependent-load/store pattern to reorder"
+        )
+
+    def break_at(site: Tuple[str, str, int, int, str]) -> Module:
+        fname, label, i, k, _name = site
+        broken = module.clone()
+        insts = broken.functions[fname].blocks[label].instructions
+        moved = insts.pop(i)
+        insts.insert(k, moved)  # after the k-th instruction, post-pop
+        return broken
+
+    def describe(site: Tuple[str, str, int, int, str]) -> str:
+        fname, label, i, k, name = site
+        return f"{fname}/.{label}: store @{name} moved from [{i}] past [{k}]"
+
+    if validate is not None:
+        for site in candidates:
+            broken = break_at(site)
+            if validate(broken):
+                return broken, describe(site)
+    return break_at(candidates[0]), describe(candidates[0])
+
+
+def leak_privatized_local(
+    module: Module,
+    validate: Optional[Callable[[Module], bool]] = None,
+) -> Tuple[Module, str]:
+    """Return a clone where one block's accesses to a global scalar are
+    redirected to a fresh, never-synchronized function-local copy.
+
+    This is the bug a privatization/renaming pass would plant by
+    forgetting both the init-copy and the writeback: the block reads the
+    private copy (zero, not the global's live value) and its stores never
+    reach the global. Translation validation convicts the variable
+    correspondence (TV003 — the private value leaks into observable
+    effects / the privatized local's stores vanish), and the continuous
+    outputs change, so the dynamic oracle convicts on any schedule.
+    """
+    candidates: List[Tuple[str, str, str]] = []
+    seen = set()
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if not isinstance(inst, Load) or inst.index is not None:
+                    continue
+                if not _observable_scalar(inst.var, module):
+                    continue
+                key = (func.name, block.label, inst.var.name)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(key)
+    if not candidates:
+        raise ValueError("module has no global scalar load to privatize")
+
+    def break_at(site: Tuple[str, str, str]) -> Module:
+        fname, label, name = site
+        broken = module.clone()
+        func = broken.functions[fname]
+        source = broken.globals[name]
+        priv = Variable(
+            name=f"{fname}.{name}__priv",
+            type=source.type,
+            count=source.count,
+        )
+        func.add_variable(priv, bare_name=f"{name}__priv")
+        for inst in func.blocks[label].instructions:
+            if isinstance(inst, (Load, Store)) and inst.var.name == name:
+                inst.var = priv
+                # A local copy in NVM keeps residency rules out of the
+                # picture — the leak is purely a correspondence bug.
+                inst.space = MemorySpace.NVM
+        return broken
+
+    def describe(site: Tuple[str, str, str]) -> str:
+        fname, label, name = site
+        return f"{fname}/.{label}: @{name} privatized without writeback"
+
+    if validate is not None:
+        for site in candidates:
+            broken = break_at(site)
+            if validate(broken):
+                return broken, describe(site)
+    return break_at(candidates[0]), describe(candidates[0])
+
+
+def drop_store(
+    module: Module,
+    validate: Optional[Callable[[Module], bool]] = None,
+) -> Tuple[Module, str]:
+    """Return a clone with one observable store deleted outright — the
+    bug checkpoint motion would plant by hoisting a checkpoint over a
+    store and dropping the store on the way.
+
+    Candidates that share a block with a checkpoint are tried first (the
+    checkpoint-motion shape proper); translation validation convicts the
+    vanished effect as TV001, and the final NVM state misses the store,
+    so the dynamic oracle convicts on any completed schedule.
+    """
+    near_ckpt: List[Tuple[str, str, int, str]] = []
+    rest: List[Tuple[str, str, int, str]] = []
+    for func in module.functions.values():
+        for block in func.blocks.values():
+            has_ckpt = any(
+                isinstance(inst, (Checkpoint, CondCheckpoint))
+                for inst in block.instructions
+            )
+            for index, inst in enumerate(block.instructions):
+                if not isinstance(inst, Store) or inst.index is not None:
+                    continue
+                if not _observable_scalar(inst.var, module):
+                    continue
+                site = (func.name, block.label, index, inst.var.name)
+                (near_ckpt if has_ckpt else rest).append(site)
+    candidates = near_ckpt + rest
+    if not candidates:
+        raise ValueError("module has no observable store to drop")
+
+    def break_at(site: Tuple[str, str, int, str]) -> Module:
+        fname, label, index, _name = site
+        broken = module.clone()
+        del broken.functions[fname].blocks[label].instructions[index]
+        return broken
+
+    def describe(site: Tuple[str, str, int, str]) -> str:
+        fname, label, index, name = site
+        return f"{fname}/.{label}[{index}]: store @{name} dropped"
+
+    if validate is not None:
+        for site in candidates:
+            broken = break_at(site)
+            if validate(broken):
+                return broken, describe(site)
+    return break_at(candidates[0]), describe(candidates[0])

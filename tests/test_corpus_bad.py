@@ -6,13 +6,17 @@ one deliberately planted memory-consistency bug (regenerate with
 entry must be convicted twice:
 
 - **statically** — the CONS rule(s) named in the manifest fire when the
-  certifier runs under the entry's technique model;
+  certifier runs under the entry's technique model, and the TV rule(s)
+  when the translation validator checks the entry against its *source*
+  module;
 - **dynamically** — the oracle recipe for the sabotage class observes
   divergent outputs: strict ``metadata`` restores for deleted restore
   sets, a boundary sweep against a same-world reference for repeated
-  environment reads, and a self-referenced sweep for dirtied NVM writes
+  environment reads, a self-referenced sweep for dirtied NVM writes
   (the injection changes the program's continuous outputs, so the
-  untransformed module is not a valid reference).
+  untransformed module is not a valid reference), and — for the
+  transform-sabotage entries, whose bug changes continuous semantics —
+  a plain guarantee-schedule run against the source reference.
 
 The wait-mode entry flagged ``in_contract_info`` checks the §II-B
 contract split: the finding downgrades to info under the CLI's
@@ -31,7 +35,7 @@ from repro.energy import msp430fr5969_platform
 from repro.ir.printer import print_module
 from repro.ir.textparser import parse_ir
 from repro.core.verify import run_against_reference
-from repro.staticcheck import Severity, check_compiled
+from repro.staticcheck import Severity, check_compiled, check_translation
 from repro.staticcheck.rules import RULES, RuleConfig
 from repro.testkit.corpus import compile_for, load_program
 from repro.testkit.sabotage import mark_volatile_input
@@ -106,9 +110,15 @@ class TestManifest:
 
 @pytest.mark.parametrize("entry", ENTRIES, ids=entry_id)
 def test_static_conviction(entry):
-    _, plat, compiled = load_cell(entry)
+    bench, plat, compiled = load_cell(entry)
     report = check_compiled(compiled, plat, consistency=True)
     fired = {f.rule_id for f in report.findings}
+    if any(rule.startswith("TV") for rule in entry["expect_rules"]):
+        tv = check_translation(
+            bench.module, compiled.module, technique=entry["technique"]
+        )
+        fired |= {f.rule_id for f in tv.findings}
+        report = tv
     missing = set(entry["expect_rules"]) - fired
     assert not missing, (
         f"{entry['file']}: expected {entry['expect_rules']}, "
@@ -177,6 +187,25 @@ class TestDynamicConviction:
             compiled, compiled.module, plat, bench.default_inputs()
         )
         assert anomalies > 0, f"0/{total} schedules diverged"
+
+    @pytest.mark.parametrize("name", [
+        "crc_schematic_reordered_store.ir",
+        "warloop_schematic_leaked_private.ir",
+        "sumloop_ratchet_dropped_store.ir",
+    ])
+    def test_transform_sabotage_convicted_on_any_schedule(self, name):
+        # Transform bugs change continuous-power semantics, so no fault
+        # injection is needed: the run diverges from the source
+        # reference even on the guarantee schedule.
+        entry = self._entry(name)
+        bench, plat, compiled = load_cell(entry)
+        run = run_against_reference(
+            compiled.module, bench.module, plat.model, compiled.policy,
+            PowerManager.energy_budget(EB),
+            vm_size=plat.vm_size, inputs=bench.default_inputs(),
+        )
+        assert run.completed, run.failure_reason
+        assert not run.outputs_match
 
     def test_wait_mode_repeated_read_contract_split(self):
         entry = self._entry("sumloop_schematic_repeated_read.ir")

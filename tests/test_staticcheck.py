@@ -305,6 +305,102 @@ class TestCheckpointMetadata:
         assert findings[0].details["vm_bytes"] == 8
         assert self.metadata_findings(module, vm_size=8) == []
 
+    def test_vm_capacity_exact_fit_is_certified(self):
+        # The rule is "exceeds", not "reaches": a working set of exactly
+        # vm_size bytes is certified, one byte less of capacity convicts.
+        module = self.simple_module()
+        module.functions["main"].entry.instructions.insert(
+            0,
+            Checkpoint(
+                ckpt_id=1,
+                alloc_after={
+                    "x": MemorySpace.VM,
+                    "y": MemorySpace.VM,
+                },
+                skippable=False,
+            ),
+        )
+        assert self.metadata_findings(module, vm_size=8) == []
+        findings = self.metadata_findings(module, vm_size=7)
+        assert [f.rule_id for f in findings] == ["ALLOC003"]
+        assert findings[0].details["vm_bytes"] == 8
+        assert findings[0].details["vm_size"] == 7
+
+    def test_zero_byte_vm_platform(self):
+        # A platform with no volatile memory at all: NVM-only checkpoints
+        # are fine, the first VM mapping of any size convicts.
+        module = self.simple_module()
+        module.functions["main"].entry.instructions.insert(
+            0,
+            Checkpoint(
+                ckpt_id=1,
+                alloc_after={"x": MemorySpace.NVM},
+                skippable=False,
+            ),
+        )
+        assert self.metadata_findings(module, vm_size=0) == []
+        module = self.simple_module()
+        module.functions["main"].entry.instructions.insert(
+            0,
+            Checkpoint(
+                ckpt_id=1,
+                alloc_after={"x": MemorySpace.VM},
+                skippable=False,
+            ),
+        )
+        findings = self.metadata_findings(module, vm_size=0)
+        assert [f.rule_id for f in findings] == ["ALLOC003"]
+        assert findings[0].details["vm_bytes"] == 4
+        assert findings[0].details["vm_size"] == 0
+
+    def test_vm_capacity_uses_declared_element_counts(self):
+        # The working set is sized from the declared variables (count x
+        # element width), not from the subset of elements the code
+        # happens to touch: u16 table[8] costs 16 bytes even though main
+        # reads one element.
+        module = compile_source(
+            "u16 table[8];\nu32 x;\nvoid main() { x = (u32) table[0]; }",
+            "declared",
+        )
+        module.functions["main"].entry.instructions.insert(
+            0,
+            Checkpoint(
+                ckpt_id=1,
+                alloc_after={
+                    "table": MemorySpace.VM,
+                    "x": MemorySpace.VM,
+                },
+                skippable=False,
+            ),
+        )
+        assert self.metadata_findings(module, vm_size=20) == []
+        findings = self.metadata_findings(module, vm_size=19)
+        assert [f.rule_id for f in findings] == ["ALLOC003"]
+        assert findings[0].details["vm_bytes"] == 20
+
+    def test_vm_capacity_skips_unknown_names(self):
+        # An alloc_after entry naming a variable that does not exist is
+        # CKPT001's conviction; the capacity sum counts only declared
+        # variables instead of crashing on (or guessing) the ghost.
+        module = self.simple_module()
+        module.functions["main"].entry.instructions.insert(
+            0,
+            Checkpoint(
+                ckpt_id=1,
+                alloc_after={
+                    "ghost": MemorySpace.VM,
+                    "x": MemorySpace.VM,
+                },
+                skippable=False,
+            ),
+        )
+        findings = self.metadata_findings(module, vm_size=4)
+        assert [f.rule_id for f in findings] == ["CKPT001"]
+        findings = self.metadata_findings(module, vm_size=3)
+        assert sorted(f.rule_id for f in findings) == ["ALLOC003", "CKPT001"]
+        alloc = [f for f in findings if f.rule_id == "ALLOC003"][0]
+        assert alloc.details["vm_bytes"] == 4
+
 
 class TestEnergyCertifier:
     def test_unbounded_checkpoint_free_loop(self):
@@ -488,3 +584,54 @@ class TestCheckModule:
         assert report.findings == []
         assert report.max_severity() is None
         assert "0 findings" in report.render()
+
+
+class TestMergeFindings:
+    """The canonical merged-path normalization (satellite of the TV
+    work): suppression is decided strictly before severity overrides,
+    so a rule that is both suppressed and overridden stays suppressed
+    on every merged path."""
+
+    def _finding(self, rule_id, severity, function="f", message="m"):
+        return Finding(
+            rule_id=rule_id, severity=severity,
+            location=Location(function), message=message,
+        )
+
+    def test_suppressed_and_overridden_rule_stays_suppressed(self):
+        from repro.staticcheck import merge_findings
+
+        config = RuleConfig(
+            suppressed=frozenset({"WAR001"}),
+            severity_overrides={"WAR001": Severity.INFO},
+        )
+        groups = [
+            [self._finding("WAR001", Severity.ERROR)],
+            [self._finding("WAR001", Severity.ERROR, function="g")],
+        ]
+        assert merge_findings(groups, config) == []
+
+    def test_merge_applies_overrides_and_sorts_severity_major(self):
+        from repro.staticcheck import merge_findings
+
+        config = RuleConfig(severity_overrides={"WAR002": Severity.ERROR})
+        merged = merge_findings(
+            [
+                [self._finding("ENER002", Severity.INFO, function="b")],
+                [self._finding("WAR002", Severity.WARNING, function="a")],
+            ],
+            config,
+        )
+        # The override promotes WAR002 above the info finding, and the
+        # result is sorted most-severe first regardless of group order.
+        assert [(f.rule_id, f.severity) for f in merged] == [
+            ("WAR002", Severity.ERROR),
+            ("ENER002", Severity.INFO),
+        ]
+
+    def test_merge_without_config_only_sorts(self):
+        from repro.staticcheck import merge_findings
+
+        one = self._finding("WAR001", Severity.ERROR)
+        two = self._finding("WAR002", Severity.WARNING)
+        assert merge_findings([[two], [one]]) == [one, two]

@@ -11,8 +11,8 @@ changes until someone regenerates it on purpose:
 
     PYTHONPATH=src python tools/gen_corpus_bad.py
 
-The four cells cover every generator in the sabotage battery and both
-contract families:
+The first four cells cover every generator in the memory-consistency
+sabotage battery and both contract families:
 
 - ``warloop_schematic_delete_restore`` — restore-set deletion on a
   wait-mode placement (CONS003 + CONS004; dynamically visible only
@@ -24,6 +24,19 @@ contract families:
 - ``sumloop_schematic_repeated_read`` — the wait-mode contract split:
   CONS002 fires but is in-contract-informational, the guarantee run is
   clean, and only out-of-contract schedules convict dynamically.
+
+Three more cover the translation-validation battery — transform bugs
+that change continuous-power semantics, so the sabotaged placement
+fails the static refinement proof (the TV rule in ``expect_rules``,
+convicted against the entry's *source* module) AND diverges from the
+reference on every schedule, guarantee run included:
+
+- ``crc_schematic_reordered_store`` — an observable store moved past a
+  dependent load and a later store (TV002);
+- ``warloop_schematic_leaked_private`` — one block's accesses to a
+  global privatized into an unsynchronized local copy (TV003);
+- ``sumloop_ratchet_dropped_store`` — an observable store deleted
+  outright, as checkpoint motion would (TV001).
 """
 
 from __future__ import annotations
@@ -38,10 +51,14 @@ from repro.energy import msp430fr5969_platform  # noqa: E402
 from repro.ir.printer import print_module  # noqa: E402
 from repro.ir.textparser import parse_ir  # noqa: E402
 from repro.testkit.corpus import compile_for, load_program  # noqa: E402
+from repro.emulator.interpreter import run_continuous  # noqa: E402
 from repro.testkit.sabotage import (  # noqa: E402
     delete_restore,
     dirty_nv_write,
+    drop_store,
     inject_repeated_read,
+    leak_privatized_local,
+    reorder_observable_store,
 )
 
 EB = 3000.0
@@ -128,6 +145,81 @@ def main() -> int:
             "in_contract_info": True,
             "dynamic": "wait-mode split: the guarantee run stays clean, "
             "out-of-contract schedules diverge",
+        },
+    ))
+
+    # -- translation-validation battery: the sabotage must change the
+    # continuous-power outputs (that is what makes it a *transform* bug,
+    # and what lets the dynamic oracle convict on any schedule), so
+    # candidates are validated against the source reference run.
+    def _diverges_from(bench):
+        platform = msp430fr5969_platform(eb=EB)
+        reference = run_continuous(
+            bench.module, platform.model, inputs=bench.default_inputs()
+        )
+
+        def validate(broken):
+            try:
+                run = run_continuous(
+                    broken, platform.model, inputs=bench.default_inputs()
+                )
+            except Exception:
+                return False
+            return run.outputs != reference.outputs
+
+        return validate
+
+    bench, compiled = _compiled("crc", "schematic")
+    broken, where = reorder_observable_store(
+        compiled.module, validate=_diverges_from(bench)
+    )
+    entries.append((
+        "crc_schematic_reordered_store",
+        broken,
+        {
+            "program": "crc",
+            "technique": "schematic",
+            "sabotage": "reorder_observable_store",
+            "expect_rules": ["TV002"],
+            "detail": {"motion": where},
+            "dynamic": "the intervening load observes the old value: "
+            "continuous outputs change, every schedule diverges",
+        },
+    ))
+
+    bench, compiled = _compiled("warloop", "schematic")
+    broken, where = leak_privatized_local(
+        compiled.module, validate=_diverges_from(bench)
+    )
+    entries.append((
+        "warloop_schematic_leaked_private",
+        broken,
+        {
+            "program": "warloop",
+            "technique": "schematic",
+            "sabotage": "leak_privatized_local",
+            "expect_rules": ["TV003"],
+            "detail": {"leak": where},
+            "dynamic": "the private copy starts at zero and never writes "
+            "back: continuous outputs change, every schedule diverges",
+        },
+    ))
+
+    bench, compiled = _compiled("sumloop", "ratchet")
+    broken, where = drop_store(
+        compiled.module, validate=_diverges_from(bench)
+    )
+    entries.append((
+        "sumloop_ratchet_dropped_store",
+        broken,
+        {
+            "program": "sumloop",
+            "technique": "ratchet",
+            "sabotage": "drop_store",
+            "expect_rules": ["TV001"],
+            "detail": {"dropped": where},
+            "dynamic": "the final NVM state misses the store: continuous "
+            "outputs change, every completed schedule diverges",
         },
     ))
 
