@@ -19,9 +19,10 @@ Semantics notes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.telemetry import flight, metrics
 from repro.emulator import compiled as compiled_blocks
 from repro.emulator.memory import MemoryState
 from repro.emulator.meter import EnergyMeter
@@ -238,6 +239,17 @@ class Interpreter:
         self._tm = telemetry.get()
         self._run_id = self._tm.next_run_id() if self._tm is not None else 0
         self._seg_anchor = 0.0
+        # The metrics registry and flight recorder follow the same
+        # discipline: bound once, consulted only on cold paths, None
+        # when disabled. Unlike tracing (_tm), metrics alone do NOT
+        # disqualify the compiled loop — counters are only bumped at
+        # segment boundaries the compiled loop also crosses.
+        self._mm = metrics.get()
+        self._fr = flight.get()
+        if self._mm is not None:
+            self._mm.counter("interp.runs").add(1)
+        if self._fr is not None:
+            self._fr.provide("interpreter", self._flight_state)
         # Cost cache of the undecoded loop, keyed by id(inst) for O(1)
         # probes but storing (inst, cost) pairs: the held reference pins
         # each instruction object alive, so an id can never be recycled
@@ -489,7 +501,7 @@ class Interpreter:
     def _execute(self) -> Tuple[bool, str]:
         if self._code is None:
             self.loop_used = "undecoded"
-            return self._execute_undecoded()
+            return self._run_selected_loop(self._execute_undecoded)
         config = self.config
         if (
             config.compiled
@@ -502,13 +514,45 @@ class Interpreter:
             # loop. Anything that needs step granularity — the testkit
             # sweep's step_hook, block tracing, a recording power
             # manager or enabled telemetry — gets the per-step
-            # pre-decoded loop and bit-identical streams.
+            # pre-decoded loop and bit-identical streams. A metrics
+            # registry alone (self._mm) does NOT disqualify: counters
+            # are bumped only at segment boundaries the compiled loop
+            # crosses too, so loop choice stays metrics-invariant.
             if self._ccode is None:
                 self._ccode = compiled_blocks.compile_blocks(self, _Frame)
             self.loop_used = "compiled"
-            return self._execute_compiled()
+            return self._run_selected_loop(self._execute_compiled)
         self.loop_used = "predecoded"
-        return self._execute_predecoded()
+        return self._run_selected_loop(self._execute_predecoded)
+
+    def _run_selected_loop(self, loop) -> Tuple[bool, str]:
+        """Count the loop selection (cold: once per execution), then run."""
+        if self._mm is not None:
+            self._mm.counter(f"interp.loop.{self.loop_used}").add(1)
+        return loop()
+
+    def _flight_state(self) -> Dict[str, Any]:
+        """Flight-recorder state provider: where this interpreter is,
+        sampled only when a postmortem bundle is dumped."""
+        frame = self.frames[-1] if self.frames else None
+        return {
+            "run": self._run_id,
+            "power_timeline": self.power.timeline,
+            "power_failures": self.power.failures,
+            "instructions_executed": self.instructions_executed,
+            "active_cycles": self.active_cycles,
+            "loop_used": self.loop_used,
+            "snapshot_ckpt": (
+                self._snapshot.ckpt_id if self._snapshot is not None
+                else None
+            ),
+            "attempts_on_snapshot": self._attempts_on_snapshot,
+            "frame": (
+                f"{frame.function.name}:{frame.block}:{frame.index}"
+                if frame is not None else None
+            ),
+            "vm_bytes_used": self.memory.vm_bytes_used(),
+        }
 
     def _execute_compiled(self) -> Tuple[bool, str]:
         """The threaded-code loop: whole segments execute as a handful of
@@ -926,6 +970,8 @@ class Interpreter:
             self.meter.charge_compute(check_energy)
             if self.power.remaining_fraction > self.policy.skip_threshold:
                 self.checkpoints_skipped += 1
+                if self._mm is not None:
+                    self._mm.counter("interp.ckpt_skips").add(1)
                 if self._tm is not None:
                     self._tm.event(
                         "ckpt-skip", track=telemetry.TRACK_RUNTIME,
@@ -955,6 +1001,13 @@ class Interpreter:
         self.active_cycles += save_cycles
         self.meter.charge_save(save_energy)
         self.meter.commit()
+        if self._mm is not None:
+            self._mm.counter("interp.ckpt_saves").add(1)
+        if self._fr is not None:
+            self._fr.record(
+                "ckpt-save", run=self._run_id, ckpt=inst.ckpt_id,
+                payload_bytes=payload,
+            )
         if self._tm is not None:
             # The previous snapshot (still in place) opened this window.
             self._tm.event(
@@ -1041,6 +1094,8 @@ class Interpreter:
             if self.power.consume(restore_energy, restore_cycles):
                 return self._handle_power_failure()
             self.active_cycles += restore_cycles
+            if self._mm is not None:
+                self._mm.counter("interp.migrates").add(1)
             if self._tm is not None:
                 self._tm.event(
                     "migrate", track=telemetry.TRACK_RUNTIME,
@@ -1085,6 +1140,8 @@ class Interpreter:
         if self.power.consume(restore_energy, restore_cycles):
             return self._handle_power_failure()
         self.active_cycles += restore_cycles
+        if self._mm is not None:
+            self._mm.counter("interp.ckpt_restores").add(1)
         if self._tm is not None:
             self._tm.event(
                 "ckpt-restore", track=telemetry.TRACK_RUNTIME,
@@ -1100,6 +1157,13 @@ class Interpreter:
         """Roll back to the last snapshot after an outage. Returns False
         when the execution is stuck (no forward progress)."""
         self._attempts_on_snapshot += 1
+        if self._mm is not None:
+            self._mm.counter("interp.power_failures").add(1)
+        if self._fr is not None:
+            self._fr.record(
+                "power-failure", run=self._run_id,
+                attempt=self._attempts_on_snapshot,
+            )
         if self._tm is not None:
             self._tm.event(
                 "power-failure", track=telemetry.TRACK_RUNTIME,
@@ -1128,6 +1192,10 @@ class Interpreter:
                     "boot-restore", self.model.restore_cycles(0)
                 )
             self.power.consume(restore_energy, self.model.restore_cycles(0))
+            if self._mm is not None:
+                self._mm.counter("interp.reboots").add(1)
+            if self._fr is not None:
+                self._fr.record("reboot", run=self._run_id)
             if self._tm is not None:
                 self._tm.event(
                     "reboot", track=telemetry.TRACK_RUNTIME,

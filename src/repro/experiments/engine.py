@@ -32,6 +32,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
+from repro.telemetry import flight, metrics
+from repro.telemetry.rollup import (
+    publish_cache_stats,
+    publish_diffemu_stats,
+    write_sidecar,
+)
 from repro.experiments.common import (
     PROFILE_RUNS,
     TBPF_VALUES,
@@ -135,6 +141,9 @@ def plan_run_all_cells(
 # ------------------------------------------------------------------ workers
 
 _WORKER_CTX: Optional[EvaluationContext] = None
+#: Sidecar directory of this worker process, or None when the process is
+#: not a metered pool worker (parent / metrics disabled).
+_WORKER_METRICS_DIR: Optional[str] = None
 
 
 def _init_worker(
@@ -143,13 +152,27 @@ def _init_worker(
     failure_model: str,
     cache_root: Optional[str],
     diff_emulation: bool = True,
+    metrics_dir: Optional[str] = None,
+    parent_pid: Optional[int] = None,
 ) -> None:
     """Build the per-process context (idempotent: the serial fallback of
-    parallel_map may call it in a process that already has one)."""
-    global _WORKER_CTX
+    parallel_map may call it in a process that already has one).
+
+    When the parent passes a ``metrics_dir``, a genuine pool worker
+    (``os.getpid() != parent_pid``) installs a *fresh* metrics registry
+    and flight recorder — under the fork start method the child inherits
+    the parent's registry object, and accumulating into that copy would
+    double-count the parent's totals in the sidecar. The in-process
+    serial fallback keeps the parent's registry: its counts land there
+    directly and need no sidecar."""
+    global _WORKER_CTX, _WORKER_METRICS_DIR
     from repro.runner.cache import ArtifactCache
 
     cache = ArtifactCache(cache_root) if cache_root else None
+    if metrics_dir is not None and os.getpid() != parent_pid:
+        metrics.enable(meta={"role": "worker", "pid": os.getpid()})
+        flight.enable()
+        _WORKER_METRICS_DIR = metrics_dir
     _WORKER_CTX = EvaluationContext(
         benchmarks=benchmarks,
         profile_runs=profile_runs,
@@ -159,29 +182,88 @@ def _init_worker(
     )
 
 
+def _flush_worker_sidecar() -> None:
+    """Rewrite this worker's sidecar from the live registry plus the
+    cache's current ``stats_dict``. Idempotent by construction — the
+    cache counters are folded into a throwaway copy at every flush, so
+    re-flushing never double-counts — and atomic, so the parent's rollup
+    (and a postmortem inspection) always sees a complete snapshot no
+    matter where the worker dies."""
+    mm = metrics.get()
+    if mm is None or _WORKER_METRICS_DIR is None:
+        return
+    snapshot = metrics.MetricsRegistry(meta=mm.meta)
+    snapshot.merge_records(mm.snapshot())
+    ctx = _WORKER_CTX
+    if ctx is not None and ctx.cache is not None:
+        publish_cache_stats(snapshot, ctx.cache.stats_dict())
+    if ctx is not None:
+        publish_diffemu_stats(snapshot, ctx.diffemu_stats.as_dict())
+    try:
+        write_sidecar(snapshot, _WORKER_METRICS_DIR)
+    except OSError:
+        pass  # metrics are best effort; never fail the evaluation
+
+
 def _compute_cell(cell: Cell) -> Tuple[Cell, object, int]:
     """Compute one cell; the worker pid rides along so the parent can
-    report how evenly the pool spread the work (manifest / telemetry)."""
+    report how evenly the pool spread the work (manifest / telemetry).
+    A metered worker re-flushes its sidecar after every cell and leaves
+    a postmortem bundle behind if the cell raises."""
     ctx = _WORKER_CTX
     assert ctx is not None, "worker context not initialized"
-    value: object
+    fr = flight.get()
+    if fr is not None:
+        fr.record(
+            "cell-start", kind=cell.kind, benchmark=cell.benchmark,
+            technique=cell.technique, variant=cell.variant,
+            eb=cell.eb, tbpf=cell.tbpf,
+        )
+    try:
+        value = _evaluate_cell(ctx, cell)
+    except Exception as exc:
+        if fr is not None and _WORKER_METRICS_DIR is not None:
+            fr.dump(
+                _WORKER_METRICS_DIR,
+                reason=f"cell {cell.kind}/{cell.benchmark} failed",
+                error=exc,
+            )
+        _flush_worker_sidecar()
+        raise
+    mm = metrics.get()
+    if mm is not None:
+        mm.counter("engine.worker_cells").add(1)
+        mm.counter(f"engine.cells.{cell.kind}").add(1)
+        mm.gauge("engine.heartbeat_us").set(telemetry_now_us())
+    _flush_worker_sidecar()
+    return cell, value, os.getpid()
+
+
+def telemetry_now_us() -> int:
+    """Monotonic microseconds for the worker heartbeat gauge: merged
+    under ``max``, the rollup reports the last moment any worker was
+    alive and making progress."""
+    import time
+
+    return time.monotonic_ns() // 1000
+
+
+def _evaluate_cell(ctx: EvaluationContext, cell: Cell) -> object:
     if cell.kind == "reference":
-        value = ctx.reference(cell.benchmark)
-    elif cell.kind == "vm_reference":
-        value = ctx.vm_reference(cell.benchmark)
-    elif cell.kind == "profile":
-        value = ctx.profile(cell.benchmark)
-    elif cell.kind == "run":
-        value = ctx.run(
+        return ctx.reference(cell.benchmark)
+    if cell.kind == "vm_reference":
+        return ctx.vm_reference(cell.benchmark)
+    if cell.kind == "profile":
+        return ctx.profile(cell.benchmark)
+    if cell.kind == "run":
+        return ctx.run(
             cell.technique, cell.benchmark, cell.eb, tbpf=cell.tbpf
         )
-    elif cell.kind == "ablation":
+    if cell.kind == "ablation":
         from repro.experiments.ablations import compute_cell
 
-        value = compute_cell(ctx, cell.variant, cell.benchmark, cell.tbpf)
-    else:
-        raise ValueError(f"unknown cell kind {cell.kind!r}")
-    return cell, value, os.getpid()
+        return compute_cell(ctx, cell.variant, cell.benchmark, cell.tbpf)
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 
 # ------------------------------------------------------------------ merging
@@ -220,6 +302,7 @@ def prefill(
     figure8_benchmark: str = "crc",
     log: Optional[Callable[[str], None]] = None,
     stats_out: Optional[Dict[str, Any]] = None,
+    metrics_dir: Optional[str] = None,
 ) -> int:
     """Compute every cell of the full evaluation with ``jobs`` workers and
     merge the results into ``ctx``; returns the number of cells computed.
@@ -228,7 +311,12 @@ def prefill(
 
     ``stats_out``, when given, receives ``{"artifact_cells", "run_cells",
     "jobs", "worker_cells": {pid: count}}`` — how evenly the pool spread
-    the grid (surfaces in the ``--json`` manifest and the trace)."""
+    the grid (surfaces in the ``--json`` manifest and the trace).
+
+    ``metrics_dir``, when given, makes every pool worker accumulate its
+    own metrics registry and flush a JSONL sidecar there after each cell
+    (:mod:`repro.telemetry.rollup`); crashes additionally leave a
+    postmortem bundle in the same directory."""
     jobs = resolve_jobs(jobs)
     if jobs <= 1:
         return 0
@@ -243,6 +331,8 @@ def prefill(
         ctx.failure_model,
         str(ctx.cache.root) if ctx.cache is not None else None,
         ctx.diff_emulation,
+        metrics_dir,
+        os.getpid(),
     )
     artifacts = plan_artifacts(ctx, extra_benchmarks=[figure8_benchmark])
     if log is not None:
@@ -278,9 +368,12 @@ def prefill(
             jobs=jobs,
             worker_cells=dict(sorted(worker_cells.items())),
         )
-    tm = telemetry.get()
-    if tm is not None:
-        tm.counter("engine.cells").add(len(artifacts) + len(runs))
+    mm = metrics.get()
+    if mm is not None:
+        mm.counter("engine.cells").add(len(artifacts) + len(runs))
+        mm.counter("engine.cells.artifact_planned").add(len(artifacts))
+        mm.counter("engine.cells.run_planned").add(len(runs))
+        mm.gauge("engine.jobs").set(jobs)
         for count in worker_cells.values():
-            tm.histogram("engine.cells_per_worker").record(count)
+            mm.histogram("engine.cells_per_worker").record(count)
     return len(artifacts) + len(runs)

@@ -6,6 +6,7 @@ Usage::
                                         [--no-cache] [--cache-dir DIR]
                                         [--benchmarks a,b,c]
                                         [--trace] [--trace-dir DIR]
+                                        [--metrics] [--metrics-dir DIR]
                                         [--json PATH]
 
 ``--quick`` restricts to the four fastest benchmarks (crc, randmath,
@@ -27,9 +28,21 @@ viewer / Perfetto) under ``--trace-dir`` (default ``traces/``); a given
 processes do not feed the parent's trace: use ``--jobs 1`` for full
 runtime-event capture (see docs/observability.md).
 
+``--metrics`` records aggregated metrics (engine cell counts, interpreter
+cold-path counters, cache hit/miss totals) without full tracing; every
+pool worker writes a per-process ``metrics-<pid>.jsonl`` sidecar under
+``--metrics-dir`` (default: the trace directory) and the parent merges
+them deterministically — serial and parallel runs roll up to the same
+values. Inspect with ``python -m repro.telemetry metrics DIR``. With
+metrics on, a flight recorder also captures a bounded event ring and
+writes a ``postmortem-<pid>.json`` bundle on crash (``python -m
+repro.telemetry postmortem DIR``). Results on stdout stay byte-identical
+whether metrics are on or off.
+
 ``--json PATH`` writes a machine-readable manifest of the run: per-section
-wall-clock, cache statistics, prefill worker balance, and the platform,
-module and input fingerprints that key the artifact cache.
+wall-clock, cache statistics, prefill worker balance, the platform,
+module and input fingerprints that key the artifact cache, and (with
+``--metrics``) the merged cross-process metrics rollup.
 """
 
 from __future__ import annotations
@@ -42,6 +55,16 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.telemetry import flight, metrics
+from repro.telemetry.rollup import (
+    SIDECAR_PREFIX,
+    SIDECAR_SUFFIX,
+    publish_cache_stats,
+    publish_diffemu_stats,
+    rollup_directory,
+    rollup_json,
+    write_sidecar,
+)
 from repro.core import verify as core_verify
 from repro.experiments import common, engine
 from repro.experiments import (
@@ -70,8 +93,10 @@ SECTIONS = [
     ("Ablations", ablations),
 ]
 
-#: Manifest format version (the ``--json`` output).
-MANIFEST_SCHEMA = 1
+#: Manifest format version (the ``--json`` output). v2 renames the
+#: version key to ``schema_version`` and adds the merged cross-process
+#: ``metrics`` rollup (``null`` when metrics are off).
+MANIFEST_SCHEMA = 2
 
 
 def _csv(text: str) -> List[str]:
@@ -111,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "implies --trace)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write a machine-readable run manifest")
+    parser.add_argument("--metrics", action="store_true",
+                        help="record aggregated metrics (engine/interpreter/"
+                        "cache counters) without full tracing; workers "
+                        "write per-process JSONL sidecars that merge into "
+                        "the --json manifest (tracing implies this)")
+    parser.add_argument("--metrics-dir", default=None, metavar="DIR",
+                        help="metrics sidecar directory (default: the trace "
+                        "directory; implies --metrics)")
     return parser
 
 
@@ -155,12 +188,14 @@ def build_manifest(
     prefill_stats: Dict[str, Any],
     total_seconds: float,
     trace_paths: Optional[Dict[str, Path]],
+    metrics_rollup: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Everything needed to compare two runs: what ran, how long each
-    piece took, how the cache behaved, and the content fingerprints that
-    key the artifacts (platform constants, module text, inputs)."""
+    piece took, how the cache behaved, the content fingerprints that
+    key the artifacts (platform constants, module text, inputs) and —
+    when metrics were on — the merged cross-process metrics rollup."""
     return {
-        "schema": MANIFEST_SCHEMA,
+        "schema_version": MANIFEST_SCHEMA,
         "tool": "repro.experiments.run_all",
         "python": ".".join(str(v) for v in sys.version_info[:3]),
         "jobs": jobs,
@@ -197,37 +232,78 @@ def build_manifest(
             if trace_paths
             else None
         ),
+        "metrics": metrics_rollup,
         "total_seconds": round(total_seconds, 3),
     }
+
+
+def _clear_sidecars(directory: Path) -> None:
+    """Remove metrics sidecars from previous runs so the end-of-run
+    rollup merges exactly this run's workers."""
+    if not directory.is_dir():
+        return
+    for stale in directory.glob(f"{SIDECAR_PREFIX}*{SIDECAR_SUFFIX}"):
+        try:
+            stale.unlink()
+        except OSError:
+            pass
 
 
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
     started = time.perf_counter()
     tracing = args.trace or args.trace_dir is not None
+    want_metrics = args.metrics or args.metrics_dir is not None
+    meta = {
+        "tool": "repro.experiments.run_all",
+        "argv": list(argv) if argv is not None else sys.argv[1:],
+    }
     tm = None
+    mm = None
     if tracing:
-        tm = telemetry.enable(meta={
-            "tool": "repro.experiments.run_all",
-            "argv": list(argv) if argv is not None else sys.argv[1:],
-        })
+        tm = telemetry.enable(meta=meta)
+        mm = tm.metrics  # tracing implies metrics (one shared registry)
+    elif want_metrics:
+        mm = metrics.enable(meta=meta)
+    metrics_out: Optional[Path] = None
+    fr = None
+    if mm is not None:
+        metrics_out = Path(args.metrics_dir or args.trace_dir or "traces")
+        _clear_sidecars(metrics_out)
+        fr = flight.enable()
+        fr.record("run-start", jobs=args.jobs, quick=args.quick)
     ctx = make_context(args)
     jobs = resolve_jobs(args.jobs)
     prefill_stats: Dict[str, Any] = {}
-    if jobs > 1:
-        start = time.perf_counter()
-        cells = engine.prefill(
-            ctx, jobs, log=lambda msg: print(msg, file=sys.stderr),
-            stats_out=prefill_stats,
-        )
-        prefill_stats["seconds"] = round(time.perf_counter() - start, 3)
-        print(
-            f"prefilled {cells} cells in {time.perf_counter() - start:.1f}s",
-            file=sys.stderr,
-        )
-    timings = render_sections(ctx)
+    try:
+        if jobs > 1:
+            start = time.perf_counter()
+            cells = engine.prefill(
+                ctx, jobs, log=lambda msg: print(msg, file=sys.stderr),
+                stats_out=prefill_stats,
+                metrics_dir=str(metrics_out) if metrics_out else None,
+            )
+            prefill_stats["seconds"] = round(time.perf_counter() - start, 3)
+            print(
+                f"prefilled {cells} cells in "
+                f"{time.perf_counter() - start:.1f}s",
+                file=sys.stderr,
+            )
+        timings = render_sections(ctx)
+    except Exception as exc:
+        # Postmortem bundle: the event ring, provider state snapshots and
+        # a metrics snapshot, inspectable via
+        # ``python -m repro.telemetry postmortem <dir>``.
+        if fr is not None and metrics_out is not None:
+            bundle = fr.dump(
+                str(metrics_out), reason="run_all failed", error=exc
+            )
+            print(f"postmortem bundle: {bundle}", file=sys.stderr)
+        raise
     if ctx.cache is not None:
-        print(ctx.cache.stats_line(), file=sys.stderr)
+        from repro.runner.cache import stats_line
+
+        print(stats_line(ctx.cache.stats_dict()), file=sys.stderr)
     if ctx.diff_emulation:
         st = ctx.diffemu_stats
         print(
@@ -237,14 +313,31 @@ def main(argv=None) -> None:
             f"{st.invalid_tapes} invalid", file=sys.stderr,
         )
 
+    metrics_rollup: Optional[Dict[str, Any]] = None
+    if mm is not None:
+        # The parent's own share of the rollup: registry counters plus
+        # its cache / differential-emulation statistics (workers publish
+        # theirs into their own sidecars).
+        if ctx.cache is not None:
+            publish_cache_stats(mm, ctx.cache.stats_dict())
+        publish_diffemu_stats(mm, ctx.diffemu_stats.as_dict())
+        # Merge parent + worker sidecars BEFORE writing the parent's own
+        # sidecar, so the directory never feeds a record in twice.
+        merged = metrics.MetricsRegistry(meta=mm.meta)
+        merged.merge_records(mm.snapshot())
+        if metrics_out is not None:
+            rollup_directory(str(metrics_out), into=merged)
+            sidecar = write_sidecar(mm, str(metrics_out))
+            print(f"metrics sidecar:      {sidecar}", file=sys.stderr)
+            print(
+                "metrics rollup:       "
+                f"python -m repro.telemetry metrics {metrics_out}",
+                file=sys.stderr,
+            )
+        metrics_rollup = rollup_json(merged)
+
     trace_paths: Optional[Dict[str, Path]] = None
     if tm is not None:
-        if ctx.cache is not None:
-            # Mirror the cache counters into the trace's metrics block so
-            # the trace is self-contained.
-            for name, value in ctx.cache.stats_dict().items():
-                if isinstance(value, int):
-                    tm.counter(f"cache.{name}").add(value)
         telemetry.disable()
         from repro.telemetry import exporters
 
@@ -254,11 +347,15 @@ def main(argv=None) -> None:
         print(f"trace (events):       {trace_paths['jsonl']}", file=sys.stderr)
         print(f"trace (chrome/perfetto): {trace_paths['chrome']}",
               file=sys.stderr)
+    elif mm is not None:
+        metrics.disable()
+    if fr is not None:
+        flight.disable()
 
     if args.json:
         manifest = build_manifest(
             ctx, jobs, timings, prefill_stats,
-            time.perf_counter() - started, trace_paths,
+            time.perf_counter() - started, trace_paths, metrics_rollup,
         )
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -200,22 +200,6 @@ class ArtifactCache:
 
         shutil.rmtree(self.root, ignore_errors=True)
 
-    def stats_line(self) -> str:
-        line = (
-            f"cache {self.root}: {self.hits} hits, {self.misses} misses, "
-            f"{self.stores} stores"
-        )
-        if self.pruned:
-            line += f", {self.pruned} pruned"
-        if self.by_category:
-            per_cat = ", ".join(
-                f"{category} {stats['hits']}/{stats['misses']}"
-                f"/{stats['stores']}"
-                for category, stats in sorted(self.by_category.items())
-            )
-            line += f" ({per_cat} h/m/s)"
-        return line
-
     def stats_dict(self) -> Dict[str, Any]:
         """Machine-readable counters for run manifests and traces."""
         return {
@@ -229,3 +213,28 @@ class ArtifactCache:
                 for category, stats in sorted(self.by_category.items())
             },
         }
+
+
+def stats_line(stats: Dict[str, Any]) -> str:
+    """Render a ``stats_dict()`` as the one-line human summary.
+
+    This is the *only* renderer of cache statistics: the ``--cache-stats``
+    stderr line, the run manifest and the metrics rollup
+    (:func:`repro.telemetry.rollup.publish_cache_stats`) all derive from
+    the same ``stats_dict`` counters, so the numbers can never disagree.
+    """
+    line = (
+        f"cache {stats.get('root', '?')}: {stats.get('hits', 0)} hits, "
+        f"{stats.get('misses', 0)} misses, {stats.get('stores', 0)} stores"
+    )
+    if stats.get("pruned"):
+        line += f", {stats['pruned']} pruned"
+    categories = stats.get("categories") or {}
+    if categories:
+        per_cat = ", ".join(
+            f"{category} {cat_stats['hits']}/{cat_stats['misses']}"
+            f"/{cat_stats['stores']}"
+            for category, cat_stats in sorted(categories.items())
+        )
+        line += f" ({per_cat} h/m/s)"
+    return line

@@ -65,7 +65,7 @@ from repro.baselines import COMPILERS
 from repro.energy import msp430fr5969_platform
 from repro.errors import ReproError
 from repro.programs import BENCHMARK_NAMES
-from repro.runner.cache import ArtifactCache
+from repro.runner.cache import ArtifactCache, stats_line
 from repro.staticcheck.checker import CheckReport, check_bounds, check_compiled
 from repro.staticcheck.findings import (
     Finding,
@@ -282,7 +282,7 @@ def _run_transval(
         body = report.render()
         print("  " + body.replace("\n", "\n  "))
     if cache is not None:
-        print(cache.stats_line(), file=sys.stderr)
+        print(stats_line(cache.stats_dict()), file=sys.stderr)
     return 1 if gated else 0
 
 
@@ -383,7 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(sarif_document(triples), sys.stdout, indent=2)
             print()
         if cache is not None:
-            print(cache.stats_line(), file=sys.stderr)
+            print(stats_line(cache.stats_dict()), file=sys.stderr)
         return 1 if failures else 0
     except (KeyError, ValueError, OSError) as exc:
         if isinstance(exc, OSError):

@@ -27,10 +27,13 @@ first in a :class:`CheckReport` that renders as text or JSON.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro import telemetry
+from repro.telemetry import metrics
 from repro.baselines import CompiledTechnique
 from repro.emulator.runtime import CheckpointPolicy
 from repro.energy.model import EnergyModel
@@ -52,6 +55,22 @@ from repro.staticcheck.findings import Finding, Severity, merge_findings
 from repro.staticcheck.rules import RULE_SCHEMA_VERSION, RuleConfig
 from repro.staticcheck.techmodel import model_for
 from repro.staticcheck.war import analyze_war
+
+
+@contextmanager
+def _family(family: str) -> Iterator[None]:
+    """One rule family's instrumentation: a trace span plus, when the
+    metrics registry is on, a wall-clock histogram
+    ``staticcheck.family_us.<family>`` (microseconds per invocation) so
+    rollups show where certification time goes across a full matrix."""
+    mm = metrics.get()
+    start = time.perf_counter_ns() if mm is not None else 0
+    with telemetry.span("staticcheck.family", family=family):
+        yield
+    if mm is not None:
+        mm.histogram(f"staticcheck.family_us.{family}").record(
+            (time.perf_counter_ns() - start) / 1000.0
+        )
 
 
 @dataclass
@@ -153,19 +172,19 @@ def check_module(
         if isinstance(inst, CHECKPOINT_KINDS)
     )
 
-    with telemetry.span("staticcheck.family", family="metadata"):
+    with _family("metadata"):
         check_checkpoint_metadata(module, sink, vm_size=vm_size)
-    with telemetry.span("staticcheck.family", family="war"):
+    with _family("war"):
         analyze_war(
             module, sink,
             policy_may_skip=policy_may_skip, default_space=default_space,
         )
-    with telemetry.span("staticcheck.family", family="residency"):
+    with _family("residency"):
         analyze_residency(
             module, sink,
             policy_may_skip=policy_may_skip, default_space=default_space,
         )
-    with telemetry.span("staticcheck.family", family="bounds"):
+    with _family("bounds"):
         ranges = analyze_bounds(module, sink)
 
     stats: Dict[str, object] = {
@@ -174,7 +193,7 @@ def check_module(
         "analyses": ["metadata", "war", "residency", "bounds"],
     }
     if consistency:
-        with telemetry.span("staticcheck.family", family="consistency"):
+        with _family("consistency"):
             certificate = certify_consistency(
                 module,
                 model_for(technique, policy),
@@ -186,7 +205,7 @@ def check_module(
         stats["consistency"] = certificate.summary()
         stats["certificate"] = certificate.to_json()
     if wait_mode and model is not None and eb is not None:
-        with telemetry.span("staticcheck.family", family="energy"):
+        with _family("energy"):
             certifier = certify_energy(
                 module, model, eb, sink,
                 inferred_bounds=infer_module_bounds(module, ranges),

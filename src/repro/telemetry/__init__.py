@@ -3,15 +3,23 @@
 Instrumentation sites use the tiny module-level surface::
 
     from repro import telemetry
+    from repro.telemetry import metrics
 
     tm = telemetry.get()            # None when disabled -> emit nothing
+    mm = metrics.get()              # ditto, for aggregated counts
     with telemetry.span("placer.profile", runs=4):
         ...
 
 Drivers opt in with :func:`enable` (or ``--trace`` on
 ``repro.experiments.run_all`` / ``repro.testkit``) and export via
-:mod:`repro.telemetry.exporters`; ``python -m repro.telemetry report``
-renders a trace. See docs/observability.md.
+:mod:`repro.telemetry.exporters`; metrics-only runs use
+``metrics.enable`` (or ``--metrics``) and flush per-process JSONL
+sidecars (:mod:`repro.telemetry.rollup`) that merge deterministically
+across worker pools. ``python -m repro.telemetry`` has subcommands for
+trace reports (``report``/``convert``), the merged metrics table or
+Prometheus exposition (``metrics``), crash forensics (``postmortem``)
+and the benchmark-regression gate (``regress``). See
+docs/observability.md.
 """
 
 from repro.telemetry.core import (
@@ -31,8 +39,10 @@ from repro.telemetry.core import (
     get,
     span,
 )
+from repro.telemetry.metrics import METRICS_SCHEMA, MetricsRegistry
 
 __all__ = [
+    "METRICS_SCHEMA",
     "NULL_SPAN",
     "SCHEMA_VERSION",
     "TRACK_COMPILER",
@@ -41,6 +51,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsRegistry",
     "Telemetry",
     "count",
     "disable",

@@ -1,4 +1,4 @@
-"""Trace tooling CLI.
+"""Trace and metrics tooling CLI.
 
 Usage::
 
@@ -8,19 +8,37 @@ Usage::
     # Convert a JSONL trace to Chrome trace-event JSON (Perfetto):
     python -m repro.telemetry convert traces/run_all.jsonl -o out.json
 
-``report`` exits 1 when any observed segment window exceeds its
-certified static bound (the cross-validation contract), 0 otherwise.
+    # Merge metrics sidecars (or a trace's metrics block) and render a
+    # table, Prometheus exposition text, or the JSONL rollup:
+    python -m repro.telemetry metrics metrics-dir/ [--format table|prom|jsonl]
+
+    # Inspect postmortem bundles left by a crashed worker or sweep:
+    python -m repro.telemetry postmortem metrics-dir/ [--tail N]
+
+    # Benchmark-regression gate against the committed baseline:
+    python -m repro.telemetry regress --baseline BENCH_pr8.json
+
+Exit codes: ``report`` exits 1 when any observed segment window exceeds
+its certified static bound; ``regress`` exits 0 when every shared timing
+is within threshold, 1 on a regression, 2 on malformed/mismatched
+input. All commands exit 2 on unreadable or schema-invalid files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import shlex
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.telemetry import flight, regress as regress_mod, rollup
 from repro.telemetry.events import TraceSchemaError
 from repro.telemetry.exporters import read_jsonl, write_chrome
+from repro.telemetry.metrics import MetricsError, MetricsRegistry
+from repro.telemetry.prom import render as render_prom, render_table
 from repro.telemetry.report import analyze, headroom_violations, render
 
 
@@ -47,11 +65,175 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="output path (default: <trace>.chrome.json)",
     )
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="merge metrics sidecars / extract a trace's metrics block",
+    )
+    metrics_cmd.add_argument(
+        "source",
+        help="metrics directory (metrics-*.jsonl sidecars), one sidecar "
+             "file, or a JSONL trace",
+    )
+    metrics_cmd.add_argument(
+        "--format", choices=("table", "prom", "jsonl"), default="table",
+        help="output format (default: human table)",
+    )
+    metrics_cmd.add_argument(
+        "-o", "--output", default=None,
+        help="write to a file instead of stdout",
+    )
+
+    postmortem = sub.add_parser(
+        "postmortem", help="render postmortem bundles from a directory"
+    )
+    postmortem.add_argument(
+        "directory", help="directory holding postmortem-*.json bundles"
+    )
+    postmortem.add_argument(
+        "--tail", type=int, default=20,
+        help="flight-recorder events to show per bundle (default 20)",
+    )
+
+    regress = sub.add_parser(
+        "regress",
+        help="compare a fresh bench_engine run against a baseline",
+    )
+    regress.add_argument(
+        "--baseline", required=True,
+        help="committed baseline document (BENCH_pr8.json)",
+    )
+    regress.add_argument(
+        "--current", default=None,
+        help="existing result document to compare (default: run the "
+             "harness now)",
+    )
+    regress.add_argument(
+        "--bench", default=os.path.join("tools", "bench_engine.py"),
+        help="timing-harness script (default: tools/bench_engine.py)",
+    )
+    regress.add_argument(
+        "--bench-args", default="",
+        help="extra arguments for the harness, shell-quoted "
+             '(e.g. --bench-args "--micro-only --jobs 2")',
+    )
+    regress.add_argument(
+        "--max-ratio", type=float, default=regress_mod.DEFAULT_MAX_RATIO,
+        help="regression iff current > baseline * RATIO (default "
+             f"{regress_mod.DEFAULT_MAX_RATIO})",
+    )
+    regress.add_argument(
+        "--min-seconds", type=float,
+        default=regress_mod.DEFAULT_MIN_SECONDS,
+        help="... and current - baseline > SECONDS (default "
+             f"{regress_mod.DEFAULT_MIN_SECONDS})",
+    )
+    regress.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the comparison result as JSON",
+    )
     return parser
+
+
+def _load_metrics(source: str) -> MetricsRegistry:
+    """A registry from a sidecar directory, one sidecar, or a trace."""
+    if os.path.isdir(source):
+        return rollup.rollup_directory(source)
+    with open(source, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+    try:
+        head = json.loads(first) if first.strip() else {}
+    except json.JSONDecodeError:
+        head = {}
+    registry = MetricsRegistry()
+    if isinstance(head, dict) and head.get("kind") == "metrics_header":
+        registry.merge_records(rollup.read_sidecar(source))
+        return registry
+    # Fall through: treat as a trace and merge its metrics record(s).
+    for record in read_jsonl(source):
+        if record.get("kind") == "metrics":
+            registry.merge_records(record["metrics"])
+    return registry
+
+
+def _cmd_metrics(args) -> int:
+    try:
+        registry = _load_metrics(args.source)
+    except FileNotFoundError:
+        print(f"error: no such file or directory {args.source}",
+              file=sys.stderr)
+        return 2
+    except (MetricsError, TraceSchemaError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        text = render_prom(registry)
+    elif args.format == "jsonl":
+        text = "\n".join(
+            json.dumps(record, sort_keys=True)
+            for record in registry.snapshot()
+        )
+        text = text + "\n" if text else ""
+    else:
+        text = render_table(registry) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    try:
+        bundles = flight.read_bundles(args.directory)
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not bundles:
+        print(f"no postmortem bundles under {args.directory}")
+        return 0
+    for i, bundle in enumerate(bundles):
+        if i:
+            print()
+        print(flight.render_bundle(bundle, tail=args.tail))
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    try:
+        baseline = regress_mod.load_doc(args.baseline, "baseline")
+        if args.current is not None:
+            current = regress_mod.load_doc(args.current, "current")
+        else:
+            current = regress_mod.run_bench(
+                args.bench, shlex.split(args.bench_args)
+            )
+        result = regress_mod.compare(
+            baseline, current,
+            max_ratio=args.max_ratio, min_seconds=args.min_seconds,
+        )
+    except regress_mod.RegressError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(regress_mod.render_report(result))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if result["ok"] else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "postmortem":
+        return _cmd_postmortem(args)
+    if args.command == "regress":
+        return _cmd_regress(args)
+
     try:
         records = read_jsonl(args.trace)
     except FileNotFoundError:

@@ -11,7 +11,12 @@ run produces:
   interpreter passes its :class:`~repro.emulator.power.PowerManager`
   timeline, in cycles);
 - **metrics** — cheap named counters, gauges and histograms (RCG sizes,
-  cache hits, Dijkstra pops).
+  cache hits, Dijkstra pops), owned by a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` the handle carries.
+  Enabling tracing installs that registry as the process-global metrics
+  registry too (``metrics.get()``), so a trace always embeds its
+  aggregated numbers; metrics can also be enabled *without* tracing via
+  :func:`repro.telemetry.metrics.enable` for sidecar-only runs.
 
 Zero overhead when disabled, by construction: the handle is ``None``
 until :func:`enable` is called, every instrumentation site guards with
@@ -33,9 +38,19 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from . import metrics as metrics_mod
+from .metrics import (  # noqa: F401 - re-exported for compatibility
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
 #: Version stamped into every trace header; bump when the event schema
 #: changes incompatibly (readers reject newer traces they cannot parse).
-SCHEMA_VERSION = 1
+#: v2: metric records moved to the fixed-bucket registry shape
+#: (histograms carry explicit ``bounds`` + dense ``buckets`` lists).
+SCHEMA_VERSION = 2
 
 #: The two standard tracks. Spans default to the compiler track (real
 #: time, µs); runtime events carry emulated cycles on their own track.
@@ -177,9 +192,10 @@ class Telemetry:
         self._t0_ns = self._clock_ns()
         self.meta: Dict[str, Any] = dict(meta or {})
         self.events: List[Dict[str, Any]] = []
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        #: The aggregated-numbers half of the trace. ``enable`` installs
+        #: this registry as the process-global one, so ``metrics.get()``
+        #: and the tracing handle always agree on where counts land.
+        self.metrics: MetricsRegistry = MetricsRegistry(meta=self.meta)
         #: Stack of merged scope-attribute dicts; the top applies to every
         #: span/event recorded while it is pushed.
         self._scopes: List[Dict[str, Any]] = []
@@ -253,30 +269,20 @@ class Telemetry:
 
     # ------------------------------------------------------------- metrics
 
-    def counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name)
-        return counter
+    # All metric storage lives in the registry; these delegates keep the
+    # historical ``tm.counter(...)`` call sites working unchanged.
 
-    def gauge(self, name: str) -> Gauge:
-        gauge = self._gauges.get(name)
-        if gauge is None:
-            gauge = self._gauges[name] = Gauge(name)
-        return gauge
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str, agg: str = "max") -> Gauge:
+        return self.metrics.gauge(name, agg=agg)
 
     def histogram(self, name: str) -> Histogram:
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = Histogram(name)
-        return hist
+        return self.metrics.histogram(name)
 
     def metrics_snapshot(self) -> List[Dict[str, Any]]:
-        out: List[Dict[str, Any]] = []
-        for registry in (self._counters, self._gauges, self._histograms):
-            for name in sorted(registry):
-                out.append(registry[name].to_json())
-        return out
+        return self.metrics.snapshot()
 
 
 # ---------------------------------------------------------------- global
@@ -288,17 +294,23 @@ _ACTIVE: Optional[Telemetry] = None
 def enable(meta: Optional[Dict[str, Any]] = None,
            clock_ns: Optional[Callable[[], int]] = None) -> Telemetry:
     """Install (and return) the process-global handle. Re-enabling
-    replaces the previous handle."""
+    replaces the previous handle. The handle's metrics registry is
+    installed as the process-global one too (tracing implies metrics)."""
     global _ACTIVE
     _ACTIVE = Telemetry(meta=meta, clock_ns=clock_ns)
+    metrics_mod._install(_ACTIVE.metrics)
     return _ACTIVE
 
 
 def disable() -> Optional[Telemetry]:
-    """Uninstall the global handle; returns it so callers can export."""
+    """Uninstall the global handle; returns it so callers can export.
+    The shared metrics registry is uninstalled only if it is still the
+    active one (a later, unrelated ``metrics.enable`` wins)."""
     global _ACTIVE
     tm = _ACTIVE
     _ACTIVE = None
+    if tm is not None:
+        metrics_mod._uninstall(tm.metrics)
     return tm
 
 

@@ -1,0 +1,220 @@
+"""Flight recorder: a bounded ring of recent events plus state snapshots,
+dumped as a postmortem bundle when a worker crashes or a sweep is
+interrupted.
+
+A ten-hour design-space sweep that dies on cell 9,412 is only debuggable
+if the wreckage says what that worker was doing. The recorder is
+deliberately tiny: a fixed-size ring (:class:`collections.deque`) of
+``(seq, label, payload)`` events — cell starts, checkpoint commits,
+reboots — plus registered *state providers* (callables returning a JSON
+dict) that are invoked only at dump time, so steady-state cost is one
+deque append per cold-path event and zero when disabled.
+
+The postmortem bundle is a single JSON file per crashing process::
+
+    <dir>/postmortem-<pid>.json
+    {"kind": "postmortem", "schema": 1, "pid": ..., "reason": ...,
+     "error": {"type": ..., "message": ..., "traceback": ...},
+     "events": [...oldest->newest...], "state": {...providers...},
+     "metrics": [...registry snapshot, when metrics are enabled...]}
+
+``python -m repro.telemetry postmortem <dir>`` renders every bundle in a
+directory. The same process-global enable/get/disable discipline as
+:mod:`repro.telemetry.metrics` applies; like metrics, the recorder is
+only touched from cold paths, so enabling it preserves bit-identity of
+all evaluation outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import traceback
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from . import metrics
+
+FLIGHT_SCHEMA = 1
+DEFAULT_CAPACITY = 256
+
+BUNDLE_PREFIX = "postmortem-"
+BUNDLE_SUFFIX = ".json"
+
+
+class FlightRecorder:
+    """Bounded event ring + lazy state providers for one process."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[Tuple[int, str, Dict[str, Any]]] = deque(
+            maxlen=capacity
+        )
+        self._seq = 0
+        self._providers: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    def record(self, label: str, **payload: Any) -> None:
+        """Append one event; O(1), drops the oldest beyond capacity."""
+        self._seq += 1
+        self._events.append((self._seq, label, payload))
+
+    def provide(
+        self, name: str, provider: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Register a state provider sampled only at dump time (e.g. the
+        emulator's power/meter state). Last registration per name wins —
+        a fresh interpreter replaces a finished one's stale closure."""
+        self._providers[name] = provider
+
+    def events(self) -> List[Dict[str, Any]]:
+        return [
+            {"seq": seq, "label": label, **payload}
+            for seq, label, payload in self._events
+        ]
+
+    def state(self) -> Dict[str, Any]:
+        """Sample every provider; a provider that raises contributes its
+        error rather than killing the dump (the dump path runs inside
+        crash handling — it must never throw)."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._providers):
+            try:
+                out[name] = self._providers[name]()
+            except Exception as exc:  # noqa: BLE001 - forensics, not flow
+                out[name] = {"provider_error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+    def bundle(
+        self,
+        reason: str,
+        error: Optional[BaseException] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Assemble the postmortem object (no I/O)."""
+        doc: Dict[str, Any] = {
+            "kind": "postmortem",
+            "schema": FLIGHT_SCHEMA,
+            "pid": os.getpid(),
+            "reason": reason,
+            "events": self.events(),
+            "state": self.state(),
+        }
+        if error is not None:
+            doc["error"] = {
+                "type": type(error).__name__,
+                "message": str(error),
+                "traceback": "".join(
+                    traceback.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                ),
+            }
+        mm = metrics.get()
+        if mm is not None:
+            doc["metrics"] = mm.snapshot()
+        if extra:
+            doc.update(extra)
+        return doc
+
+    def dump(
+        self,
+        directory: str,
+        reason: str,
+        error: Optional[BaseException] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Write the bundle to ``<directory>/postmortem-<pid>.json``
+        (atomic temp + rename) and return the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, f"{BUNDLE_PREFIX}{os.getpid()}{BUNDLE_SUFFIX}"
+        )
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(
+                self.bundle(reason, error=error, extra=extra),
+                fh, sort_keys=True, indent=2,
+            )
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+# ---------------------------------------------------------------- global
+
+
+_ACTIVE: Optional[FlightRecorder] = None
+
+
+def enable(capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+    global _ACTIVE
+    _ACTIVE = FlightRecorder(capacity=capacity)
+    return _ACTIVE
+
+
+def disable() -> Optional[FlightRecorder]:
+    global _ACTIVE
+    fr = _ACTIVE
+    _ACTIVE = None
+    return fr
+
+
+def get() -> Optional[FlightRecorder]:
+    """The active recorder, or None. Cold paths bind and guard, exactly
+    as with :func:`repro.telemetry.metrics.get`."""
+    return _ACTIVE
+
+
+# -------------------------------------------------------------- reading
+
+
+def read_bundles(directory: str) -> List[Dict[str, Any]]:
+    """Every postmortem bundle under ``directory``, sorted by filename."""
+    bundles: List[Dict[str, Any]] = []
+    if not os.path.isdir(directory):
+        return bundles
+    for name in sorted(os.listdir(directory)):
+        if not (
+            name.startswith(BUNDLE_PREFIX) and name.endswith(BUNDLE_SUFFIX)
+        ):
+            continue
+        with open(
+            os.path.join(directory, name), "r", encoding="utf-8"
+        ) as fh:
+            doc = json.load(fh)
+        doc.setdefault("_file", name)
+        bundles.append(doc)
+    return bundles
+
+
+def render_bundle(doc: Dict[str, Any], tail: int = 20) -> str:
+    """Human-readable postmortem: reason, error, last events, state."""
+    lines = [
+        f"postmortem {doc.get('_file', '')} "
+        f"(pid {doc.get('pid')}, reason: {doc.get('reason')})".rstrip()
+    ]
+    error = doc.get("error")
+    if error:
+        lines.append(f"  error: {error['type']}: {error['message']}")
+    events = doc.get("events") or []
+    if events:
+        lines.append(f"  last {min(tail, len(events))} of "
+                     f"{len(events)} recorded events:")
+        for event in events[-tail:]:
+            payload = {
+                k: v for k, v in event.items()
+                if k not in ("seq", "label")
+            }
+            rendered = (
+                " " + json.dumps(payload, sort_keys=True) if payload else ""
+            )
+            lines.append(
+                f"    [{event['seq']:>6}] {event['label']}{rendered}"
+            )
+    state = doc.get("state") or {}
+    for name in sorted(state):
+        lines.append(f"  state.{name}: "
+                     f"{json.dumps(state[name], sort_keys=True)}")
+    return "\n".join(lines)

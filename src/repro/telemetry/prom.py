@@ -1,0 +1,100 @@
+"""Prometheus text-format exposition for a metrics registry.
+
+Renders the version-0.0.4 text format a Prometheus scrape (or a
+``node_exporter`` textfile collector) accepts: dotted metric names map
+to ``repro_``-prefixed underscore names, counters gain the conventional
+``_total`` suffix, and histograms expand into cumulative
+``_bucket{le="..."}`` series plus ``_sum`` / ``_count``.
+
+There is no HTTP server here — fleet runs drop the rendered file into a
+textfile-collector directory or push it through a gateway; see
+docs/observability.md for the scrape recipe.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .metrics import MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str, prefix: str = "repro") -> str:
+    """``cache.hits`` -> ``repro_cache_hits`` (Prometheus-legal)."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """The registry as Prometheus exposition text (trailing newline
+    included, as the format requires)."""
+    lines: List[str] = []
+    for record in registry.snapshot():
+        kind = record["kind"]
+        if kind == "counter":
+            name = prom_name(record["name"], prefix) + "_total"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(record['value'])}")
+        elif kind == "gauge":
+            name = prom_name(record["name"], prefix)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(record['value'])}")
+        else:  # histogram
+            name = prom_name(record["name"], prefix)
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(
+                record["bounds"], record["buckets"]
+            ):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {record["count"]}'
+            )
+            lines.append(f"{name}_sum {_fmt(record['total'])}")
+            lines.append(f"{name}_count {record['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_table(registry: MetricsRegistry) -> str:
+    """The human-facing table behind ``python -m repro.telemetry
+    metrics``: counters, gauges, then histogram summaries."""
+    records = registry.snapshot()
+    if not records:
+        return "(no metrics recorded)"
+    lines: List[str] = []
+    width = max(len(r["name"]) for r in records)
+    for record in records:
+        name = record["name"].ljust(width)
+        if record["kind"] == "counter":
+            lines.append(f"{name}  {record['value']}")
+        elif record["kind"] == "gauge":
+            lines.append(
+                f"{name}  {_fmt(record['value'])} (gauge/{record['agg']})"
+            )
+        else:
+            count = record["count"]
+            mean = record["total"] / count if count else 0.0
+            lines.append(
+                f"{name}  n={count} mean={mean:.3f} "
+                f"min={_fmt(record['min'] or 0)} "
+                f"max={_fmt(record['max'] or 0)}"
+            )
+    return "\n".join(lines)

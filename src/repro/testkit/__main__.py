@@ -32,6 +32,7 @@ from contextlib import nullcontext
 from typing import List, Optional
 
 from repro import telemetry
+from repro.telemetry import metrics, rollup
 from repro.testkit.corpus import available_programs
 from repro.testkit.differential import (
     DEFAULT_MODES,
@@ -69,7 +70,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     # Telemetry options shared by every subcommand (see
-    # docs/observability.md); a given --trace-dir implies --trace.
+    # docs/observability.md); a given --trace-dir implies --trace and a
+    # given --metrics-dir implies --metrics.
     tracing = argparse.ArgumentParser(add_help=False)
     tracing.add_argument("--trace", action="store_true",
                          help="record a telemetry trace (JSONL + Chrome "
@@ -77,6 +79,13 @@ def _build_parser() -> argparse.ArgumentParser:
     tracing.add_argument("--trace-dir", default=None, metavar="DIR",
                          help="trace output directory (default traces/; "
                          "implies --trace)")
+    tracing.add_argument("--metrics", action="store_true",
+                         help="record aggregated metrics (sweep/diff/fuzz "
+                         "progress, interpreter cold-path counters) and "
+                         "write a JSONL sidecar; tracing implies this")
+    tracing.add_argument("--metrics-dir", default=None, metavar="DIR",
+                         help="metrics sidecar directory (default: the "
+                         "trace directory; implies --metrics)")
 
     sweep = sub.add_parser(
         "sweep", parents=[tracing],
@@ -159,11 +168,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     started = time.time()
     tm = None
+    mm = None
+    meta = {
+        "tool": f"repro.testkit.{args.command}",
+        "argv": list(argv) if argv is not None else sys.argv[1:],
+    }
+    want_metrics = args.metrics or args.metrics_dir is not None
     if args.trace or args.trace_dir is not None:
-        tm = telemetry.enable(meta={
-            "tool": f"repro.testkit.{args.command}",
-            "argv": list(argv) if argv is not None else sys.argv[1:],
-        })
+        tm = telemetry.enable(meta=meta)
+        mm = tm.metrics  # tracing implies metrics (one shared registry)
+    elif want_metrics:
+        mm = metrics.enable(meta=meta)
     try:
         return _run(args, started)
     except (KeyError, ValueError) as exc:
@@ -182,6 +197,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"trace (events):       {paths['jsonl']}", file=sys.stderr)
             print(f"trace (chrome/perfetto): {paths['chrome']}",
                   file=sys.stderr)
+        elif mm is not None:
+            metrics.disable()
+        if mm is not None and want_metrics:
+            sidecar = rollup.write_sidecar(
+                mm, args.metrics_dir or args.trace_dir or "traces"
+            )
+            print(f"metrics sidecar:      {sidecar}", file=sys.stderr)
 
 
 def _run(args: argparse.Namespace, started: float) -> int:

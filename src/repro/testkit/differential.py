@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
+from repro.telemetry import metrics
 from repro.baselines import CompiledTechnique
 from repro.core.verify import run_against_reference
 from repro.emulator import PowerManager, run_continuous
@@ -239,6 +240,12 @@ def run_differential(
         result.verdicts.extend(partial.verdicts)
         result.disagreements.extend(partial.disagreements)
         result.runs += partial.runs
+        # Parent-side progress counters so serial and parallel grids
+        # agree (parallel per-program workers carry no registry).
+        metrics.count("testkit.diff.runs", partial.runs)
+        metrics.count("testkit.diff.diffemu_cells", partial.diffemu_cells)
+        metrics.count("testkit.diff.compiled_cells", partial.compiled_cells)
+        metrics.count("testkit.diff.transval_cells", partial.transval_cells)
         result.diffemu_cells += partial.diffemu_cells
         result.compiled_cells += partial.compiled_cells
         result.transval_cells += partial.transval_cells

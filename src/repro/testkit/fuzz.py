@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
+from repro.telemetry import metrics
 from repro.baselines import CompiledTechnique
 from repro.core.verify import run_against_reference
 from repro.emulator import PowerManager, run_continuous
@@ -141,6 +142,7 @@ def run_fuzz(
                         )
                     result.cases += 1
                     result.runs += 1
+                    metrics.count("testkit.fuzz.cases")
                     outcome = classify(run, guarantee=False)
                     if (
                         outcome == OUTCOME_ANOMALY
@@ -153,6 +155,7 @@ def run_fuzz(
                     result.outcomes[outcome] = (
                         result.outcomes.get(outcome, 0) + 1
                     )
+                    metrics.count(f"testkit.fuzz.outcome.{outcome}")
                     if outcome == OUTCOME_ANOMALY:
                         verdict = OracleVerdict(
                             program=program, technique=technique,

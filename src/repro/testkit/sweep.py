@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro import telemetry
+from repro.telemetry import metrics
 from repro.baselines import CompiledTechnique
 from repro.emulator import PowerManager, run_intermittent
 from repro.emulator.report import ExecutionReport
@@ -312,6 +313,10 @@ def sweep_technique(
         schedules, attacks
     ):
         result.runs += 1
+        # Parent-side progress counters so serial and parallel sweeps
+        # agree (parallel attack workers carry no metrics registry).
+        metrics.count("testkit.sweep.injections")
+        metrics.count(f"testkit.sweep.outcome.{outcome}")
         result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
         if outcome != OUTCOME_OK:
             verdict = OracleVerdict(

@@ -56,12 +56,13 @@ def test_json_manifest_without_tracing(tmp_path, capfd):
     assert "manifest:" in out.err
 
     manifest = json.loads(manifest_path.read_text())
-    assert manifest["schema"] == run_all.MANIFEST_SCHEMA
+    assert manifest["schema_version"] == run_all.MANIFEST_SCHEMA
     assert manifest["tool"] == "repro.experiments.run_all"
     assert manifest["benchmarks"] == ["crc"]
     assert manifest["jobs"] == 1
     assert manifest["failure_model"] == "energy"
     assert manifest["trace"] is None
+    assert manifest["metrics"] is None, "no metrics rollup without --metrics"
 
     [section] = manifest["sections"]
     assert section["title"] == "Fake"

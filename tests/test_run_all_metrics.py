@@ -1,0 +1,204 @@
+"""End-to-end metrics observatory behavior of ``run_all``:
+
+- results on stdout are byte-identical whether metrics are on or off
+  (wall-clock section timings normalized — they are the one legitimately
+  nondeterministic part of the output);
+- serial and ``--jobs 2`` runs merge to the same rollup values for the
+  deterministic counters (checkpoint traffic is a property of the cell
+  grid, not of worker scheduling);
+- the ``--json`` manifest embeds the merged rollup under ``metrics``;
+- a crashing section leaves a postmortem bundle behind.
+
+The fast tests stub ``SECTIONS``; the serial-vs-parallel test runs the
+real single-benchmark evaluation three times and is the slowest test in
+this file by far.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro import telemetry
+from repro.experiments import run_all
+from repro.telemetry import flight, metrics
+
+#: Counters whose values are a deterministic property of the evaluated
+#: cell grid. Explicitly NOT in this set: ``interp.runs`` and
+#: ``interp.loop.*`` (workers redundantly recompute shared references),
+#: ``engine.heartbeat_us`` (wall clock), ``diffemu.*`` (tape recording
+#: races) and ``engine.cells_per_worker`` (scheduling).
+DETERMINISTIC_COUNTERS = (
+    "interp.ckpt_saves",
+    "interp.ckpt_restores",
+    "interp.ckpt_skips",
+    "interp.power_failures",
+    "interp.reboots",
+    "interp.migrates",
+)
+
+
+def _normalize(out: str) -> str:
+    """Mask measured wall-clock values (section banners, the analysis
+    cost table and its fitted growth exponent) — the only legitimately
+    run-to-run-varying bytes."""
+    out = re.sub(r"\d+(\.\d+)?\s*(?=(s|ms|us)\b)", "X", out)
+    return re.sub(r"growth exponent: \d+\.\d+", "growth exponent: X", out)
+
+
+def _counters(manifest_path):
+    manifest = json.loads(manifest_path.read_text())
+    rollup = manifest["metrics"]
+    assert rollup["schema"] == metrics.METRICS_SCHEMA
+    return {
+        r["name"]: r["value"]
+        for r in rollup["metrics"] if r["kind"] == "counter"
+    }
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    yield
+    assert telemetry.get() is None
+    assert metrics.get() is None
+    assert flight.get() is None
+    telemetry.disable()
+    metrics.disable()
+    flight.disable()
+
+
+class _FakeResult:
+    def render(self):
+        return "fake section body"
+
+
+class _FakeSection:
+    @staticmethod
+    def run(ctx):
+        metrics.count("fake.sections")
+        return _FakeResult()
+
+
+class _CrashSection:
+    @staticmethod
+    def run(ctx):
+        fr = flight.get()
+        if fr is not None:
+            fr.record("about-to-die", section="crash")
+        raise RuntimeError("section exploded")
+
+
+def test_metrics_flag_keeps_stdout_identical_and_fills_manifest(
+    tmp_path, capfd, monkeypatch
+):
+    monkeypatch.setattr(run_all, "SECTIONS", [("Fake", _FakeSection)])
+    base_args = ["--benchmarks", "crc", "--no-cache"]
+
+    run_all.main(base_args)
+    plain = capfd.readouterr()
+
+    manifest_path = tmp_path / "manifest.json"
+    run_all.main(base_args + [
+        "--metrics", "--metrics-dir", str(tmp_path),
+        "--json", str(manifest_path),
+    ])
+    metered = capfd.readouterr()
+
+    assert _normalize(metered.out) == _normalize(plain.out)
+    assert "metrics sidecar:" in metered.err
+
+    counters = _counters(manifest_path)
+    assert counters["fake.sections"] == 1
+    # The parent's own sidecar is on disk and CLI-readable.
+    sidecars = list(tmp_path.glob("metrics-*.jsonl"))
+    assert len(sidecars) == 1
+
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["schema_version"] == run_all.MANIFEST_SCHEMA
+
+
+def test_stale_sidecars_are_cleared_between_runs(tmp_path, monkeypatch):
+    monkeypatch.setattr(run_all, "SECTIONS", [("Fake", _FakeSection)])
+    stale = tmp_path / "metrics-99999999.jsonl"
+    stale.write_text(
+        '{"kind": "metrics_header", "schema": 1, "pid": 99999999, '
+        '"meta": {}}\n'
+        '{"kind": "counter", "name": "fake.sections", "value": 50}\n'
+    )
+    manifest_path = tmp_path / "manifest.json"
+    run_all.main([
+        "--benchmarks", "crc", "--no-cache",
+        "--metrics", "--metrics-dir", str(tmp_path),
+        "--json", str(manifest_path),
+    ])
+    assert not stale.exists()
+    assert _counters(manifest_path)["fake.sections"] == 1
+
+
+def test_crash_leaves_a_postmortem_bundle(tmp_path, capfd, monkeypatch):
+    monkeypatch.setattr(run_all, "SECTIONS", [("Crash", _CrashSection)])
+    with pytest.raises(RuntimeError, match="section exploded"):
+        run_all.main([
+            "--benchmarks", "crc", "--no-cache",
+            "--metrics", "--metrics-dir", str(tmp_path),
+        ])
+    err = capfd.readouterr().err
+    assert "postmortem bundle:" in err
+    [bundle_path] = tmp_path.glob("postmortem-*.json")
+    bundle = json.loads(bundle_path.read_text())
+    assert bundle["reason"] == "run_all failed"
+    assert bundle["error"]["type"] == "RuntimeError"
+    labels = [e["label"] for e in bundle["events"]]
+    assert labels == ["run-start", "about-to-die"]
+    # The globals must not leak past the raise.
+    telemetry.disable()
+    metrics.disable()
+    flight.disable()
+
+
+def test_serial_and_parallel_rollups_agree_on_deterministic_counters(
+    tmp_path, capfd
+):
+    """The real single-benchmark evaluation, three ways: plain serial,
+    metered serial, metered parallel. One run_all invocation each —
+    this is the expensive acceptance test (~1 min)."""
+    base_args = [
+        "--benchmarks", "crc", "--no-cache", "--no-diff-emulation",
+    ]
+
+    run_all.main(base_args)
+    plain_out = capfd.readouterr().out
+
+    serial_dir = tmp_path / "serial"
+    serial_manifest = serial_dir / "manifest.json"
+    run_all.main(base_args + [
+        "--metrics", "--metrics-dir", str(serial_dir),
+        "--json", str(serial_manifest),
+    ])
+    serial_out = capfd.readouterr().out
+
+    parallel_dir = tmp_path / "parallel"
+    parallel_manifest = parallel_dir / "manifest.json"
+    run_all.main(base_args + [
+        "--jobs", "2",
+        "--metrics", "--metrics-dir", str(parallel_dir),
+        "--json", str(parallel_manifest),
+    ])
+    parallel_out = capfd.readouterr().out
+
+    # Enabling metrics, and fanning out, must not change the results.
+    assert _normalize(serial_out) == _normalize(plain_out)
+    assert _normalize(parallel_out) == _normalize(plain_out)
+
+    serial = _counters(serial_manifest)
+    parallel = _counters(parallel_manifest)
+    for name in DETERMINISTIC_COUNTERS:
+        assert serial.get(name) == parallel.get(name), (
+            name, serial.get(name), parallel.get(name),
+        )
+    assert serial.get("interp.ckpt_saves", 0) > 0, (
+        "the workload must actually exercise checkpoints"
+    )
+    # The parallel run counted its cells across worker sidecars.
+    assert parallel["engine.worker_cells"] > 0
+    assert len(list(parallel_dir.glob("metrics-*.jsonl"))) > 1

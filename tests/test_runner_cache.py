@@ -11,7 +11,7 @@ import pickle
 
 import pytest
 
-from repro.runner.cache import ArtifactCache
+from repro.runner.cache import ArtifactCache, stats_line
 from repro.runner.pool import parallel_map, resolve_jobs
 
 # -- keys ---------------------------------------------------------------------
@@ -152,7 +152,7 @@ def test_stats_line_renders_totals_and_categories(tmp_path):
     cache.get("run", key)
     cache.put("run", key, 1)
     cache.get("run", key)
-    line = cache.stats_line()
+    line = stats_line(cache.stats_dict())
     assert "1 hits, 1 misses, 1 stores" in line
     assert "run 1/1/1" in line and "h/m/s" in line
     assert "pruned" not in line, "pruned only appears once eviction happened"
@@ -170,7 +170,7 @@ def test_prune_is_attributed_to_categories(tmp_path):
         cache.by_category["run"]["pruned"]
         + cache.by_category["ref"]["pruned"]
     ) == 8
-    assert f"{cache.pruned} pruned" in cache.stats_line()
+    assert f"{cache.pruned} pruned" in stats_line(cache.stats_dict())
 
 
 def test_stats_dict_is_manifest_ready(tmp_path):

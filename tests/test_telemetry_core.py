@@ -120,7 +120,11 @@ def test_metrics_registry_and_snapshot():
     assert window["count"] == 3
     assert window["min"] == 0.5 and window["max"] == 100.0
     # 0.5 -> bucket 0 (<=1); 3.0 -> (2,4] bucket 2; 100 -> (64,128] bucket 7.
-    assert window["buckets"] == {"0": 1, "2": 1, "7": 1}
+    # Exact fixed-bound buckets: one slot per bound plus one overflow.
+    assert len(window["buckets"]) == len(window["bounds"]) + 1
+    expected = [0] * len(window["buckets"])
+    expected[0], expected[2], expected[7] = 1, 1, 1
+    assert window["buckets"] == expected
 
 
 def test_run_ids_are_unique_and_sequential():

@@ -1,0 +1,110 @@
+"""The flight recorder: bounded ring semantics, lazy state providers
+(including providers that raise mid-crash), postmortem bundle dumps and
+the global enable/get/disable discipline.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import flight, metrics
+from repro.telemetry.flight import FlightRecorder, read_bundles, render_bundle
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    yield
+    assert flight.get() is None
+    flight.disable()
+    metrics.disable()
+
+
+def test_ring_is_bounded_and_ordered():
+    fr = FlightRecorder(capacity=3)
+    for i in range(10):
+        fr.record("tick", i=i)
+    events = fr.events()
+    assert [e["i"] for e in events] == [7, 8, 9], "oldest dropped first"
+    assert [e["seq"] for e in events] == [8, 9, 10], "seq keeps counting"
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_providers_are_sampled_lazily_and_last_wins():
+    calls = []
+
+    def provider():
+        calls.append(1)
+        return {"run": 42}
+
+    fr = FlightRecorder()
+    fr.provide("interp", lambda: {"run": 0})
+    fr.provide("interp", provider)  # replaces the stale closure
+    assert calls == [], "providers must not run before dump"
+    assert fr.state() == {"interp": {"run": 42}}
+    assert calls == [1]
+
+
+def test_provider_errors_never_kill_the_dump(tmp_path):
+    fr = FlightRecorder()
+    fr.provide("broken", lambda: 1 / 0)
+    fr.provide("fine", lambda: {"ok": True})
+    path = fr.dump(str(tmp_path), reason="crash")
+    doc = json.loads(open(path).read())
+    assert doc["state"]["fine"] == {"ok": True}
+    assert "ZeroDivisionError" in doc["state"]["broken"]["provider_error"]
+
+
+def test_bundle_captures_error_and_metrics_snapshot(tmp_path):
+    fr = FlightRecorder()
+    fr.record("cell-start", benchmark="crc", technique="schematic")
+    with metrics.enabled() as mm:
+        mm.counter("interp.reboots").add(4)
+        try:
+            raise RuntimeError("worker died")
+        except RuntimeError as exc:
+            path = fr.dump(str(tmp_path), reason="cell crc failed",
+                           error=exc, extra={"cell": "run"})
+    doc = json.loads(open(path).read())
+    assert doc["kind"] == "postmortem" and doc["schema"] == 1
+    assert doc["reason"] == "cell crc failed"
+    assert doc["cell"] == "run"
+    assert doc["error"]["type"] == "RuntimeError"
+    assert "worker died" in doc["error"]["traceback"]
+    assert {"kind": "counter", "name": "interp.reboots", "value": 4} in (
+        doc["metrics"]
+    )
+
+
+def test_bundle_without_metrics_has_no_metrics_key(tmp_path):
+    path = FlightRecorder().dump(str(tmp_path), reason="r")
+    assert "metrics" not in json.loads(open(path).read())
+
+
+def test_read_bundles_sorted_and_render(tmp_path):
+    a = FlightRecorder()
+    a.record("x", n=1)
+    a.dump(str(tmp_path), reason="first")
+    # A second 'process' bundle, forged by renaming.
+    b = FlightRecorder()
+    b.record("y", n=2)
+    src = b.dump(str(tmp_path / "other"), reason="second")
+    (tmp_path / "postmortem-zzz.json").write_text(open(src).read())
+
+    bundles = read_bundles(str(tmp_path))
+    assert len(bundles) == 2
+    assert bundles[0]["_file"] < bundles[1]["_file"]
+    text = render_bundle(bundles[0])
+    assert "reason: first" in text and "[     1] x" in text
+    assert read_bundles(str(tmp_path / "missing")) == []
+
+
+def test_global_handle_discipline():
+    assert flight.get() is None
+    fr = flight.enable(capacity=8)
+    assert flight.get() is fr
+    assert flight.disable() is fr
+    assert flight.get() is None

@@ -1,0 +1,174 @@
+"""The benchmark-regression gate: noise-aware comparison semantics, the
+bench_schema handshake, and the CLI exit codes (0 ok / 1 regressed /
+2 malformed) — including an end-to-end run of the real harness with the
+``REPRO_BENCH_SLOWDOWN`` sleep fixture injected.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.telemetry import regress
+from repro.telemetry.__main__ import main as telemetry_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH = os.path.join(REPO_ROOT, "tools", "bench_engine.py")
+
+
+def _doc(**timings):
+    doc = {"bench_schema": regress.BENCH_SCHEMA, "interpreter_loops": {}}
+    for key, value in timings.items():
+        doc["interpreter_loops"][key] = value
+    return doc
+
+
+def test_compare_flags_only_ratio_and_delta_together():
+    baseline = _doc(compiled_seconds=0.4, predecoded_seconds=0.010)
+    current = _doc(
+        compiled_seconds=0.5,     # 1.25x: under the ratio guard
+        predecoded_seconds=0.030,  # 3x but only +20ms: under the delta guard
+    )
+    result = regress.compare(baseline, current)
+    assert result["ok"]
+    assert all(not c["regressed"] for c in result["comparisons"])
+
+    slow = _doc(compiled_seconds=1.4, predecoded_seconds=0.010)
+    result = regress.compare(baseline, slow)
+    assert not result["ok"]
+    [compiled, predecoded] = result["comparisons"]
+    assert compiled["regressed"] and compiled["ratio"] == 3.5
+    assert not predecoded["regressed"]
+
+
+def test_compare_uses_only_shared_paths():
+    """A --micro-only current run carries no evaluation_seconds; only the
+    interpreter loops are compared."""
+    baseline = _doc(compiled_seconds=0.4)
+    baseline["evaluation_seconds"] = {"cold_serial": 10.0}
+    result = regress.compare(baseline, _doc(compiled_seconds=0.4))
+    assert [c["metric"] for c in result["comparisons"]] == [
+        "interpreter_loops.compiled_seconds"
+    ]
+
+
+def test_compare_rejects_schema_mismatch_and_no_overlap():
+    good = _doc(compiled_seconds=0.4)
+    with pytest.raises(regress.RegressError, match="bench_schema"):
+        regress.compare({"interpreter_loops": {}}, good)
+    with pytest.raises(regress.RegressError, match="bench_schema"):
+        regress.compare(good, {"bench_schema": 99})
+    with pytest.raises(regress.RegressError, match="no timing metric"):
+        regress.compare(
+            {"bench_schema": regress.BENCH_SCHEMA},
+            {"bench_schema": regress.BENCH_SCHEMA},
+        )
+
+
+def test_render_report_marks_verdicts():
+    result = regress.compare(
+        _doc(compiled_seconds=0.4), _doc(compiled_seconds=1.4)
+    )
+    text = regress.render_report(result)
+    assert "REGRESSED" in text and "regression detected" in text
+    ok = regress.render_report(
+        regress.compare(_doc(compiled_seconds=0.4),
+                        _doc(compiled_seconds=0.41))
+    )
+    assert "within threshold" in ok
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc) + "\n")
+    return str(path)
+
+
+def test_cli_exit_codes_with_current_documents(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", _doc(compiled_seconds=0.4))
+    same = _write(tmp_path, "same.json", _doc(compiled_seconds=0.42))
+    slow = _write(tmp_path, "slow.json", _doc(compiled_seconds=1.4))
+
+    out_json = tmp_path / "report.json"
+    assert telemetry_main([
+        "regress", "--baseline", baseline, "--current", same,
+        "--json", str(out_json),
+    ]) == 0
+    assert "within threshold" in capsys.readouterr().out
+    assert json.loads(out_json.read_text())["ok"] is True
+
+    assert telemetry_main([
+        "regress", "--baseline", baseline, "--current", slow,
+    ]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+    # Thresholds are CLI-tunable: loosen the ratio, the verdict flips.
+    assert telemetry_main([
+        "regress", "--baseline", baseline, "--current", slow,
+        "--max-ratio", "10",
+    ]) == 0
+
+
+def test_cli_exit_2_on_malformed_input(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", _doc(compiled_seconds=0.4))
+    assert telemetry_main([
+        "regress", "--baseline", str(tmp_path / "missing.json"),
+        "--current", baseline,
+    ]) == 2
+    not_json = tmp_path / "bad.json"
+    not_json.write_text("{nope")
+    assert telemetry_main([
+        "regress", "--baseline", baseline, "--current", str(not_json),
+    ]) == 2
+    unversioned = _write(tmp_path, "old.json", {"interpreter_loops": {}})
+    assert telemetry_main([
+        "regress", "--baseline", baseline, "--current", unversioned,
+    ]) == 2
+    assert telemetry_main([
+        "regress", "--baseline", baseline,
+        "--bench", str(tmp_path / "no_bench.py"),
+    ]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_gate_catches_injected_slowdown_end_to_end(tmp_path, monkeypatch):
+    """The acceptance scenario: a fresh micro-only harness run passes
+    against a baseline recorded the same way, and fails once
+    REPRO_BENCH_SLOWDOWN injects sleep into every timed region."""
+    monkeypatch.delenv("REPRO_BENCH_SLOWDOWN", raising=False)
+    args = ["--micro-only", "--micro-repeats", "1",
+            "--micro-benchmark", "crc"]
+    baseline_doc = regress.run_bench(BENCH, args)
+    assert baseline_doc["bench_schema"] == regress.BENCH_SCHEMA
+    baseline = _write(tmp_path, "baseline.json", baseline_doc)
+
+    monkeypatch.setenv("REPRO_BENCH_SLOWDOWN", "0.4")
+    slow_doc = regress.run_bench(BENCH, args)
+    result = regress.compare(json.loads(open(baseline).read()), slow_doc)
+    assert not result["ok"], "0.4s injected sleep must trip the gate"
+    regressed = [c for c in result["comparisons"] if c["regressed"]]
+    assert regressed, "at least one interpreter loop must regress"
+
+
+def test_run_bench_propagates_harness_failures(tmp_path):
+    bad = tmp_path / "bench.py"
+    bad.write_text("import sys; sys.exit(3)\n")
+    with pytest.raises(regress.RegressError, match="exited 3"):
+        regress.run_bench(str(bad), [])
+
+
+def test_run_bench_uses_current_interpreter(tmp_path):
+    """run_bench must invoke sys.executable (no PATH guessing)."""
+    script = tmp_path / "bench.py"
+    script.write_text(
+        "import json, sys\n"
+        "out = sys.argv[sys.argv.index('--out') + 1]\n"
+        "json.dump({'bench_schema': %d, 'exe': sys.executable},"
+        " open(out, 'w'))\n" % regress.BENCH_SCHEMA
+    )
+    doc = regress.run_bench(str(script), [])
+    assert doc["exe"] == sys.executable

@@ -22,6 +22,15 @@ output. Run from the repository root::
     python tools/bench_engine.py [--benchmarks crc,randmath]
                                  [--jobs auto] [--out BENCH_pr8.json]
                                  [--min-compiled-speedup 2.0]
+                                 [--micro-only] [--micro-repeats N]
+
+The output document carries ``bench_schema`` (see
+:mod:`repro.telemetry.regress`); ``python -m repro.telemetry regress``
+compares a fresh run against a committed baseline with noise-aware
+thresholds. ``--micro-only`` runs just the interpreter micro-benchmark —
+the gate compares whichever timing paths both documents carry. The
+``REPRO_BENCH_SLOWDOWN`` environment variable (seconds) injects sleep
+into every timed region, for exercising the gate in tests.
 
 The evaluation workload is the forward-progress table plus the ablation
 grid over the selected benchmarks — the same cells `run_all` spends most
@@ -50,6 +59,17 @@ from repro.experiments.common import EvaluationContext  # noqa: E402
 from repro.programs import get_benchmark  # noqa: E402
 from repro.runner.cache import ArtifactCache  # noqa: E402
 from repro.runner.pool import available_cpus, resolve_jobs  # noqa: E402
+from repro.telemetry.regress import BENCH_SCHEMA  # noqa: E402
+
+
+def _injected_slowdown() -> float:
+    """Test hook: ``REPRO_BENCH_SLOWDOWN`` (seconds, float) sleeps inside
+    every timed region so the ``telemetry regress`` gate can be exercised
+    against a synthetically slowed run without slow hardware."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SLOWDOWN", "") or 0.0)
+    except ValueError:
+        return 0.0
 
 
 def _render_workload(ctx: EvaluationContext) -> str:
@@ -64,6 +84,8 @@ def _evaluate(benchmarks, cache_root, jobs: int):
     cache = ArtifactCache(cache_root) if cache_root else None
     ctx = EvaluationContext(benchmarks=benchmarks, cache=cache)
     start = time.perf_counter()
+    if _injected_slowdown():
+        time.sleep(_injected_slowdown())
     if jobs > 1:
         engine.prefill(ctx, jobs, figure8_benchmark=benchmarks[0])
     text = _render_workload(ctx)
@@ -183,6 +205,8 @@ def _bench_interpreter(benchmark: str, repeats: int = 3):
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
+            if _injected_slowdown():
+                time.sleep(_injected_slowdown())
             report = run_continuous(
                 bench.module, model, inputs=inputs, **kwargs
             )
@@ -203,6 +227,14 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", default="auto", metavar="N|auto")
     parser.add_argument("--micro-benchmark", default="aes",
                         help="benchmark for the interpreter micro-benchmark")
+    parser.add_argument("--micro-only", action="store_true",
+                        help="run only the interpreter loop "
+                             "micro-benchmark (fast; the telemetry "
+                             "regress gate compares whichever timings "
+                             "both documents carry)")
+    parser.add_argument("--micro-repeats", type=int, default=3,
+                        metavar="N",
+                        help="best-of-N for the interpreter loops")
     parser.add_argument("--min-compiled-speedup", type=float, default=None,
                         metavar="X",
                         help="fail unless the compiled loop beats the "
@@ -212,6 +244,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
     jobs = max(2, resolve_jobs(args.jobs))
+
+    if args.micro_only:
+        print(f"interpreter micro-benchmark ({args.micro_benchmark}) ...",
+              file=sys.stderr)
+        micro = _bench_interpreter(
+            args.micro_benchmark, repeats=args.micro_repeats
+        )
+        result = {
+            "bench_schema": BENCH_SCHEMA,
+            "machine": _machine(),
+            "workload": {"benchmarks": [], "sections": []},
+            "interpreter_loops": _micro_section(args.micro_benchmark, micro),
+            "outputs_byte_identical": True,
+        }
+        return _finish(result, args)
 
     cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
@@ -242,20 +289,18 @@ def main(argv=None) -> int:
 
         print(f"interpreter micro-benchmark ({args.micro_benchmark}) ...",
               file=sys.stderr)
-        micro = _bench_interpreter(args.micro_benchmark)
+        micro = _bench_interpreter(
+            args.micro_benchmark, repeats=args.micro_repeats
+        )
         print(f"  compiled {micro['compiled']:.3f}s, "
               f"predecoded {micro['predecoded']:.3f}s, "
               f"undecoded {micro['undecoded']:.3f}s", file=sys.stderr)
     finally:
         shutil.rmtree(cache_root, ignore_errors=True)
 
-    compiled_speedup = round(micro["predecoded"] / micro["compiled"], 3)
     result = {
-        "machine": {
-            "cpu_count": available_cpus(),
-            "python": platform_mod.python_version(),
-            "platform": platform_mod.platform(),
-        },
+        "bench_schema": BENCH_SCHEMA,
+        "machine": _machine(),
         "workload": {
             "benchmarks": benchmarks,
             "sections": ["table3_forward_progress", "ablations"],
@@ -271,19 +316,7 @@ def main(argv=None) -> int:
             "parallel_vs_serial": round(cold_s / par_s, 2) if par_s else None,
         },
         "diff_emulation": diffemu,
-        "interpreter_loops": {
-            "benchmark": args.micro_benchmark,
-            "compiled_seconds": round(micro["compiled"], 4),
-            "predecoded_seconds": round(micro["predecoded"], 4),
-            "undecoded_seconds": round(micro["undecoded"], 4),
-            "compiled_vs_predecoded": compiled_speedup,
-            "compiled_vs_undecoded": round(
-                micro["undecoded"] / micro["compiled"], 3
-            ),
-            "predecoded_vs_undecoded": round(
-                micro["undecoded"] / micro["predecoded"], 3
-            ),
-        },
+        "interpreter_loops": _micro_section(args.micro_benchmark, micro),
         "outputs_byte_identical": True,
     }
     if available_cpus() < jobs:
@@ -293,10 +326,41 @@ def main(argv=None) -> int:
             "parallel hardware; the byte-identical assertion is the "
             "meaningful check here (see docs/performance.md)"
         )
+    return _finish(result, args)
+
+
+def _machine():
+    return {
+        "cpu_count": available_cpus(),
+        "python": platform_mod.python_version(),
+        "platform": platform_mod.platform(),
+    }
+
+
+def _micro_section(benchmark: str, micro):
+    return {
+        "benchmark": benchmark,
+        "compiled_seconds": round(micro["compiled"], 4),
+        "predecoded_seconds": round(micro["predecoded"], 4),
+        "undecoded_seconds": round(micro["undecoded"], 4),
+        "compiled_vs_predecoded": round(
+            micro["predecoded"] / micro["compiled"], 3
+        ),
+        "compiled_vs_undecoded": round(
+            micro["undecoded"] / micro["compiled"], 3
+        ),
+        "predecoded_vs_undecoded": round(
+            micro["undecoded"] / micro["predecoded"], 3
+        ),
+    }
+
+
+def _finish(result, args) -> int:
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")
     print(json.dumps(result, indent=2))
+    compiled_speedup = result["interpreter_loops"]["compiled_vs_predecoded"]
     if (
         args.min_compiled_speedup is not None
         and compiled_speedup < args.min_compiled_speedup
